@@ -1,0 +1,66 @@
+// cluster-health probes every node over the management Ethernet and
+// reports which are reachable — closing §4's "in the dark" loop: a dark
+// node is either a hardware fault or a common-mode service casualty, and
+// the report names the PDU outlet to hard-cycle.
+//
+//	cluster-health -server http://127.0.0.1:8070
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8070", "frontend admin URL")
+	flag.Parse()
+
+	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/health")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-health:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "cluster-health: %s: %s", resp.Status, body)
+		os.Exit(1)
+	}
+	var rows []struct {
+		Host   string `json:"host"`
+		Alive  bool   `json:"alive"`
+		State  string `json:"state"`
+		Outlet int    `json:"outlet"`
+	}
+	if err := json.Unmarshal(body, &rows); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-health: bad response:", err)
+		os.Exit(1)
+	}
+	dark := 0
+	fmt.Printf("%-16s %-8s %-12s %s\n", "HOST", "ALIVE", "STATE", "ACTION")
+	for _, r := range rows {
+		action := "-"
+		if !r.Alive {
+			dark++
+			if r.Outlet != 0 {
+				action = fmt.Sprintf("hard-cycle PDU outlet %d", r.Outlet)
+			} else {
+				action = "crash cart"
+			}
+		}
+		alive := "yes"
+		if !r.Alive {
+			alive = "NO"
+		}
+		fmt.Printf("%-16s %-8s %-12s %s\n", r.Host, alive, r.State, action)
+	}
+	if dark > 0 {
+		fmt.Printf("%d node(s) dark\n", dark)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,245 @@
+// cluster-sim boots a complete simulated Rocks cluster — frontend services,
+// kickstart CGI, distribution server, DHCP, NIS, NFS, PBS — integrates
+// compute nodes, and either serves its admin API for the other cmd/ tools
+// (live mode) or regenerates the paper's quantitative results (-experiment).
+//
+// Live mode:
+//
+//	cluster-sim -listen 127.0.0.1:8070 -nodes 4
+//	    ... then, from other shells:
+//	rocksql      -server http://127.0.0.1:8070 "select * from nodes"
+//	cluster-fork -server http://127.0.0.1:8070 -cmd "rpm -q glibc"
+//	shoot-node   -server http://127.0.0.1:8070 -watch compute-0-0
+//
+// Experiment mode:
+//
+//	cluster-sim -experiment table1      # Table I reproduction
+//	cluster-sim -experiment microbench  # §6.3 serial-download micro-benchmark
+//	cluster-sim -experiment gige        # Gigabit scaling footnote
+//	cluster-sim -experiment servers     # replicated web servers
+//	cluster-sim -experiment myrinet     # GM rebuild penalty
+//	cluster-sim -experiment updates     # §6.2.1 update-tracking cadence
+//	cluster-sim -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/core"
+	"rocks/internal/dist"
+	"rocks/internal/experiments"
+	"rocks/internal/hardware"
+	"rocks/internal/kickstart"
+	"rocks/internal/mpirun"
+	"rocks/internal/rexec"
+	"rocks/internal/rpm"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:0", "frontend HTTP listen address")
+		nodes      = flag.Int("nodes", 2, "compute nodes to integrate at startup")
+		name       = flag.String("name", "Meteor", "cluster name")
+		experiment = flag.String("experiment", "", "run an experiment instead of live mode: table1|microbench|gige|servers|myrinet|updates|all")
+		demo       = flag.Bool("demo", false, "run the scripted management demo and exit")
+	)
+	flag.Parse()
+
+	if *experiment != "" {
+		runExperiments(*experiment)
+		return
+	}
+
+	c, err := core.New(core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-sim:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("frontend up: %s\n", c.BaseURL())
+	fmt.Print(c.Dist.Report.Summary())
+
+	if *nodes > 0 {
+		fmt.Printf("integrating %d compute nodes (insert-ethers, sequential boot)...\n", *nodes)
+		profiles := make([]hardware.Profile, *nodes)
+		for i := range profiles {
+			profiles[i] = hardware.PIIICompute(c.MACs(), 733)
+		}
+		if _, err := c.IntegrateNodes(profiles, clusterdb.MembershipCompute, 0, 2*time.Minute); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster-sim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println(c.StatusTable())
+
+	if *demo {
+		if err := runDemo(c); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster-sim demo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("admin API ready; ^C to stop")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+// runDemo walks the paper's management story end to end on the live
+// cluster.
+func runDemo(c *core.Cluster) error {
+	fmt.Println("== Table II: the nodes table ==")
+	nodesReport, err := clusterdb.NodesTableReport(c.DB)
+	if err != nil {
+		return err
+	}
+	fmt.Print(nodesReport)
+
+	fmt.Println("\n== cluster-kill via a multi-table join (§6.4) ==")
+	for _, s := range c.Status() {
+		if n, ok := c.NodeByName(s.Name); ok && s.Name != "frontend-0" {
+			n.StartProcess("bad-job")
+		}
+	}
+	query := `select nodes.name from nodes,memberships where ` +
+		`nodes.membership = memberships.id and memberships.name = 'Compute'`
+	_, killed, err := c.Kill(query, "bad-job")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("killed %d runaway processes on compute nodes\n", killed)
+
+	fmt.Println("\n== shoot-node with eKV (§6.3) ==")
+	names := []string{}
+	for _, s := range c.Status() {
+		if s.Name != "frontend-0" {
+			names = append(names, s.Name)
+		}
+	}
+	if len(names) > 0 {
+		client, err := c.ShootNodeWatch(names[0], time.Minute)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		if client.WaitFor("installation complete", time.Minute) {
+			fmt.Printf("%s reinstalled; eKV transcript: %d bytes\n", names[0], len(client.Screen()))
+		}
+		n, _ := c.NodeByName(names[0])
+		for i := 0; i < 5000 && n.State() != "up"; i++ {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	fmt.Println("\n== consistency after reinstall (§3.2) ==")
+	ref, divergent, err := c.ConsistencyReport()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference node %s; %d divergent nodes\n", ref, len(divergent))
+
+	fmt.Println("\n== mpirun over REXEC (§4.1) ==")
+	rows, err := clusterdb.Nodes(c.DB, "membership = 2")
+	if err != nil {
+		return err
+	}
+	var hosts []mpirun.Host
+	for _, r := range rows {
+		if n, ok := c.NodeByName(r.Name); ok {
+			hosts = append(hosts, mpirun.Host{Name: r.Name, Slots: r.CPUs, Exec: n})
+		}
+	}
+	if len(hosts) > 0 {
+		job, err := mpirun.Launch("cpi", len(hosts), hosts)
+		if err != nil {
+			return err
+		}
+		job.Run(rexec.Request{Command: "hostname"})
+		fmt.Print(job.TaggedOutput())
+		job.Kill()
+	}
+
+	fmt.Println("\n== health monitor (§4) ==")
+	mon := c.NewMonitor(time.Second, 0)
+	defer mon.Stop()
+	mon.Probe()
+	fmt.Print(mon.Report())
+
+	fmt.Println("\n" + c.StatusTable())
+	return nil
+}
+
+func runExperiments(which string) {
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println("== Table I: reinstallation performance ==")
+			fmt.Print(experiments.FormatTableI(experiments.RunTableI()))
+		case "microbench":
+			fmt.Println("== §6.3 micro-benchmark: serial RPM download ==")
+			got := experiments.SerialDownloadMBps(experiments.DefaultParams(1))
+			fmt.Printf("web server sourced %.1f MB/s (paper: 7-8 MB/s)\n", got)
+		case "gige":
+			fmt.Println("== §6.3: Gigabit Ethernet scaling ==")
+			fe := experiments.DefaultParams(1)
+			fe.ServerMBps = 7.0
+			feN := experiments.MaxFullSpeedReinstalls(fe, 0.02, 20)
+			ge := fe
+			ge.ServerMBps = 7.0 * 8.5
+			geN := experiments.MaxFullSpeedReinstalls(ge, 0.02, 100)
+			fmt.Printf("Fast Ethernet: %d concurrent full-speed reinstalls\n", feN)
+			fmt.Printf("Gigabit:       %d concurrent (%.1fx; paper: 7.0-9.5x)\n", geN, float64(geN)/float64(feN))
+		case "servers":
+			fmt.Println("== §6.3: replicated installation servers ==")
+			for _, servers := range []int{1, 2, 4} {
+				p := experiments.DefaultParams(32)
+				p.Servers = servers
+				r := experiments.RunReinstall(p)
+				fmt.Printf("32 nodes on %d server(s): %.1f minutes\n", servers, r.TotalMinutes())
+			}
+		case "myrinet":
+			fmt.Println("== §6.3: Myrinet driver rebuild penalty ==")
+			with := experiments.RunReinstall(experiments.DefaultParams(1)).TotalSecs
+			p := experiments.DefaultParams(1)
+			p.WithMyrinet = false
+			without := experiments.RunReinstall(p).TotalSecs
+			fmt.Printf("with rebuild: %.0f s, without: %.0f s, penalty %.0f%% (paper: 20-30%%)\n",
+				with, without, (with-without)/without*100)
+		case "updates":
+			fmt.Println("== §6.2.1: update tracking (124 updates in a year) ==")
+			base := dist.SyntheticRedHat()
+			updates := dist.GenerateUpdates(base, 124, 1)
+			d := dist.Build("updated", kickstart.DefaultFramework(),
+				dist.Source{Name: "base", Repo: base},
+				dist.Source{Name: "updates", Repo: updates})
+			fmt.Print(d.Report.Summary())
+			fmt.Printf("one update every %.1f days on average\n", 365.0/124)
+			// Spot-check: every update beat its base version.
+			stale := 0
+			for _, up := range updates.All() {
+				cur := d.Repo.Newest(up.Name, up.Arch)
+				if cur == nil || rpm.Compare(cur.Version, up.Version) < 0 {
+					stale++
+				}
+			}
+			fmt.Printf("%d stale packages after rebuild (want 0)\n", stale)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+	if which == "all" {
+		for _, n := range []string{"table1", "microbench", "gige", "servers", "myrinet", "updates"} {
+			run(n)
+		}
+		return
+	}
+	run(which)
+}

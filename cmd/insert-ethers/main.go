@@ -1,0 +1,58 @@
+// insert-ethers integrates new machines into a running cluster (§6.4): it
+// asks the frontend to start a discovery session, power on the requested
+// simulated hardware sequentially, and report the assigned names.
+//
+//	insert-ethers -server http://127.0.0.1:8070 -count 4 -rack 0
+//	insert-ethers -server http://127.0.0.1:8070 -count 1 -membership 2 -mhz 1000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "http://127.0.0.1:8070", "frontend admin URL")
+		count      = flag.Int("count", 1, "number of machines to power on and integrate")
+		rack       = flag.Int("rack", 0, "cabinet being populated")
+		membership = flag.Int("membership", 2, "membership ID for the new nodes (2 = Compute)")
+		mhz        = flag.Int("mhz", 733, "CPU speed of the simulated machines")
+		wait       = flag.Int("wait", 120, "seconds to wait for all nodes to come up")
+	)
+	flag.Parse()
+
+	params := url.Values{
+		"count":      {strconv.Itoa(*count)},
+		"rack":       {strconv.Itoa(*rack)},
+		"membership": {strconv.Itoa(*membership)},
+		"mhz":        {strconv.Itoa(*mhz)},
+		"wait":       {strconv.Itoa(*wait)},
+	}
+	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/integrate?" + params.Encode())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "insert-ethers:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "insert-ethers: %s: %s", resp.Status, body)
+		os.Exit(1)
+	}
+	var out map[string][]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		fmt.Fprintln(os.Stderr, "insert-ethers: bad response:", err)
+		os.Exit(1)
+	}
+	for _, name := range out["integrated"] {
+		fmt.Printf("inserted %s\n", name)
+	}
+}

@@ -1,0 +1,76 @@
+// kickstart generates Red Hat-compliant kickstart files from the XML
+// node/graph framework (§6.1) — the offline equivalent of the frontend's
+// CGI. It reads a profiles directory (nodes/*.xml, graphs/*.xml) layered
+// over the built-in Rocks defaults, or the defaults alone.
+//
+//	kickstart -appliance compute -arch i386 -node compute-0-0
+//	kickstart -dir ./site-profiles -appliance frontend
+//	kickstart -dot > graph.dot          # Figure 4
+//	kickstart -validate                 # check every appliance traverses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocks/internal/kickstart"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "profiles directory (nodes/*.xml, graphs/*.xml) layered over the defaults")
+		appliance = flag.String("appliance", "compute", "graph root to traverse")
+		arch      = flag.String("arch", "i386", "node architecture")
+		nodeName  = flag.String("node", "compute-0-0", "node name for the header")
+		distURL   = flag.String("url", "http://10.1.1.1/install/dist", "distribution URL for the url directive")
+		frontend  = flag.String("frontend", "10.1.1.1", "frontend address for service attributes")
+		dot       = flag.Bool("dot", false, "emit the graph in Graphviz dot form instead")
+		validate  = flag.Bool("validate", false, "validate the framework and exit")
+	)
+	flag.Parse()
+
+	fw := kickstart.DefaultFramework()
+	if *dir != "" {
+		site, err := kickstart.LoadFS(os.DirFS(*dir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kickstart:", err)
+			os.Exit(1)
+		}
+		// Site files override same-named defaults; site edges extend the
+		// default graph (§6.2.3).
+		for name, nf := range site.Nodes {
+			_ = name
+			fw.AddNode(nf)
+		}
+		fw.Graph.Merge(site.Graph)
+	}
+
+	if *validate {
+		errs := fw.Validate("i386", "athlon", "ia64")
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d node files, %d edges, appliances %v\n",
+			len(fw.Nodes), len(fw.Graph.Edges), fw.Graph.Roots())
+		return
+	}
+	if *dot {
+		fmt.Print(fw.DOT())
+		return
+	}
+	profile, err := fw.Generate(kickstart.Request{
+		Appliance: *appliance,
+		Arch:      *arch,
+		NodeName:  *nodeName,
+		Attrs:     kickstart.DefaultAttrs(*distURL, *frontend),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kickstart:", err)
+		os.Exit(1)
+	}
+	fmt.Print(profile.Render())
+}

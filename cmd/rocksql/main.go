@@ -1,0 +1,78 @@
+// rocksql runs SQL against a running cluster's configuration database —
+// the query interface every Rocks tool composes with (§6.4). Point it at a
+// cluster-sim frontend:
+//
+//	rocksql -server http://127.0.0.1:8070 "select * from nodes"
+//	rocksql -server http://127.0.0.1:8070 -exec "update nodes set rack = 1 where name = 'compute-0-3'"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"rocks/internal/clusterdb"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8070", "frontend admin URL")
+		exec   = flag.Bool("exec", false, "allow data-modification statements")
+		dump   = flag.String("dump", "", "query an offline SQL dump file instead of a live frontend")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rocksql [-server URL | -dump FILE] [-exec] \"SQL\"")
+		os.Exit(2)
+	}
+	if *dump != "" {
+		queryDump(*dump, flag.Arg(0), *exec)
+		return
+	}
+	params := url.Values{"q": {flag.Arg(0)}}
+	if *exec {
+		params.Set("exec", "1")
+	}
+	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/sql?" + params.Encode())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocksql:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "rocksql: %s: %s", resp.Status, body)
+		os.Exit(1)
+	}
+	fmt.Print(string(body))
+}
+
+// queryDump restores a database dump (see clusterdb.Dump) and runs the
+// query against it — post-mortem analysis of a dead frontend's backup.
+func queryDump(path, sql string, exec bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocksql:", err)
+		os.Exit(1)
+	}
+	db := clusterdb.New()
+	if err := clusterdb.Restore(db, string(data)); err != nil {
+		fmt.Fprintln(os.Stderr, "rocksql:", err)
+		os.Exit(1)
+	}
+	var res *clusterdb.Result
+	if exec {
+		res, err = db.Exec(sql)
+	} else {
+		res, err = db.Query(sql)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocksql:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,89 @@
+// shoot-node instructs compute nodes to reboot into installation mode over
+// Ethernet (§6.3). With -watch it attaches to the first node's eKV port and
+// streams the Red Hat installation screen — the xterm the paper pops open.
+//
+//	shoot-node -server http://127.0.0.1:8070 compute-0-0 compute-0-1
+//	shoot-node -server http://127.0.0.1:8070 -watch compute-0-0
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"rocks/internal/ekv"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8070", "frontend admin URL")
+		watch  = flag.Bool("watch", false, "attach to the first node's eKV screen")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shoot-node [-server URL] [-watch] node...")
+		os.Exit(2)
+	}
+	params := url.Values{}
+	for _, n := range flag.Args() {
+		params.Add("node", n)
+	}
+	if *watch {
+		params.Set("watch", "1")
+	}
+	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/shoot?" + params.Encode())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shoot-node:", err)
+		os.Exit(1)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "shoot-node: %s: %s", resp.Status, body)
+		os.Exit(1)
+	}
+	var out map[string]string
+	json.Unmarshal(body, &out)
+	fmt.Printf("%s: %s\n", strings.Join(flag.Args(), ", "), out["status"])
+
+	if *watch {
+		addr := out["ekv"]
+		if addr == "" {
+			fmt.Fprintln(os.Stderr, "shoot-node: node exposed no eKV port")
+			os.Exit(1)
+		}
+		client, err := ekv.Attach(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shoot-node:", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		// Stream the screen until the install completes or the connection
+		// drops (the node rebooting closes the port).
+		seen := 0
+		for {
+			s := client.Screen()
+			if len(s) > seen {
+				os.Stdout.WriteString(s[seen:])
+				seen = len(s)
+			}
+			if strings.Contains(s, "installation complete") {
+				return
+			}
+			select {
+			case <-client.Done():
+				if rest := client.Screen(); len(rest) > seen {
+					os.Stdout.WriteString(rest[seen:])
+				}
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package rocks is a from-scratch reproduction of "NPACI Rocks: Tools and
+// Techniques for Easily Deploying Manageable Linux Clusters" (Papadopoulos,
+// Katz, Bruno; CLUSTER 2001).
+//
+// The system lives under internal/: the kickstart XML graph framework
+// (§6.1), the rocks-dist distribution builder (§6.2), the cluster SQL
+// database and its report generators (§6.4), insert-ethers discovery, the
+// eKV remote installation console and shoot-node (§6.3), and the substrates
+// they stand on — an RPM package system, a DHCP/syslog/NIS/NFS/PBS service
+// stack, simulated cluster nodes with partitioned disks, and a
+// discrete-event network simulator for the paper's timing experiments.
+//
+// Entry points:
+//
+//   - internal/core.Cluster — the programmatic API (see examples/)
+//   - cmd/cluster-sim — a live simulated cluster plus experiment runner
+//   - bench_test.go — one benchmark per table and figure in the paper
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package rocks

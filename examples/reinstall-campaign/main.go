@@ -1,0 +1,92 @@
+// Reinstall campaign: the paper's §5 upgrade workflow end to end. A
+// security update lands; rocks-dist folds it into the distribution; the
+// production cluster is upgraded by submitting a "reinstall cluster" job to
+// Maui so running applications drain first; afterwards every node is
+// provably consistent.
+//
+//	go run ./examples/reinstall-campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/core"
+	"rocks/internal/dist"
+	"rocks/internal/hardware"
+	"rocks/internal/pbs"
+	"rocks/internal/rpm"
+)
+
+func main() {
+	cluster, err := core.New(core.Config{Name: "Production", DHCPRetry: 5 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	profiles := make([]hardware.Profile, 3)
+	for i := range profiles {
+		profiles[i] = hardware.PIIICompute(cluster.MACs(), 1000)
+	}
+	nodes, err := cluster.IntegrateNodes(profiles, clusterdb.MembershipCompute, 0, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, _ := nodes[0].PackageDB().Query("openssl")
+	fmt.Printf("cluster up; openssl on compute nodes: %s\n", before.NVRA())
+
+	// A user's long-running job occupies one node.
+	appID := cluster.PBS.Submit(pbs.Job{Name: "md-simulation", NodeCount: 1, Hold: true})
+	cluster.PBS.Schedule()
+	appJob, _ := cluster.PBS.Job(appID)
+	fmt.Printf("running application %q on %v\n", appJob.Name, appJob.Assigned)
+
+	// Security advisory: a new openssl lands in the updates source.
+	// Rebuild the distribution; "If Red Hat ships it, so do we" (§6.2.1).
+	cur := cluster.Dist.Repo.Newest("openssl", "i386")
+	fixed := *cur
+	fv := cur.Version
+	fv.Release += ".security"
+	fixed.Version = fv
+	fixed.Summary = "openssl with the advisory fix"
+	updates := rpm.NewRepository("updates")
+	updates.Add(&fixed)
+	rebuilt := dist.Build(cluster.Dist.Name, cluster.Dist.Framework,
+		dist.Source{Name: "current", Repo: cluster.Dist.Repo},
+		dist.Source{Name: "updates", Repo: updates})
+	fmt.Printf("rocks-dist rebuild: %s", rebuilt.Report.Summary())
+	// Swap the served repository in place (the frontend serves the new
+	// tree; running nodes are untouched until they reinstall).
+	*cluster.Dist = *rebuilt
+
+	// Upgrade the production system by queueing reinstalls behind the
+	// running application.
+	done := make(chan error, 1)
+	go func() { done <- cluster.ReinstallCluster(2 * time.Minute) }()
+	time.Sleep(100 * time.Millisecond)
+	for _, n := range nodes {
+		if n.Name() == appJob.Assigned[0] && n.Installs() != 1 {
+			log.Fatal("the busy node was reinstalled under a running job!")
+		}
+	}
+	fmt.Println("idle nodes reinstalled; busy node untouched while the app runs")
+	cluster.PBS.Finish(appID)
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range nodes {
+		for n.State() != "up" {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Every node now runs the fixed package, and the cluster is consistent.
+	for _, n := range nodes {
+		got, _ := n.PackageDB().Query("openssl")
+		fmt.Printf("  %s: %s (%d installs)\n", n.Name(), got.NVRA(), n.Installs())
+	}
+	ref, divergent, _ := cluster.ConsistencyReport()
+	fmt.Printf("consistency: reference %s, %d divergent nodes\n", ref, len(divergent))
+}

@@ -1,0 +1,3 @@
+module rocks
+
+go 1.22

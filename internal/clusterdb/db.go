@@ -1,0 +1,332 @@
+package clusterdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column is one column of a table schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table holds a schema and its rows. Rows are slices of Values in schema
+// order.
+type table struct {
+	name string
+	cols []Column
+	rows [][]Value
+}
+
+func (t *table) colIndex(name string) int {
+	for i, c := range t.cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Database is the cluster configuration database. All access goes through
+// Exec (statements) and Query (SELECT); both are safe for concurrent use.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	// changeSeq increments on every mutation; report generators use it to
+	// decide whether regenerated configuration files are stale.
+	changeSeq int64
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{tables: make(map[string]*table)}
+}
+
+// Result is the outcome of a statement: for SELECT, the column names and
+// rows; for data-modification statements, the number of affected rows.
+type Result struct {
+	Columns  []string
+	Rows     [][]Value
+	Affected int
+}
+
+// Strings flattens a single-column result into a string slice — the shape
+// cluster-kill wants when it asks for a list of node names.
+func (r *Result) Strings() []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		if len(row) > 0 {
+			out = append(out, row[0].String())
+		}
+	}
+	return out
+}
+
+// Format renders the result as the ASCII table the paper prints (Tables II
+// and III): a header row of column names and one row per tuple, columns
+// padded to their widest member.
+func (r *Result) Format() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("OK, %d row(s) affected\n", r.Affected)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(f)
+			if pad := widths[i] - len(f); pad > 0 && i < len(fields)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Exec parses and executes any supported statement.
+func (d *Database) Exec(sql string) (*Result, error) {
+	st, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := st.(selectStmt); ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		return d.execSelect(sel)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.changeSeq++
+	switch s := st.(type) {
+	case createTableStmt:
+		return d.execCreate(s)
+	case dropTableStmt:
+		return d.execDrop(s)
+	case insertStmt:
+		return d.execInsert(s)
+	case updateStmt:
+		return d.execUpdate(s)
+	case deleteStmt:
+		return d.execDelete(s)
+	}
+	return nil, fmt.Errorf("clusterdb: unhandled statement %T", st)
+}
+
+// Query is Exec restricted to SELECT; it rejects anything that would modify
+// the database, which is what tools taking a --query flag pass through.
+func (d *Database) Query(sql string) (*Result, error) {
+	st, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("clusterdb: Query accepts only SELECT statements")
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.execSelect(sel)
+}
+
+// MustExec runs a statement that the caller knows is valid (schema setup);
+// it panics on error.
+func (d *Database) MustExec(sql string) *Result {
+	r, err := d.Exec(sql)
+	if err != nil {
+		panic("clusterdb: " + err.Error())
+	}
+	return r
+}
+
+// ChangeSeq returns a counter that increments on every mutation.
+func (d *Database) ChangeSeq() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.changeSeq
+}
+
+// TableNames lists the tables in sorted order.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns the column definitions of a table.
+func (d *Database) Schema(name string) ([]Column, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("clusterdb: no such table %q", name)
+	}
+	return append([]Column(nil), t.cols...), nil
+}
+
+func (d *Database) execCreate(s createTableStmt) (*Result, error) {
+	if _, ok := d.tables[s.name]; ok {
+		return nil, fmt.Errorf("clusterdb: table %q already exists", s.name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("clusterdb: duplicate column %q in table %q", c.Name, s.name)
+		}
+		seen[c.Name] = true
+	}
+	d.tables[s.name] = &table{name: s.name, cols: s.cols}
+	return &Result{}, nil
+}
+
+func (d *Database) execDrop(s dropTableStmt) (*Result, error) {
+	if _, ok := d.tables[s.name]; !ok {
+		if s.ifExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("clusterdb: no such table %q", s.name)
+	}
+	delete(d.tables, s.name)
+	return &Result{}, nil
+}
+
+func (d *Database) execInsert(s insertStmt) (*Result, error) {
+	t, ok := d.tables[s.table]
+	if !ok {
+		return nil, fmt.Errorf("clusterdb: no such table %q", s.table)
+	}
+	colIdx := make([]int, 0, len(t.cols))
+	if s.cols == nil {
+		for i := range t.cols {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range s.cols {
+			i := t.colIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("clusterdb: table %q has no column %q", s.table, name)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	inserted := 0
+	for _, exprs := range s.rows {
+		if len(exprs) != len(colIdx) {
+			return nil, fmt.Errorf("clusterdb: INSERT has %d values for %d columns", len(exprs), len(colIdx))
+		}
+		row := make([]Value, len(t.cols))
+		for i := range row {
+			row[i] = NullValue()
+		}
+		for i, ex := range exprs {
+			v, err := evalConst(ex)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, t.cols[colIdx[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("%v (column %q)", err, t.cols[colIdx[i]].Name)
+			}
+			row[colIdx[i]] = cv
+		}
+		t.rows = append(t.rows, row)
+		inserted++
+	}
+	return &Result{Affected: inserted}, nil
+}
+
+func (d *Database) execUpdate(s updateStmt) (*Result, error) {
+	t, ok := d.tables[s.table]
+	if !ok {
+		return nil, fmt.Errorf("clusterdb: no such table %q", s.table)
+	}
+	env := &rowEnv{tables: []*boundTable{{alias: s.table, t: t}}}
+	affected := 0
+	for ri := range t.rows {
+		env.rows = [][]Value{t.rows[ri]}
+		if s.where != nil {
+			v, err := eval(s.where, env)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		for _, set := range s.sets {
+			ci := t.colIndex(set.col)
+			if ci < 0 {
+				return nil, fmt.Errorf("clusterdb: table %q has no column %q", s.table, set.col)
+			}
+			v, err := eval(set.val, env)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, t.cols[ci].Type)
+			if err != nil {
+				return nil, err
+			}
+			t.rows[ri][ci] = cv
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (d *Database) execDelete(s deleteStmt) (*Result, error) {
+	t, ok := d.tables[s.table]
+	if !ok {
+		return nil, fmt.Errorf("clusterdb: no such table %q", s.table)
+	}
+	env := &rowEnv{tables: []*boundTable{{alias: s.table, t: t}}}
+	kept := t.rows[:0]
+	deleted := 0
+	for _, row := range t.rows {
+		keep := true
+		if s.where != nil {
+			env.rows = [][]Value{row}
+			v, err := eval(s.where, env)
+			if err != nil {
+				return nil, err
+			}
+			keep = !v.Truthy()
+		} else {
+			keep = false
+		}
+		if keep {
+			kept = append(kept, row)
+		} else {
+			deleted++
+		}
+	}
+	t.rows = kept
+	return &Result{Affected: deleted}, nil
+}

@@ -1,0 +1,118 @@
+package clusterdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump serializes the whole database as SQL text — CREATE TABLE and INSERT
+// statements — the way mysqldump backs up a Rocks frontend before an
+// upgrade. Restore replays a dump into an empty database.
+
+// Dump renders the database as executable SQL, tables in name order, rows
+// in storage order.
+func (d *Database) Dump() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("-- rocks cluster database dump\n")
+	for _, name := range d.tableNamesLocked() {
+		t := d.tables[name]
+		cols := make([]string, len(t.cols))
+		for i, c := range t.cols {
+			cols[i] = c.Name + " " + c.Type.String()
+		}
+		fmt.Fprintf(&b, "CREATE TABLE %s (%s);\n", name, strings.Join(cols, ", "))
+		for _, row := range t.rows {
+			vals := make([]string, len(row))
+			for i, v := range row {
+				vals[i] = sqlLiteral(v)
+			}
+			fmt.Fprintf(&b, "INSERT INTO %s VALUES (%s);\n", name, strings.Join(vals, ", "))
+		}
+	}
+	return b.String()
+}
+
+// tableNamesLocked returns sorted table names; callers hold the lock.
+func (d *Database) tableNamesLocked() []string {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	// insertion sort: the table count is tiny
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// sqlLiteral renders a value as an SQL literal.
+func sqlLiteral(v Value) string {
+	switch {
+	case v.Null:
+		return "NULL"
+	case v.IsInt:
+		return v.String()
+	default:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+}
+
+// Restore replays a dump into the database. Statements execute in order;
+// the first error aborts the restore.
+func Restore(d *Database, dump string) error {
+	for _, stmt := range SplitStatements(dump) {
+		if _, err := d.Exec(stmt); err != nil {
+			return fmt.Errorf("clusterdb: restore: %w", err)
+		}
+	}
+	return nil
+}
+
+// SplitStatements splits SQL text on statement-terminating semicolons,
+// respecting string literals and skipping comment lines.
+func SplitStatements(text string) []string {
+	var stmts []string
+	var cur strings.Builder
+	inString := byte(0)
+	lines := strings.Split(text, "\n")
+	for _, line := range lines {
+		if inString == 0 && strings.HasPrefix(strings.TrimSpace(line), "--") {
+			continue
+		}
+		for i := 0; i < len(line); i++ {
+			c := line[i]
+			switch {
+			case inString != 0:
+				cur.WriteByte(c)
+				if c == inString {
+					// Doubled quotes stay inside the literal.
+					if i+1 < len(line) && line[i+1] == inString {
+						cur.WriteByte(line[i+1])
+						i++
+					} else {
+						inString = 0
+					}
+				}
+			case c == '\'' || c == '"':
+				inString = c
+				cur.WriteByte(c)
+			case c == ';':
+				if s := strings.TrimSpace(cur.String()); s != "" {
+					stmts = append(stmts, s)
+				}
+				cur.Reset()
+			default:
+				cur.WriteByte(c)
+			}
+		}
+		cur.WriteByte('\n')
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		stmts = append(stmts, s)
+	}
+	return stmts
+}

@@ -1,0 +1,84 @@
+package clusterdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	dump := db.Dump()
+	for _, want := range []string{
+		"CREATE TABLE memberships",
+		"CREATE TABLE nodes",
+		"INSERT INTO nodes VALUES (1, '00:30:c1:d8:ac:80', 'frontend-0'",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	restored := New()
+	if err := Restore(restored, dump); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Query(`SELECT * FROM nodes ORDER BY id`)
+	b, _ := restored.Query(`SELECT * FROM nodes ORDER BY id`)
+	if a.Format() != b.Format() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}
+
+func TestDumpRestoreEscaping(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (s TEXT, n INT)`)
+	db.MustExec(`INSERT INTO t VALUES ('it''s; tricky -- not a comment', NULL)`)
+	restored := New()
+	if err := Restore(restored, db.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := restored.Query(`SELECT s, n FROM t`)
+	if res.Rows[0][0].String() != "it's; tricky -- not a comment" || !res.Rows[0][1].Null {
+		t.Errorf("restored = %v", res.Rows[0])
+	}
+}
+
+func TestRestoreBadDump(t *testing.T) {
+	if err := Restore(New(), "CREATE GARBAGE;"); err == nil {
+		t.Error("bad dump accepted")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := SplitStatements("-- comment\nCREATE TABLE a (x INT);\nINSERT INTO a VALUES ('semi;colon');")
+	if len(got) != 2 || !strings.Contains(got[1], "semi;colon") {
+		t.Errorf("split = %#v", got)
+	}
+}
+
+// Property: dump/restore preserves arbitrary generated databases.
+func TestPropertyDumpRestore(t *testing.T) {
+	f := func(rows uint8, withNull bool) bool {
+		db := New()
+		db.MustExec(`CREATE TABLE t (k INT, s TEXT)`)
+		n := int(rows)%20 + 1
+		for i := 0; i < n; i++ {
+			if withNull && i%3 == 0 {
+				db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, NULL)`, i))
+			} else {
+				db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v''%d')`, i, i))
+			}
+		}
+		restored := New()
+		if err := Restore(restored, db.Dump()); err != nil {
+			return false
+		}
+		a, _ := db.Query(`SELECT * FROM t ORDER BY k`)
+		b, _ := restored.Query(`SELECT * FROM t ORDER BY k`)
+		return a.Format() == b.Format()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package clusterdb_test
+
+import (
+	"fmt"
+
+	"rocks/internal/clusterdb"
+)
+
+// Example_clusterKillJoin runs the paper's §6.4 multi-table join: select
+// the compute nodes by joining the nodes and memberships tables.
+func Example_clusterKillJoin() {
+	db := clusterdb.New()
+	if err := clusterdb.InitSchema(db); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, name := range []string{"compute-0-0", "compute-0-1"} {
+		clusterdb.InsertNode(db, clusterdb.Node{
+			MAC: fmt.Sprintf("00:50:8b:e0:3a:a%d", i), Name: name,
+			Membership: clusterdb.MembershipCompute, Rank: i,
+			IP: fmt.Sprintf("10.255.255.%d", 254-i),
+		})
+	}
+	clusterdb.InsertNode(db, clusterdb.Node{
+		MAC: "00:30:c1:d8:ac:80", Name: "frontend-0",
+		Membership: clusterdb.MembershipFrontend, IP: "10.1.1.1",
+	})
+
+	res, err := db.Query(`select nodes.name from nodes,memberships where
+		nodes.membership = memberships.id and
+		memberships.name = 'Compute'`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, host := range res.Strings() {
+		fmt.Println(host)
+	}
+	// Output:
+	// compute-0-0
+	// compute-0-1
+}

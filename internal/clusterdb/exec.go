@@ -1,0 +1,741 @@
+package clusterdb
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// outCol is one projected column of a SELECT.
+type outCol struct {
+	name string
+	ex   expr
+}
+
+// boundTable pairs a table with the alias it is visible under in a query.
+type boundTable struct {
+	alias string
+	t     *table
+}
+
+// rowEnv is the name-resolution environment for one candidate joined row:
+// rows[i] is the current row of tables[i].
+type rowEnv struct {
+	tables []*boundTable
+	rows   [][]Value
+}
+
+// lookup resolves a column reference against the environment. Unqualified
+// names must be unambiguous across the joined tables, mirroring MySQL.
+func (e *rowEnv) lookup(ref columnRef) (Value, error) {
+	found := -1
+	foundCol := -1
+	for ti, bt := range e.tables {
+		if ref.table != "" && bt.alias != ref.table {
+			continue
+		}
+		if ci := bt.t.colIndex(ref.name); ci >= 0 {
+			if found >= 0 {
+				return Value{}, fmt.Errorf("clusterdb: column %q is ambiguous", ref.name)
+			}
+			found, foundCol = ti, ci
+		}
+	}
+	if found < 0 {
+		if ref.table != "" {
+			return Value{}, fmt.Errorf("clusterdb: unknown column %s.%s", ref.table, ref.name)
+		}
+		return Value{}, fmt.Errorf("clusterdb: unknown column %q", ref.name)
+	}
+	return e.rows[found][foundCol], nil
+}
+
+// evalConst evaluates an expression with no column references (INSERT
+// values).
+func evalConst(ex expr) (Value, error) {
+	return eval(ex, &rowEnv{})
+}
+
+func eval(ex expr, env *rowEnv) (Value, error) {
+	switch e := ex.(type) {
+	case literal:
+		return e.v, nil
+	case columnRef:
+		return env.lookup(e)
+	case notExpr:
+		v, err := eval(e.x, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Truthy() {
+			return IntValue(0), nil
+		}
+		return IntValue(1), nil
+	case isNullExpr:
+		v, err := eval(e.x, env)
+		if err != nil {
+			return Value{}, err
+		}
+		res := v.Null
+		if e.neg {
+			res = !res
+		}
+		return boolValue(res), nil
+	case inExpr:
+		v, err := eval(e.x, env)
+		if err != nil {
+			return Value{}, err
+		}
+		match := false
+		for _, item := range e.list {
+			iv, err := eval(item, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if Equal(v, iv) {
+				match = true
+				break
+			}
+		}
+		if e.neg {
+			match = !match
+		}
+		return boolValue(match), nil
+	case binaryExpr:
+		return evalBinary(e, env)
+	case aggExpr:
+		return Value{}, fmt.Errorf("clusterdb: aggregate %s() is only allowed in a select list", e.fn)
+	}
+	return Value{}, fmt.Errorf("clusterdb: cannot evaluate %T", ex)
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return IntValue(1)
+	}
+	return IntValue(0)
+}
+
+func evalBinary(e binaryExpr, env *rowEnv) (Value, error) {
+	// AND short-circuits so `WHERE x AND y` doesn't evaluate y on rows x
+	// already rejected.
+	if e.op == "and" || e.op == "or" {
+		l, err := eval(e.l, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.op == "and" && !l.Truthy() {
+			return boolValue(false), nil
+		}
+		if e.op == "or" && l.Truthy() {
+			return boolValue(true), nil
+		}
+		r, err := eval(e.r, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(r.Truthy()), nil
+	}
+	l, err := eval(e.l, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(e.r, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.op {
+	case "=":
+		return boolValue(Equal(l, r)), nil
+	case "!=":
+		if l.Null || r.Null {
+			return boolValue(false), nil
+		}
+		return boolValue(Compare(l, r) != 0), nil
+	case "<", ">", "<=", ">=":
+		if l.Null || r.Null {
+			return boolValue(false), nil
+		}
+		c := Compare(l, r)
+		switch e.op {
+		case "<":
+			return boolValue(c < 0), nil
+		case ">":
+			return boolValue(c > 0), nil
+		case "<=":
+			return boolValue(c <= 0), nil
+		default:
+			return boolValue(c >= 0), nil
+		}
+	case "like":
+		if l.Null || r.Null {
+			return boolValue(false), nil
+		}
+		ok, err := likeMatch(l.String(), r.String())
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(ok), nil
+	case "+", "-":
+		li, lok := l.AsInt()
+		ri, rok := r.AsInt()
+		if !lok || !rok {
+			return Value{}, fmt.Errorf("clusterdb: %s requires integer operands", e.op)
+		}
+		if e.op == "+" {
+			return IntValue(li + ri), nil
+		}
+		return IntValue(li - ri), nil
+	}
+	return Value{}, fmt.Errorf("clusterdb: unknown operator %q", e.op)
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ matches one character;
+// matching is case-insensitive like MySQL's default collation.
+func likeMatch(s, pattern string) (bool, error) {
+	var re strings.Builder
+	re.WriteString("(?is)^")
+	for _, c := range pattern {
+		switch c {
+		case '%':
+			re.WriteString(".*")
+		case '_':
+			re.WriteString(".")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	re.WriteString("$")
+	rx, err := regexp.Compile(re.String())
+	if err != nil {
+		return false, fmt.Errorf("clusterdb: bad LIKE pattern %q: %v", pattern, err)
+	}
+	return rx.MatchString(s), nil
+}
+
+// execSelect runs a SELECT: a nested-loop join over the FROM tables,
+// filtered by WHERE, projected, ordered, and limited. Callers hold the read
+// lock.
+func (d *Database) execSelect(s selectStmt) (*Result, error) {
+	// Bind tables.
+	bound := make([]*boundTable, 0, len(s.tables))
+	seen := map[string]bool{}
+	for _, ref := range s.tables {
+		t, ok := d.tables[ref.name]
+		if !ok {
+			return nil, fmt.Errorf("clusterdb: no such table %q", ref.name)
+		}
+		if seen[ref.alias] {
+			return nil, fmt.Errorf("clusterdb: duplicate table alias %q", ref.alias)
+		}
+		seen[ref.alias] = true
+		bound = append(bound, &boundTable{alias: ref.alias, t: t})
+	}
+
+	// Expand the projection list.
+	var out []outCol
+	for _, item := range s.items {
+		if item.star {
+			for _, bt := range bound {
+				if item.table != "" && bt.alias != item.table {
+					continue
+				}
+				for _, c := range bt.t.cols {
+					out = append(out, outCol{name: c.Name, ex: columnRef{table: bt.alias, name: c.Name}})
+				}
+			}
+			if item.table != "" && !seen[item.table] {
+				return nil, fmt.Errorf("clusterdb: unknown table %q in select list", item.table)
+			}
+			continue
+		}
+		name := item.alias
+		if name == "" {
+			switch e := item.ex.(type) {
+			case columnRef:
+				name = e.name
+			case aggExpr:
+				name = e.fn
+			default:
+				name = "expr"
+			}
+		}
+		out = append(out, outCol{name: name, ex: item.ex})
+	}
+
+	env := &rowEnv{tables: bound, rows: make([][]Value, len(bound))}
+
+	// Aggregate mode: if any select item is an aggregate, all must be, and
+	// the query yields exactly one row computed over the matching rows.
+	aggMode := false
+	for _, oc := range out {
+		if _, ok := oc.ex.(aggExpr); ok {
+			aggMode = true
+			break
+		}
+	}
+	if len(s.groupBy) > 0 {
+		return d.execGroupBy(s, bound, out, env)
+	}
+	if aggMode {
+		return d.execAggregate(s, bound, out, env)
+	}
+
+	type sortedRow struct {
+		cells []Value
+		keys  []Value
+	}
+	var results []sortedRow
+
+	// Nested-loop join over the cartesian product.
+	var loop func(depth int) error
+	loop = func(depth int) error {
+		if depth == len(bound) {
+			if s.where != nil {
+				v, err := eval(s.where, env)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			row := sortedRow{cells: make([]Value, len(out))}
+			for i, oc := range out {
+				v, err := eval(oc.ex, env)
+				if err != nil {
+					return err
+				}
+				row.cells[i] = v
+			}
+			for _, k := range s.orderBy {
+				v, err := eval(k.ex, env)
+				if err != nil {
+					return err
+				}
+				row.keys = append(row.keys, v)
+			}
+			results = append(results, row)
+			return nil
+		}
+		for _, r := range bound[depth].t.rows {
+			env.rows[depth] = r
+			if err := loop(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+
+	if s.distinct {
+		seenRows := map[string]bool{}
+		dedup := results[:0]
+		for _, r := range results {
+			key := rowKey(r.cells)
+			if !seenRows[key] {
+				seenRows[key] = true
+				dedup = append(dedup, r)
+			}
+		}
+		results = dedup
+	}
+	if len(s.orderBy) > 0 {
+		sort.SliceStable(results, func(i, j int) bool {
+			for k, key := range s.orderBy {
+				c := Compare(results[i].keys[k], results[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if key.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if s.limit >= 0 && len(results) > s.limit {
+		results = results[:s.limit]
+	}
+
+	res := &Result{Columns: make([]string, len(out))}
+	for i, oc := range out {
+		res.Columns[i] = oc.name
+	}
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.cells)
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// aggState accumulates one aggregate column.
+type aggState struct {
+	count    int64
+	sum      int64
+	min, max Value
+	seen     bool
+}
+
+// execAggregate evaluates a select list made entirely of aggregates.
+func (d *Database) execAggregate(s selectStmt, bound []*boundTable, out []outCol, env *rowEnv) (*Result, error) {
+	aggs := make([]aggExpr, len(out))
+	for i, oc := range out {
+		a, ok := oc.ex.(aggExpr)
+		if !ok {
+			return nil, fmt.Errorf("clusterdb: column %q must be an aggregate when aggregates are selected (GROUP BY is not supported)", oc.name)
+		}
+		aggs[i] = a
+	}
+	states := make([]aggState, len(aggs))
+	var loop func(depth int) error
+	loop = func(depth int) error {
+		if depth == len(bound) {
+			if s.where != nil {
+				v, err := eval(s.where, env)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			for i, a := range aggs {
+				st := &states[i]
+				if a.star {
+					st.count++
+					continue
+				}
+				v, err := eval(a.x, env)
+				if err != nil {
+					return err
+				}
+				if v.Null {
+					continue // SQL aggregates skip NULLs
+				}
+				st.count++
+				if n, ok := v.AsInt(); ok {
+					st.sum += n
+				} else if a.fn == "sum" {
+					return fmt.Errorf("clusterdb: SUM over non-numeric value %q", v.String())
+				}
+				if !st.seen || Compare(v, st.min) < 0 {
+					st.min = v
+				}
+				if !st.seen || Compare(v, st.max) > 0 {
+					st.max = v
+				}
+				st.seen = true
+			}
+			return nil
+		}
+		for _, r := range bound[depth].t.rows {
+			env.rows[depth] = r
+			if err := loop(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: make([]string, len(out))}
+	row := make([]Value, len(out))
+	for i, a := range aggs {
+		res.Columns[i] = out[i].name
+		st := states[i]
+		switch a.fn {
+		case "count":
+			row[i] = IntValue(st.count)
+		case "sum":
+			row[i] = IntValue(st.sum)
+		case "min":
+			if st.seen {
+				row[i] = st.min
+			} else {
+				row[i] = NullValue()
+			}
+		case "max":
+			if st.seen {
+				row[i] = st.max
+			} else {
+				row[i] = NullValue()
+			}
+		}
+	}
+	res.Rows = [][]Value{row}
+	res.Affected = 1
+	return res, nil
+}
+
+// rowKey builds a collision-safe identity for DISTINCT comparison.
+func rowKey(cells []Value) string {
+	var b strings.Builder
+	for _, v := range cells {
+		if v.Null {
+			b.WriteString("\x00N")
+		} else if v.IsInt {
+			fmt.Fprintf(&b, "\x00I%d", v.Int)
+		} else {
+			fmt.Fprintf(&b, "\x00S%s", v.Str)
+		}
+	}
+	return b.String()
+}
+
+// execGroupBy evaluates SELECT ... GROUP BY: rows partition by the group
+// key; aggregate select items accumulate per group and non-aggregate items
+// take the group's first row (classic MySQL 3.23 semantics, which the Rocks
+// frontend ran). Groups come back sorted by key; ORDER BY is not supported
+// together with GROUP BY.
+func (d *Database) execGroupBy(s selectStmt, bound []*boundTable, out []outCol, env *rowEnv) (*Result, error) {
+	if len(s.orderBy) > 0 {
+		return nil, fmt.Errorf("clusterdb: ORDER BY with GROUP BY is not supported (groups are returned sorted by key)")
+	}
+	// HAVING may reference aggregates not in the select list; accumulate
+	// them as hidden trailing columns, dropped before returning.
+	visible := len(out)
+	if s.having != nil {
+		for _, a := range collectAggs(s.having) {
+			out = append(out, outCol{name: "__having__", ex: a})
+		}
+	}
+	type groupAcc struct {
+		key    []Value
+		states []aggState
+		first  []Value // first-row values for non-aggregate items
+	}
+	groups := map[string]*groupAcc{}
+	var order []string
+
+	var loop func(depth int) error
+	loop = func(depth int) error {
+		if depth == len(bound) {
+			if s.where != nil {
+				v, err := eval(s.where, env)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			key := make([]Value, len(s.groupBy))
+			for i, g := range s.groupBy {
+				v, err := eval(g, env)
+				if err != nil {
+					return err
+				}
+				key[i] = v
+			}
+			k := rowKey(key)
+			g, ok := groups[k]
+			if !ok {
+				g = &groupAcc{key: key, states: make([]aggState, len(out)), first: make([]Value, len(out))}
+				for i, oc := range out {
+					if _, isAgg := oc.ex.(aggExpr); !isAgg {
+						v, err := eval(oc.ex, env)
+						if err != nil {
+							return err
+						}
+						g.first[i] = v
+					}
+				}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for i, oc := range out {
+				a, isAgg := oc.ex.(aggExpr)
+				if !isAgg {
+					continue
+				}
+				st := &g.states[i]
+				if a.star {
+					st.count++
+					continue
+				}
+				v, err := eval(a.x, env)
+				if err != nil {
+					return err
+				}
+				if v.Null {
+					continue
+				}
+				st.count++
+				if n, ok := v.AsInt(); ok {
+					st.sum += n
+				} else if a.fn == "sum" {
+					return fmt.Errorf("clusterdb: SUM over non-numeric value %q", v.String())
+				}
+				if !st.seen || Compare(v, st.min) < 0 {
+					st.min = v
+				}
+				if !st.seen || Compare(v, st.max) > 0 {
+					st.max = v
+				}
+				st.seen = true
+			}
+			return nil
+		}
+		for _, r := range bound[depth].t.rows {
+			env.rows[depth] = r
+			if err := loop(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+
+	// Sorted group keys give deterministic output.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := groups[order[i]].key, groups[order[j]].key
+		for k := range a {
+			if c := Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+
+	res := &Result{Columns: make([]string, visible)}
+	for i := 0; i < visible; i++ {
+		res.Columns[i] = out[i].name
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make([]Value, len(out))
+		for i, oc := range out {
+			if a, isAgg := oc.ex.(aggExpr); isAgg {
+				st := g.states[i]
+				switch a.fn {
+				case "count":
+					row[i] = IntValue(st.count)
+				case "sum":
+					row[i] = IntValue(st.sum)
+				case "min":
+					if st.seen {
+						row[i] = st.min
+					} else {
+						row[i] = NullValue()
+					}
+				case "max":
+					if st.seen {
+						row[i] = st.max
+					} else {
+						row[i] = NullValue()
+					}
+				}
+			} else {
+				row[i] = g.first[i]
+			}
+		}
+		if s.having != nil {
+			// Evaluate HAVING with aggregate sub-expressions replaced by
+			// this group's computed values.
+			aggVals := map[int]Value{}
+			for i := range out {
+				if _, isAgg := out[i].ex.(aggExpr); isAgg {
+					aggVals[i] = row[i]
+				}
+			}
+			rewritten := substituteAggs(s.having, out, aggVals)
+			// Non-aggregate references in HAVING resolve against... nothing
+			// row-wise; restrict HAVING to aggregate terms and literals.
+			v, err := eval(rewritten, &rowEnv{})
+			if err != nil {
+				return nil, fmt.Errorf("clusterdb: HAVING: %w (only aggregates and literals are allowed)", err)
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, row[:visible])
+	}
+	if s.limit >= 0 && len(res.Rows) > s.limit {
+		res.Rows = res.Rows[:s.limit]
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// collectAggs gathers every aggregate sub-expression in an expr tree.
+func collectAggs(ex expr) []aggExpr {
+	var out []aggExpr
+	var walk func(e expr)
+	walk = func(e expr) {
+		switch t := e.(type) {
+		case aggExpr:
+			out = append(out, t)
+		case binaryExpr:
+			walk(t.l)
+			walk(t.r)
+		case notExpr:
+			walk(t.x)
+		case isNullExpr:
+			walk(t.x)
+		case inExpr:
+			walk(t.x)
+			for _, i := range t.list {
+				walk(i)
+			}
+		}
+	}
+	walk(ex)
+	return out
+}
+
+// substituteAggs replaces aggregate sub-expressions with literals holding
+// the group's computed values (matched structurally against the out list).
+func substituteAggs(ex expr, out []outCol, vals map[int]Value) expr {
+	var rewrite func(e expr) expr
+	rewrite = func(e expr) expr {
+		switch t := e.(type) {
+		case aggExpr:
+			for i := range out {
+				if a, ok := out[i].ex.(aggExpr); ok && sameAgg(a, t) {
+					if v, have := vals[i]; have {
+						return literal{v: v}
+					}
+				}
+			}
+			return e
+		case binaryExpr:
+			return binaryExpr{op: t.op, l: rewrite(t.l), r: rewrite(t.r)}
+		case notExpr:
+			return notExpr{x: rewrite(t.x)}
+		case isNullExpr:
+			return isNullExpr{x: rewrite(t.x), neg: t.neg}
+		case inExpr:
+			list := make([]expr, len(t.list))
+			for i, it := range t.list {
+				list[i] = rewrite(it)
+			}
+			return inExpr{x: rewrite(t.x), list: list, neg: t.neg}
+		default:
+			return e
+		}
+	}
+	return rewrite(ex)
+}
+
+// sameAgg compares aggregate expressions structurally (function, star, and
+// a column-reference argument).
+func sameAgg(a, b aggExpr) bool {
+	if a.fn != b.fn || a.star != b.star {
+		return false
+	}
+	if a.x == nil && b.x == nil {
+		return true
+	}
+	ar, aok := a.x.(columnRef)
+	br, bok := b.x.(columnRef)
+	return aok && bok && ar == br
+}

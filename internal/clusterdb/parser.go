@@ -1,0 +1,657 @@
+package clusterdb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errorf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("clusterdb: parse error near offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword() string {
+	if p.cur().kind == tokIdent {
+		return p.cur().text
+	}
+	return ""
+}
+
+func (p *parser) statement() (statement, error) {
+	switch p.keyword() {
+	case "select":
+		return p.selectStatement()
+	case "insert":
+		return p.insertStatement()
+	case "update":
+		return p.updateStatement()
+	case "delete":
+		return p.deleteStatement()
+	case "create":
+		return p.createStatement()
+	case "drop":
+		return p.dropStatement()
+	}
+	return nil, p.errorf("expected a statement, found %q", p.cur().text)
+}
+
+func (p *parser) identifier(what string) (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected %s, found %q", what, p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) createStatement() (statement, error) {
+	p.next() // create
+	if _, err := p.expect(tokIdent, "table"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier("table name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		cname, err := p.identifier("column name")
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.identifier("column type")
+		if err != nil {
+			return nil, err
+		}
+		var typ Type
+		switch tname {
+		case "int", "integer":
+			typ = TypeInt
+		case "text", "varchar", "char", "string":
+			typ = TypeText
+		default:
+			return nil, p.errorf("unknown column type %q", tname)
+		}
+		// Swallow an optional (n) length on varchar/char.
+		if p.accept(tokPunct, "(") {
+			if p.cur().kind != tokNumber {
+				return nil, p.errorf("expected length after (")
+			}
+			p.next()
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, Column{Name: cname, Type: typ})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return createTableStmt{name: name, cols: cols}, nil
+}
+
+func (p *parser) dropStatement() (statement, error) {
+	p.next() // drop
+	if _, err := p.expect(tokIdent, "table"); err != nil {
+		return nil, err
+	}
+	st := dropTableStmt{}
+	if p.accept(tokIdent, "if") {
+		if _, err := p.expect(tokIdent, "exists"); err != nil {
+			return nil, err
+		}
+		st.ifExists = true
+	}
+	name, err := p.identifier("table name")
+	if err != nil {
+		return nil, err
+	}
+	st.name = name
+	return st, nil
+}
+
+func (p *parser) insertStatement() (statement, error) {
+	p.next() // insert
+	if _, err := p.expect(tokIdent, "into"); err != nil {
+		return nil, err
+	}
+	table, err := p.identifier("table name")
+	if err != nil {
+		return nil, err
+	}
+	st := insertStmt{table: table}
+	if p.accept(tokPunct, "(") {
+		for {
+			c, err := p.identifier("column name")
+			if err != nil {
+				return nil, err
+			}
+			st.cols = append(st.cols, c)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokIdent, "values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		st.rows = append(st.rows, row)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) updateStatement() (statement, error) {
+	p.next() // update
+	table, err := p.identifier("table name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "set"); err != nil {
+		return nil, err
+	}
+	st := updateStmt{table: table}
+	for {
+		col, err := p.identifier("column name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.sets = append(st.sets, setClause{col: col, val: val})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokIdent, "where") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStatement() (statement, error) {
+	p.next() // delete
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	table, err := p.identifier("table name")
+	if err != nil {
+		return nil, err
+	}
+	st := deleteStmt{table: table}
+	if p.accept(tokIdent, "where") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+func (p *parser) selectStatement() (statement, error) {
+	p.next() // select
+	st := selectStmt{limit: -1}
+	if p.accept(tokIdent, "distinct") {
+		st.distinct = true
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.items = append(st.items, item)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.identifier("table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := tableRef{name: name, alias: name}
+		if p.accept(tokIdent, "as") {
+			a, err := p.identifier("table alias")
+			if err != nil {
+				return nil, err
+			}
+			ref.alias = a
+		} else if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+			ref.alias = p.next().text
+		}
+		st.tables = append(st.tables, ref)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokIdent, "where") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	if p.accept(tokIdent, "group") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.groupBy = append(st.groupBy, e)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if p.accept(tokIdent, "having") {
+			h, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.having = h
+		}
+	}
+	if p.accept(tokIdent, "order") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			key := orderKey{ex: e}
+			if p.accept(tokIdent, "desc") {
+				key.desc = true
+			} else {
+				p.accept(tokIdent, "asc")
+			}
+			st.orderBy = append(st.orderBy, key)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokIdent, "limit") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errorf("expected a number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT: %v", err)
+		}
+		st.limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) selectItem() (selectItem, error) {
+	if p.accept(tokPunct, "*") {
+		return selectItem{star: true}, nil
+	}
+	// table.* form
+	if p.cur().kind == tokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == "*" {
+		table := p.next().text
+		p.next() // .
+		p.next() // *
+		return selectItem{star: true, table: table}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{ex: e}
+	if p.accept(tokIdent, "as") {
+		a, err := p.identifier("column alias")
+		if err != nil {
+			return selectItem{}, err
+		}
+		item.alias = a
+	}
+	return item, nil
+}
+
+// isReserved lists keywords that terminate an implicit alias position.
+func isReserved(s string) bool {
+	switch s {
+	case "where", "order", "limit", "and", "or", "not", "from", "as", "group", "select", "like", "in", "is", "by", "asc", "desc", "set", "values", "into", "null", "distinct", "having":
+		return true
+	}
+	return false
+}
+
+// Expression grammar, loosest-binding first:
+//
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((= != < > <= >=) addExpr | [NOT] LIKE addExpr |
+//	           [NOT] IN (list) | IS [NOT] NULL)?
+//	addExpr := primary ((+ -) primary)*
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr, error) {
+	if p.accept(tokIdent, "not") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{x: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// NOT LIKE / NOT IN
+	if p.accept(tokIdent, "not") {
+		switch {
+		case p.accept(tokIdent, "like"):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return notExpr{x: binaryExpr{op: "like", l: l, r: r}}, nil
+		case p.accept(tokIdent, "in"):
+			list, err := p.exprList()
+			if err != nil {
+				return nil, err
+			}
+			return inExpr{x: l, list: list, neg: true}, nil
+		}
+		return nil, p.errorf("expected LIKE or IN after NOT")
+	}
+	if p.accept(tokIdent, "like") {
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return binaryExpr{op: "like", l: l, r: r}, nil
+	}
+	if p.accept(tokIdent, "in") {
+		list, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return inExpr{x: l, list: list}, nil
+	}
+	if p.accept(tokIdent, "is") {
+		neg := p.accept(tokIdent, "not")
+		if _, err := p.expect(tokIdent, "null"); err != nil {
+			return nil, err
+		}
+		return isNullExpr{x: l, neg: neg}, nil
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(tokPunct, op) {
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return binaryExpr{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) exprList() ([]expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var list []expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "+"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = binaryExpr{op: "+", l: l, r: r}
+		case p.accept(tokPunct, "-"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = binaryExpr{op: "-", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return literal{v: IntValue(n)}, nil
+	case tokString:
+		p.next()
+		return literal{v: TextValue(t.text)}, nil
+	case tokIdent:
+		if t.text == "null" {
+			p.next()
+			return literal{v: NullValue()}, nil
+		}
+		if isReserved(t.text) {
+			return nil, p.errorf("unexpected keyword %q", t.text)
+		}
+		if isAggregate(t.text) && p.pos+1 < len(p.toks) &&
+			p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+			p.next() // fn name
+			p.next() // (
+			agg := aggExpr{fn: t.text}
+			if t.text == "count" && p.accept(tokPunct, "*") {
+				agg.star = true
+			} else {
+				x, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				agg.x = x
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		p.next()
+		ref := columnRef{name: t.text}
+		if p.accept(tokPunct, ".") {
+			col, err := p.identifier("column name")
+			if err != nil {
+				return nil, err
+			}
+			ref.table = t.text
+			ref.name = col
+		}
+		return ref, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.next()
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return binaryExpr{op: "-", l: literal{v: IntValue(0)}, r: e}, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}
+
+// isAggregate names the supported aggregate functions.
+func isAggregate(s string) bool {
+	switch s {
+	case "count", "min", "max", "sum":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,357 @@
+package clusterdb
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+)
+
+// This file defines the standard Rocks schema (§6.4, Tables II and III) and
+// typed helpers over it, so that tools like insert-ethers and the kickstart
+// CGI do not hand-assemble SQL for routine operations. Arbitrary SQL remains
+// available through Database.Query — the paper's whole point is that ad-hoc
+// joins make the tools composable.
+
+// Membership IDs installed by InitSchema, matching Table III.
+const (
+	MembershipFrontend       = 1
+	MembershipCompute        = 2
+	MembershipExternal       = 3
+	MembershipEthernetSwitch = 4
+	MembershipMyrinetSwitch  = 5
+	MembershipPowerUnit      = 6
+)
+
+// Appliance IDs installed by InitSchema.
+const (
+	ApplianceFrontend = 1
+	ApplianceCompute  = 2
+	ApplianceSwitch   = 4
+	AppliancePower    = 5
+)
+
+// InitSchema creates the standard tables and seeds the memberships and
+// appliances rows from Table III, plus the site-configuration defaults a
+// freshly installed frontend writes.
+func InitSchema(db *Database) error {
+	stmts := []string{
+		`CREATE TABLE nodes (
+			id INT, mac TEXT, name TEXT, membership INT,
+			rack INT, rank INT, ip TEXT, comment TEXT,
+			arch TEXT, cpus INT)`,
+		`CREATE TABLE memberships (id INT, name TEXT, appliance INT, compute TEXT)`,
+		`CREATE TABLE appliances (id INT, name TEXT, graph TEXT, node TEXT)`,
+		`CREATE TABLE site (name TEXT, value TEXT)`,
+		`INSERT INTO memberships VALUES
+			(1, 'Frontend', 1, 'no'),
+			(2, 'Compute', 2, 'yes'),
+			(3, 'External', 1, 'no'),
+			(4, 'Ethernet Switches', 4, 'no'),
+			(5, 'Myrinet Switches', 4, 'no'),
+			(6, 'Power Units', 5, 'no')`,
+		`INSERT INTO appliances VALUES
+			(1, 'frontend', 'default', 'frontend'),
+			(2, 'compute', 'default', 'compute'),
+			(4, 'switch', 'default', ''),
+			(5, 'power', 'default', '')`,
+		`INSERT INTO site VALUES
+			('ClusterName', 'Rocks Cluster'),
+			('PublicDomain', 'local'),
+			('PrivateNetwork', '10.0.0.0'),
+			('PrivateNetmask', '255.0.0.0'),
+			('KickstartFrom', '10.1.1.1')`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return fmt.Errorf("clusterdb: initializing schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// Node mirrors one row of the nodes table.
+type Node struct {
+	ID         int
+	MAC        string
+	Name       string
+	Membership int
+	Rack       int
+	Rank       int
+	IP         string
+	Comment    string
+	Arch       string
+	CPUs       int
+}
+
+func nodeFromRow(row []Value) Node {
+	geti := func(v Value) int { n, _ := v.AsInt(); return int(n) }
+	return Node{
+		ID:         geti(row[0]),
+		MAC:        row[1].String(),
+		Name:       row[2].String(),
+		Membership: geti(row[3]),
+		Rack:       geti(row[4]),
+		Rank:       geti(row[5]),
+		IP:         row[6].String(),
+		Comment:    row[7].String(),
+		Arch:       row[8].String(),
+		CPUs:       geti(row[9]),
+	}
+}
+
+const nodeCols = "id, mac, name, membership, rack, rank, ip, comment, arch, cpus"
+
+// InsertNode adds a node row, allocating the next ID if n.ID is zero. It
+// returns the stored node (with the allocated ID).
+func InsertNode(db *Database, n Node) (Node, error) {
+	if n.ID == 0 {
+		res, err := db.Query(`SELECT id FROM nodes ORDER BY id DESC LIMIT 1`)
+		if err != nil {
+			return n, err
+		}
+		n.ID = 1
+		if len(res.Rows) > 0 {
+			last, _ := res.Rows[0][0].AsInt()
+			n.ID = int(last) + 1
+		}
+	}
+	if n.CPUs == 0 {
+		n.CPUs = 1
+	}
+	if n.Arch == "" {
+		n.Arch = "i386"
+	}
+	_, err := db.Exec(fmt.Sprintf(
+		`INSERT INTO nodes (%s) VALUES (%d, '%s', '%s', %d, %d, %d, '%s', '%s', '%s', %d)`,
+		nodeCols, n.ID, sqlEscape(n.MAC), sqlEscape(n.Name), n.Membership,
+		n.Rack, n.Rank, sqlEscape(n.IP), sqlEscape(n.Comment), sqlEscape(n.Arch), n.CPUs))
+	return n, err
+}
+
+// sqlEscape doubles single quotes for embedding in a literal.
+func sqlEscape(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+// Nodes returns all node rows, optionally filtered by a WHERE fragment
+// (e.g. "membership = 2"), ordered by id.
+func Nodes(db *Database, where string) ([]Node, error) {
+	q := "SELECT " + nodeCols + " FROM nodes"
+	if where != "" {
+		q += " WHERE " + where
+	}
+	q += " ORDER BY id"
+	res, err := db.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Node, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, nodeFromRow(r))
+	}
+	return out, nil
+}
+
+// NodeByMAC looks a node up by Ethernet address.
+func NodeByMAC(db *Database, mac string) (Node, bool, error) {
+	return oneNode(db, fmt.Sprintf("mac = '%s'", sqlEscape(mac)))
+}
+
+// NodeByIP looks a node up by IP address — the query the kickstart CGI runs
+// for every HTTP request (§6.1).
+func NodeByIP(db *Database, ip string) (Node, bool, error) {
+	return oneNode(db, fmt.Sprintf("ip = '%s'", sqlEscape(ip)))
+}
+
+// NodeByName looks a node up by hostname.
+func NodeByName(db *Database, name string) (Node, bool, error) {
+	return oneNode(db, fmt.Sprintf("name = '%s'", sqlEscape(name)))
+}
+
+func oneNode(db *Database, where string) (Node, bool, error) {
+	ns, err := Nodes(db, where)
+	if err != nil || len(ns) == 0 {
+		return Node{}, false, err
+	}
+	return ns[0], true, nil
+}
+
+// DeleteNode removes a node row by name.
+func DeleteNode(db *Database, name string) error {
+	_, err := db.Exec(fmt.Sprintf("DELETE FROM nodes WHERE name = '%s'", sqlEscape(name)))
+	return err
+}
+
+// ApplianceForMembership resolves a membership ID to the graph root node
+// name of its appliance (e.g. Compute → "compute"), which is where the
+// kickstart graph traversal starts.
+func ApplianceForMembership(db *Database, membership int) (name, graph, rootNode string, err error) {
+	res, err := db.Query(fmt.Sprintf(
+		`SELECT appliances.name, appliances.graph, appliances.node
+		 FROM memberships, appliances
+		 WHERE memberships.id = %d AND memberships.appliance = appliances.id`, membership))
+	if err != nil {
+		return "", "", "", err
+	}
+	if len(res.Rows) == 0 {
+		return "", "", "", fmt.Errorf("clusterdb: membership %d has no appliance", membership)
+	}
+	r := res.Rows[0]
+	return r[0].String(), r[1].String(), r[2].String(), nil
+}
+
+// SiteValue reads one site-configuration attribute.
+func SiteValue(db *Database, name string) (string, error) {
+	res, err := db.Query(fmt.Sprintf("SELECT value FROM site WHERE name = '%s'", sqlEscape(name)))
+	if err != nil {
+		return "", err
+	}
+	if len(res.Rows) == 0 {
+		return "", fmt.Errorf("clusterdb: no site attribute %q", name)
+	}
+	return res.Rows[0][0].String(), nil
+}
+
+// SetSiteValue writes one site-configuration attribute, inserting or
+// updating as needed.
+func SetSiteValue(db *Database, name, value string) error {
+	res, err := db.Exec(fmt.Sprintf("UPDATE site SET value = '%s' WHERE name = '%s'",
+		sqlEscape(value), sqlEscape(name)))
+	if err != nil {
+		return err
+	}
+	if res.Affected == 0 {
+		_, err = db.Exec(fmt.Sprintf("INSERT INTO site VALUES ('%s', '%s')",
+			sqlEscape(name), sqlEscape(value)))
+	}
+	return err
+}
+
+// NextFreeIP allocates the next unused address for a new compute node.
+// Rocks hands out private addresses from the top of the 10.x network
+// downward (Table II: compute-0-0 is 10.255.255.245 on a net whose switches
+// and servers already hold .253 and .249); the frontend's 10.1.1.1 is
+// excluded by construction.
+func NextFreeIP(db *Database) (string, error) {
+	used := map[string]bool{}
+	ns, err := Nodes(db, "")
+	if err != nil {
+		return "", err
+	}
+	for _, n := range ns {
+		used[n.IP] = true
+	}
+	ip := net.IPv4(10, 255, 255, 254).To4()
+	for i := 0; i < 1<<24; i++ {
+		s := ip.String()
+		if !used[s] {
+			return s, nil
+		}
+		// Decrement the address.
+		for b := 3; b >= 0; b-- {
+			ip[b]--
+			if ip[b] != 255 {
+				break
+			}
+		}
+		if ip[0] != 10 {
+			break
+		}
+	}
+	return "", fmt.Errorf("clusterdb: private address space exhausted")
+}
+
+// NextRank returns the next free rank within a rack for the given
+// membership: insert-ethers names nodes compute-<rack>-<rank> in discovery
+// order (§6.4).
+func NextRank(db *Database, membership, rack int) (int, error) {
+	ns, err := Nodes(db, fmt.Sprintf("membership = %d AND rack = %d", membership, rack))
+	if err != nil {
+		return 0, err
+	}
+	ranks := map[int]bool{}
+	for _, n := range ns {
+		ranks[n.Rank] = true
+	}
+	for r := 0; ; r++ {
+		if !ranks[r] {
+			return r, nil
+		}
+	}
+}
+
+// MembershipBasename returns the hostname prefix for a membership: the
+// lower-cased first word of the membership name ("Ethernet Switches" →
+// "network" is special-cased to match Table II's network-0-0 row; everything
+// else uses the first word, so Compute → compute, NFS → nfs).
+func MembershipBasename(db *Database, membership int) (string, error) {
+	res, err := db.Query(fmt.Sprintf("SELECT name FROM memberships WHERE id = %d", membership))
+	if err != nil {
+		return "", err
+	}
+	if len(res.Rows) == 0 {
+		return "", fmt.Errorf("clusterdb: no membership %d", membership)
+	}
+	name := res.Rows[0][0].String()
+	if strings.HasPrefix(name, "Ethernet Switch") {
+		return "network", nil
+	}
+	first := strings.Fields(strings.ToLower(name))[0]
+	return first, nil
+}
+
+// ComputeNodeNames returns the hostnames of all nodes whose membership is
+// marked compute='yes' — the join the paper's cluster-kill example performs.
+func ComputeNodeNames(db *Database) ([]string, error) {
+	res, err := db.Query(
+		`SELECT nodes.name FROM nodes, memberships
+		 WHERE nodes.membership = memberships.id AND memberships.compute = 'yes'
+		 ORDER BY nodes.id`)
+	if err != nil {
+		return nil, err
+	}
+	return res.Strings(), nil
+}
+
+// MembershipIDByName resolves a membership name ("Compute") to its ID.
+func MembershipIDByName(db *Database, name string) (int, error) {
+	res, err := db.Query(fmt.Sprintf("SELECT id FROM memberships WHERE name = '%s'", sqlEscape(name)))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, fmt.Errorf("clusterdb: no membership named %q", name)
+	}
+	id, _ := res.Rows[0][0].AsInt()
+	return int(id), nil
+}
+
+// AddMembership registers a new membership (e.g. the NFS and Web rows that
+// appear in Table II beyond the default set) and returns its ID.
+func AddMembership(db *Database, name string, appliance int, compute bool) (int, error) {
+	res, err := db.Query("SELECT id FROM memberships ORDER BY id DESC LIMIT 1")
+	if err != nil {
+		return 0, err
+	}
+	id := 1
+	if len(res.Rows) > 0 {
+		last, _ := res.Rows[0][0].AsInt()
+		id = int(last) + 1
+	}
+	c := "no"
+	if compute {
+		c = "yes"
+	}
+	_, err = db.Exec(fmt.Sprintf("INSERT INTO memberships VALUES (%d, '%s', %d, '%s')",
+		id, sqlEscape(name), appliance, c))
+	return id, err
+}
+
+// SortNodesByLocation orders nodes by (rack, rank) — physical order.
+func SortNodesByLocation(ns []Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Rack != ns[j].Rack {
+			return ns[i].Rack < ns[j].Rack
+		}
+		return ns[i].Rank < ns[j].Rank
+	})
+}

@@ -1,0 +1,246 @@
+package clusterdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func initDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	if err := InitSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInitSchemaSeedsDefaults(t *testing.T) {
+	db := initDB(t)
+	names := db.TableNames()
+	want := []string{"appliances", "memberships", "nodes", "site"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Errorf("TableNames = %v, want %v", names, want)
+	}
+	res, _ := db.Query(`SELECT * FROM memberships`)
+	if len(res.Rows) != 6 {
+		t.Errorf("%d default memberships, want 6 (Table III)", len(res.Rows))
+	}
+	v, err := SiteValue(db, "PrivateNetwork")
+	if err != nil || v != "10.0.0.0" {
+		t.Errorf("PrivateNetwork = %q, %v", v, err)
+	}
+}
+
+func TestInsertNodeAllocatesIDs(t *testing.T) {
+	db := initDB(t)
+	n1, err := InsertNode(db, Node{MAC: "aa:bb", Name: "frontend-0", Membership: MembershipFrontend, IP: "10.1.1.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := InsertNode(db, Node{MAC: "cc:dd", Name: "compute-0-0", Membership: MembershipCompute, IP: "10.255.255.254"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID != 1 || n2.ID != 2 {
+		t.Errorf("IDs = %d, %d; want 1, 2", n1.ID, n2.ID)
+	}
+	if n2.Arch != "i386" || n2.CPUs != 1 {
+		t.Errorf("defaults not applied: %+v", n2)
+	}
+}
+
+func TestNodeLookups(t *testing.T) {
+	db := initDB(t)
+	InsertNode(db, Node{MAC: "aa:bb", Name: "compute-0-0", Membership: MembershipCompute, IP: "10.255.255.254"})
+	byMAC, ok, err := NodeByMAC(db, "aa:bb")
+	if err != nil || !ok || byMAC.Name != "compute-0-0" {
+		t.Errorf("NodeByMAC = %+v, %v, %v", byMAC, ok, err)
+	}
+	byIP, ok, _ := NodeByIP(db, "10.255.255.254")
+	if !ok || byIP.MAC != "aa:bb" {
+		t.Errorf("NodeByIP = %+v, %v", byIP, ok)
+	}
+	byName, ok, _ := NodeByName(db, "compute-0-0")
+	if !ok || byName.IP != "10.255.255.254" {
+		t.Errorf("NodeByName = %+v, %v", byName, ok)
+	}
+	if _, ok, _ := NodeByMAC(db, "no:pe"); ok {
+		t.Error("NodeByMAC found a ghost")
+	}
+}
+
+func TestDeleteNode(t *testing.T) {
+	db := initDB(t)
+	InsertNode(db, Node{MAC: "aa:bb", Name: "compute-0-0", Membership: MembershipCompute, IP: "10.2.2.2"})
+	if err := DeleteNode(db, "compute-0-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := NodeByName(db, "compute-0-0"); ok {
+		t.Error("node survived deletion")
+	}
+}
+
+func TestNextFreeIPDescends(t *testing.T) {
+	db := initDB(t)
+	ip1, err := NextFreeIP(db)
+	if err != nil || ip1 != "10.255.255.254" {
+		t.Fatalf("first IP = %q, %v", ip1, err)
+	}
+	InsertNode(db, Node{MAC: "a", Name: "x-0-0", Membership: MembershipCompute, IP: ip1})
+	ip2, _ := NextFreeIP(db)
+	if ip2 != "10.255.255.253" {
+		t.Errorf("second IP = %q, want 10.255.255.253", ip2)
+	}
+	// A hole left by a deleted node is reused.
+	InsertNode(db, Node{MAC: "b", Name: "x-0-1", Membership: MembershipCompute, IP: ip2})
+	DeleteNode(db, "x-0-0")
+	ip3, _ := NextFreeIP(db)
+	if ip3 != "10.255.255.254" {
+		t.Errorf("freed IP not reused: got %q", ip3)
+	}
+}
+
+func TestNextFreeIPCrossesOctetBoundary(t *testing.T) {
+	db := initDB(t)
+	// Fill .254 down to .1 of the top /24, then the allocator must move to
+	// 10.255.254.x. (.0 is skipped implicitly by decrementing through it —
+	// verify we don't hand out a .0... actually Rocks hands out every
+	// address; we just check the decrement is correct across the boundary.)
+	for i := 254; i >= 1; i-- {
+		InsertNode(db, Node{MAC: fmt.Sprintf("m%d", i), Name: fmt.Sprintf("c-0-%d", i),
+			Membership: MembershipCompute, IP: fmt.Sprintf("10.255.255.%d", i)})
+	}
+	ip, err := NextFreeIP(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != "10.255.255.0" {
+		t.Errorf("boundary IP = %q, want 10.255.255.0", ip)
+	}
+}
+
+func TestNextRank(t *testing.T) {
+	db := initDB(t)
+	r, _ := NextRank(db, MembershipCompute, 0)
+	if r != 0 {
+		t.Errorf("first rank = %d, want 0", r)
+	}
+	InsertNode(db, Node{MAC: "a", Name: "compute-0-0", Membership: MembershipCompute, Rack: 0, Rank: 0, IP: "10.0.0.1"})
+	InsertNode(db, Node{MAC: "b", Name: "compute-0-1", Membership: MembershipCompute, Rack: 0, Rank: 1, IP: "10.0.0.2"})
+	r, _ = NextRank(db, MembershipCompute, 0)
+	if r != 2 {
+		t.Errorf("rank after two inserts = %d, want 2", r)
+	}
+	// Different rack and different membership rank independently.
+	if r, _ = NextRank(db, MembershipCompute, 1); r != 0 {
+		t.Errorf("rack 1 rank = %d, want 0", r)
+	}
+	if r, _ = NextRank(db, MembershipEthernetSwitch, 0); r != 0 {
+		t.Errorf("switch rank = %d, want 0", r)
+	}
+	// A gap (deleted node) is refilled.
+	DeleteNode(db, "compute-0-0")
+	if r, _ = NextRank(db, MembershipCompute, 0); r != 0 {
+		t.Errorf("gap rank = %d, want 0", r)
+	}
+}
+
+func TestApplianceForMembership(t *testing.T) {
+	db := initDB(t)
+	name, graph, root, err := ApplianceForMembership(db, MembershipCompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "compute" || graph != "default" || root != "compute" {
+		t.Errorf("got %q %q %q", name, graph, root)
+	}
+	if _, _, _, err := ApplianceForMembership(db, 99); err == nil {
+		t.Error("unknown membership should error")
+	}
+}
+
+func TestMembershipBasename(t *testing.T) {
+	db := initDB(t)
+	cases := map[int]string{
+		MembershipCompute:        "compute",
+		MembershipEthernetSwitch: "network",
+		MembershipFrontend:       "frontend",
+		MembershipPowerUnit:      "power",
+	}
+	for id, want := range cases {
+		got, err := MembershipBasename(db, id)
+		if err != nil || got != want {
+			t.Errorf("MembershipBasename(%d) = %q, %v; want %q", id, got, err, want)
+		}
+	}
+}
+
+func TestAddMembership(t *testing.T) {
+	db := initDB(t)
+	id, err := AddMembership(db, "NFS", 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 {
+		t.Errorf("new membership id = %d, want 7", id)
+	}
+	got, err := MembershipIDByName(db, "NFS")
+	if err != nil || got != 7 {
+		t.Errorf("MembershipIDByName = %d, %v", got, err)
+	}
+	base, _ := MembershipBasename(db, 7)
+	if base != "nfs" {
+		t.Errorf("basename = %q, want nfs", base)
+	}
+}
+
+func TestComputeNodeNames(t *testing.T) {
+	db := initDB(t)
+	InsertNode(db, Node{MAC: "a", Name: "frontend-0", Membership: MembershipFrontend, IP: "10.1.1.1"})
+	InsertNode(db, Node{MAC: "b", Name: "compute-0-0", Membership: MembershipCompute, IP: "10.0.0.2"})
+	InsertNode(db, Node{MAC: "c", Name: "compute-0-1", Membership: MembershipCompute, IP: "10.0.0.3"})
+	got, err := ComputeNodeNames(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != "compute-0-0 compute-0-1" {
+		t.Errorf("ComputeNodeNames = %v", got)
+	}
+}
+
+func TestSetSiteValueInsertsAndUpdates(t *testing.T) {
+	db := initDB(t)
+	if err := SetSiteValue(db, "ClusterName", "Meteor"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := SiteValue(db, "ClusterName"); v != "Meteor" {
+		t.Errorf("update path failed: %q", v)
+	}
+	if err := SetSiteValue(db, "NewAttr", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := SiteValue(db, "NewAttr"); v != "x" {
+		t.Errorf("insert path failed: %q", v)
+	}
+}
+
+func TestSQLInjectionSafeEscaping(t *testing.T) {
+	db := initDB(t)
+	evil := "x'; DELETE FROM nodes -- "
+	if _, err := InsertNode(db, Node{MAC: evil, Name: "n", Membership: 2, IP: "10.0.0.9"}); err != nil {
+		t.Fatalf("InsertNode with quote in MAC: %v", err)
+	}
+	n, ok, err := NodeByMAC(db, evil)
+	if err != nil || !ok || n.MAC != evil {
+		t.Errorf("quoted MAC round-trip failed: %+v %v %v", n, ok, err)
+	}
+}
+
+func TestSortNodesByLocation(t *testing.T) {
+	ns := []Node{{Rack: 1, Rank: 0}, {Rack: 0, Rank: 2}, {Rack: 0, Rank: 1}}
+	SortNodesByLocation(ns)
+	if ns[0].Rank != 1 || ns[1].Rank != 2 || ns[2].Rack != 1 {
+		t.Errorf("sorted = %+v", ns)
+	}
+}

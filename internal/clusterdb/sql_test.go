@@ -1,0 +1,663 @@
+package clusterdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustExec(t *testing.T, db *Database, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func newTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE nodes (id INT, mac TEXT, name TEXT, membership INT, rack INT, rank INT, ip TEXT, comment TEXT)`)
+	mustExec(t, db, `CREATE TABLE memberships (id INT, name TEXT, appliance INT, compute TEXT)`)
+	mustExec(t, db, `INSERT INTO nodes VALUES
+		(1, '00:30:c1:d8:ac:80', 'frontend-0', 1, 0, 0, '10.1.1.1', 'Gateway machine'),
+		(2, '00:01:e7:1a:be:00', 'network-0-0', 4, 0, 0, '10.255.255.253', 'Switch for Cabinet 0'),
+		(3, '00:50:8b:a5:4d:b1', 'nfs-0-0', 7, 0, 0, '10.255.255.249', 'NFS Server in Cabinet 0'),
+		(4, '00:50:8b:e0:3a:a7', 'compute-0-0', 2, 0, 0, '10.255.255.245', 'Compute node'),
+		(5, '00:50:8b:e0:44:5e', 'compute-0-1', 2, 0, 1, '10.255.255.244', 'Compute node'),
+		(6, '00:50:8b:e0:40:95', 'compute-0-2', 2, 0, 2, '10.255.255.243', 'Compute node'),
+		(7, '00:50:8b:e0:40:93', 'compute-0-3', 2, 0, 3, '10.255.255.242', 'Compute node'),
+		(8, '00:50:8b:c5:c7:d3', 'web-1-0', 8, 1, 0, '10.255.255.246', 'Web Server in Cabinet 1')`)
+	mustExec(t, db, `INSERT INTO memberships VALUES
+		(1, 'Frontend', 1, 'no'),
+		(2, 'Compute', 2, 'yes'),
+		(4, 'Ethernet Switches', 4, 'no'),
+		(7, 'NFS', 7, 'no'),
+		(8, 'Web', 8, 'no')`)
+	return db
+}
+
+func TestSelectAll(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT * FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 || len(res.Columns) != 8 {
+		t.Fatalf("got %dx%d, want 8x8", len(res.Rows), len(res.Columns))
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT name FROM nodes WHERE rack = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Strings(); len(got) != 1 || got[0] != "web-1-0" {
+		t.Errorf("got %v", got)
+	}
+}
+
+// TestPaperClusterKillQuery runs the first cluster-kill query from §6.4
+// verbatim (including the backslash line continuations).
+func TestPaperClusterKillQuery(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`select name from nodes where rack=1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Strings(); len(got) != 1 || got[0] != "web-1-0" {
+		t.Errorf("rack=1 nodes = %v, want [web-1-0]", got)
+	}
+}
+
+// TestPaperJoinQuery runs the paper's multi-table join verbatim: kill a
+// runaway job only on compute nodes.
+func TestPaperJoinQuery(t *testing.T) {
+	db := newTestDB(t)
+	q := `select nodes.name from nodes,memberships where \
+		nodes.membership = memberships.id and \
+		memberships.name = 'Compute'`
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"compute-0-0", "compute-0-1", "compute-0-2", "compute-0-3"}
+	got := res.Strings()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJoinWithAliases(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT n.name, m.name FROM nodes n, memberships m
+		WHERE n.membership = m.id AND m.compute = 'yes' ORDER BY n.name DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].String() != "compute-0-3" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT name FROM nodes ORDER BY rack DESC, rank ASC, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Strings()
+	if got[0] != "web-1-0" {
+		t.Errorf("first row = %q, want web-1-0 (rack 1 first)", got[0])
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT name FROM nodes LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT name FROM nodes WHERE name LIKE 'compute-%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("LIKE matched %d rows, want 4", len(res.Rows))
+	}
+	res, err = db.Query(`SELECT name FROM nodes WHERE name LIKE 'compute-0-_' AND name NOT LIKE '%3'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("NOT LIKE matched %d rows, want 3", len(res.Rows))
+	}
+}
+
+func TestInList(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT name FROM nodes WHERE membership IN (4, 7)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("IN matched %d rows, want 2", len(res.Rows))
+	}
+	res, err = db.Query(`SELECT name FROM nodes WHERE membership NOT IN (1, 2, 4, 7, 8)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("NOT IN matched %d rows, want 0", len(res.Rows))
+	}
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT name FROM nodes WHERE rank + 1 >= 3 AND membership = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Strings(); len(got) != 2 {
+		t.Errorf("got %v, want compute-0-2 and compute-0-3", got)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `UPDATE nodes SET comment = 'down', rack = 9 WHERE name = 'compute-0-2'`)
+	if res.Affected != 1 {
+		t.Fatalf("Affected = %d, want 1", res.Affected)
+	}
+	q, _ := db.Query(`SELECT comment, rack FROM nodes WHERE name = 'compute-0-2'`)
+	if q.Rows[0][0].String() != "down" || q.Rows[0][1].String() != "9" {
+		t.Errorf("update not applied: %v", q.Rows[0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `DELETE FROM nodes WHERE membership = 2`)
+	if res.Affected != 4 {
+		t.Fatalf("Affected = %d, want 4", res.Affected)
+	}
+	q, _ := db.Query(`SELECT * FROM nodes`)
+	if len(q.Rows) != 4 {
+		t.Errorf("%d rows remain, want 4", len(q.Rows))
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `DELETE FROM memberships`)
+	if res.Affected != 5 {
+		t.Errorf("Affected = %d, want 5", res.Affected)
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `INSERT INTO nodes (id, name, membership) VALUES (99, 'ghost', 2)`)
+	res, _ := db.Query(`SELECT mac FROM nodes WHERE id = 99`)
+	if !res.Rows[0][0].Null {
+		t.Errorf("unlisted column should be NULL, got %v", res.Rows[0][0])
+	}
+	res, _ = db.Query(`SELECT name FROM nodes WHERE mac IS NULL`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "ghost" {
+		t.Errorf("IS NULL lookup = %v", res.Rows)
+	}
+	res, _ = db.Query(`SELECT name FROM nodes WHERE mac IS NOT NULL`)
+	if len(res.Rows) != 8 {
+		t.Errorf("IS NOT NULL matched %d rows, want 8", len(res.Rows))
+	}
+}
+
+func TestNullNeverEqual(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (a INT, b INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (NULL, NULL)`)
+	res, _ := db.Query(`SELECT * FROM t WHERE a = b`)
+	if len(res.Rows) != 0 {
+		t.Error("NULL = NULL must not match")
+	}
+}
+
+func TestTypeCoercion(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (n INT, s TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES ('42', 7)`) // string into INT, int into TEXT
+	res, _ := db.Query(`SELECT n, s FROM t`)
+	if !res.Rows[0][0].IsInt || res.Rows[0][0].Int != 42 {
+		t.Errorf("string '42' should coerce to INT 42: %+v", res.Rows[0][0])
+	}
+	if res.Rows[0][1].IsInt || res.Rows[0][1].Str != "7" {
+		t.Errorf("int 7 should coerce to TEXT \"7\": %+v", res.Rows[0][1])
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES ('notanumber', 'x')`); err == nil {
+		t.Error("non-numeric string into INT column should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		``,
+		`SELEC name FROM nodes`,
+		`SELECT name FROM`,
+		`SELECT FROM nodes`,
+		`SELECT name FROM nodes WHERE`,
+		`INSERT INTO nodes`,
+		`CREATE TABLE t (x FLOAT)`,
+		`SELECT name FROM nodes WHERE name = 'unterminated`,
+		`SELECT name FROM nodes LIMIT many`,
+		`SELECT name FROM nodes; SELECT 1 FROM nodes`,
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should have failed", q)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		`SELECT name FROM ghosts`,
+		`SELECT ghost FROM nodes`,
+		`SELECT nodes.ghost FROM nodes`,
+		`SELECT id FROM nodes, memberships`, // ambiguous: both tables have id
+		`INSERT INTO nodes (nope) VALUES (1)`,
+		`INSERT INTO nodes VALUES (1)`, // wrong arity
+		`UPDATE nodes SET nope = 1`,
+		`DELETE FROM ghosts`,
+		`CREATE TABLE nodes (id INT)`, // exists
+		`DROP TABLE ghosts`,
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should have failed", q)
+		}
+	}
+}
+
+func TestDropTableIfExists(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `DROP TABLE IF EXISTS ghosts`)
+	mustExec(t, db, `DROP TABLE IF EXISTS nodes`)
+	if _, err := db.Query(`SELECT * FROM nodes`); err == nil {
+		t.Error("nodes should be gone")
+	}
+}
+
+func TestQueryRejectsMutation(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`DELETE FROM nodes`); err == nil {
+		t.Error("Query must reject non-SELECT statements")
+	}
+	if n, _ := db.Query(`SELECT * FROM nodes`); len(n.Rows) != 8 {
+		t.Error("Query mutation leak")
+	}
+}
+
+func TestQuotedStringEscapes(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (s TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES ('it''s a test')`)
+	res, _ := db.Query(`SELECT s FROM t WHERE s = 'it''s a test'`)
+	if len(res.Rows) != 1 {
+		t.Error("doubled-quote escape failed")
+	}
+	mustExec(t, db, `INSERT INTO t VALUES ("double quoted")`)
+	res, _ = db.Query(`SELECT s FROM t WHERE s = "double quoted"`)
+	if len(res.Rows) != 1 {
+		t.Error("double-quoted strings failed")
+	}
+}
+
+func TestComments(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query("SELECT name FROM nodes -- trailing comment\nWHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("comment handling broke the query: %v", res.Rows)
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	db := newTestDB(t)
+	res, _ := db.Query(`SELECT id, name FROM nodes WHERE id <= 2 ORDER BY id`)
+	got := res.Format()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Format produced %d lines: %q", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "id") || !strings.Contains(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "frontend-0") || !strings.Contains(lines[2], "network-0-0") {
+		t.Errorf("rows = %q", lines[1:])
+	}
+}
+
+func TestChangeSeqAdvancesOnMutation(t *testing.T) {
+	db := newTestDB(t)
+	before := db.ChangeSeq()
+	db.Query(`SELECT * FROM nodes`)
+	if db.ChangeSeq() != before {
+		t.Error("SELECT must not advance ChangeSeq")
+	}
+	mustExec(t, db, `UPDATE nodes SET rank = rank WHERE id = 1`)
+	if db.ChangeSeq() == before {
+		t.Error("UPDATE must advance ChangeSeq")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := newTestDB(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := db.Exec(fmt.Sprintf(
+					`INSERT INTO nodes (id, name, membership) VALUES (%d, 'n%d-%d', 2)`,
+					1000+i*100+j, i, j)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := db.Query(`SELECT name FROM nodes WHERE membership = 2`); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res, _ := db.Query(`SELECT * FROM nodes WHERE id >= 1000`)
+	if len(res.Rows) != 100 {
+		t.Errorf("%d rows inserted, want 100", len(res.Rows))
+	}
+}
+
+// Property: inserting n distinct rows then selecting with an always-true
+// predicate returns exactly n rows, and a point query finds each row.
+func TestPropertyInsertSelectRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n)%40 + 1
+		db := New()
+		db.MustExec(`CREATE TABLE t (k INT, v TEXT)`)
+		for i := 0; i < count; i++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'val-%d')`, i, i))
+		}
+		all, err := db.Query(`SELECT * FROM t WHERE k >= 0`)
+		if err != nil || len(all.Rows) != count {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			one, err := db.Query(fmt.Sprintf(`SELECT v FROM t WHERE k = %d`, i))
+			if err != nil || len(one.Rows) != 1 || one.Rows[0][0].String() != fmt.Sprintf("val-%d", i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a join between t and its copy on equal keys yields exactly one
+// row per key (join correctness on unique keys).
+func TestPropertyJoinCardinality(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n)%20 + 1
+		db := New()
+		db.MustExec(`CREATE TABLE a (k INT)`)
+		db.MustExec(`CREATE TABLE b (k INT)`)
+		for i := 0; i < count; i++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO a VALUES (%d)`, i))
+			db.MustExec(fmt.Sprintf(`INSERT INTO b VALUES (%d)`, i))
+		}
+		res, err := db.Query(`SELECT a.k FROM a, b WHERE a.k = b.k`)
+		return err == nil && len(res.Rows) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{TextValue("a"), TextValue("b"), -1},
+		{IntValue(10), TextValue("9"), 1}, // numeric comparison wins
+		{TextValue("10"), IntValue(9), 1}, // both directions
+		{NullValue(), IntValue(0), -1},    // NULL sorts first
+		{NullValue(), NullValue(), 0},
+		{IntValue(5), TextValue("abc"), -1}, // unparseable string: string compare of "5" vs "abc"
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT COUNT(*) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns[0] != "count" || res.Rows[0][0].Int != 8 {
+		t.Errorf("COUNT(*) = %v", res.Rows)
+	}
+	res, err = db.Query(`SELECT COUNT(*) AS n FROM nodes WHERE membership = 2`)
+	if err != nil || res.Columns[0] != "n" || res.Rows[0][0].Int != 4 {
+		t.Errorf("filtered count = %v, %v", res, err)
+	}
+	res, err = db.Query(`SELECT MIN(rank), MAX(rank), SUM(rank), COUNT(rank) FROM nodes WHERE membership = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r[0].Int != 0 || r[1].Int != 3 || r[2].Int != 6 || r[3].Int != 4 {
+		t.Errorf("min/max/sum/count = %v", r)
+	}
+}
+
+func TestAggregateOverJoin(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT COUNT(*) FROM nodes, memberships
+		WHERE nodes.membership = memberships.id AND memberships.compute = 'yes'`)
+	if err != nil || res.Rows[0][0].Int != 4 {
+		t.Errorf("join count = %v, %v", res, err)
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1), (NULL), (3)`)
+	res, err := db.Query(`SELECT COUNT(v), SUM(v), MIN(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r[0].Int != 2 || r[1].Int != 4 || r[2].Int != 1 {
+		t.Errorf("null handling = %v", r)
+	}
+	// Aggregates over an empty match: COUNT 0, MIN/MAX NULL.
+	res, _ = db.Query(`SELECT COUNT(*), MIN(v), MAX(v) FROM t WHERE v > 100`)
+	r = res.Rows[0]
+	if r[0].Int != 0 || !r[1].Null || !r[2].Null {
+		t.Errorf("empty aggregate = %v", r)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`SELECT name, COUNT(*) FROM nodes`); err == nil {
+		t.Error("mixed scalar/aggregate select accepted (no GROUP BY support)")
+	}
+	if _, err := db.Query(`SELECT name FROM nodes WHERE COUNT(*) > 1`); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+	if _, err := db.Query(`SELECT SUM(name) FROM nodes`); err == nil {
+		t.Error("SUM over text accepted")
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT DISTINCT rack FROM nodes ORDER BY rack`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Int != 0 || res.Rows[1][0].Int != 1 {
+		t.Errorf("distinct racks = %v", res.Rows)
+	}
+	// Without DISTINCT the same query returns one row per node.
+	res, _ = db.Query(`SELECT rack FROM nodes`)
+	if len(res.Rows) != 8 {
+		t.Errorf("non-distinct rows = %d", len(res.Rows))
+	}
+	// DISTINCT over multiple columns.
+	res, err = db.Query(`SELECT DISTINCT rack, membership FROM nodes WHERE membership = 2`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("multi-column distinct = %v, %v", res, err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := newTestDB(t)
+	// Node count per rack — the capacity question an administrator asks.
+	res, err := db.Query(`SELECT rack, COUNT(*) AS n FROM nodes GROUP BY rack`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int != 0 || res.Rows[0][1].Int != 7 {
+		t.Errorf("rack 0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Int != 1 || res.Rows[1][1].Int != 1 {
+		t.Errorf("rack 1 = %v", res.Rows[1])
+	}
+}
+
+func TestGroupByWithJoinAndWhere(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT memberships.name, COUNT(*) FROM nodes, memberships
+		WHERE nodes.membership = memberships.id AND nodes.rack = 0
+		GROUP BY memberships.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, r := range res.Rows {
+		counts[r[0].String()] = r[1].Int
+	}
+	if counts["Compute"] != 4 || counts["Frontend"] != 1 || counts["NFS"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestGroupByMinMaxSum(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT membership, MIN(rank), MAX(rank), SUM(rank)
+		FROM nodes GROUP BY membership`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[0].Int == 2 { // Compute: ranks 0..3
+			if r[1].Int != 0 || r[2].Int != 3 || r[3].Int != 6 {
+				t.Errorf("compute group = %v", r)
+			}
+		}
+	}
+}
+
+func TestGroupByRejectsOrderBy(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`SELECT rack, COUNT(*) FROM nodes GROUP BY rack ORDER BY rack`); err == nil {
+		t.Error("ORDER BY with GROUP BY should be rejected")
+	}
+}
+
+func TestGroupByLimit(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Query(`SELECT membership, COUNT(*) FROM nodes GROUP BY membership LIMIT 2`)
+	if err != nil || len(res.Rows) != 2 {
+		t.Errorf("limit over groups: %v, %v", res, err)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newTestDB(t)
+	// Memberships with more than one node — only Compute qualifies.
+	res, err := db.Query(`SELECT membership, COUNT(*) AS n FROM nodes
+		GROUP BY membership HAVING COUNT(*) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 || res.Rows[0][1].Int != 4 {
+		t.Errorf("having rows = %v", res.Rows)
+	}
+	// HAVING over an aggregate not in the select list.
+	res, err = db.Query(`SELECT membership FROM nodes
+		GROUP BY membership HAVING MAX(rank) >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Errorf("hidden aggregate having = %v", res.Rows)
+	}
+	if len(res.Columns) != 1 {
+		t.Errorf("hidden column leaked: %v", res.Columns)
+	}
+	// Compound HAVING.
+	res, err = db.Query(`SELECT membership FROM nodes
+		GROUP BY membership HAVING COUNT(*) > 1 AND MIN(rank) = 0`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("compound having = %v, %v", res, err)
+	}
+}
+
+func TestHavingRejectsRowReferences(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`SELECT membership FROM nodes GROUP BY membership HAVING name = 'x'`); err == nil {
+		t.Error("row-wise HAVING reference accepted")
+	}
+}

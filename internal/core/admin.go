@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/hardware"
+	"rocks/internal/node"
+)
+
+// The admin API is the simulation's control plane: what an administrator
+// reaches over ssh on a real frontend, exposed over HTTP so the cmd/ tools
+// (shoot-node, cluster-fork, rocksql, insert-ethers) work as separate
+// processes against a running cluster-sim. It is registered alongside the
+// public endpoints by startHTTP.
+
+// ForkResponse is the JSON shape of /admin/fork results.
+type ForkResponse struct {
+	Results []ForkHostResult `json:"results"`
+	Killed  int              `json:"killed,omitempty"`
+}
+
+// ForkHostResult is one host's outcome.
+type ForkHostResult struct {
+	Host   string `json:"host"`
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (c *Cluster) registerAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/sql", c.adminSQL)
+	mux.HandleFunc("/admin/fork", c.adminFork)
+	mux.HandleFunc("/admin/kill", c.adminKill)
+	mux.HandleFunc("/admin/shoot", c.adminShoot)
+	mux.HandleFunc("/admin/integrate", c.adminIntegrate)
+	mux.HandleFunc("/admin/adduser", c.adminAddUser)
+	mux.HandleFunc("/admin/reinstall-cluster", c.adminReinstallCluster)
+	mux.HandleFunc("/admin/consistency", c.adminConsistency)
+	mux.HandleFunc("/admin/health", c.adminHealth)
+}
+
+// adminSQL runs a read-only query (q=...) and returns the formatted table.
+// exec=1 permits data-modification statements.
+func (c *Cluster) adminSQL(w http.ResponseWriter, r *http.Request) {
+	q := r.FormValue("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	var res *clusterdb.Result
+	var err error
+	if r.FormValue("exec") == "1" {
+		res, err = c.DB.Exec(q)
+	} else {
+		res, err = c.DB.Query(q)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprint(w, res.Format())
+	if r.FormValue("exec") == "1" {
+		c.WriteReports() // mutations may change service configuration
+	}
+}
+
+func (c *Cluster) adminFork(w http.ResponseWriter, r *http.Request) {
+	cmd := r.FormValue("cmd")
+	if cmd == "" {
+		http.Error(w, "missing cmd parameter", http.StatusBadRequest)
+		return
+	}
+	results, err := c.Fork(r.FormValue("query"), cmd)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := ForkResponse{}
+	for _, hr := range results {
+		out := ForkHostResult{Host: hr.Host, Output: hr.Output}
+		if hr.Err != nil {
+			out.Error = hr.Err.Error()
+		}
+		resp.Results = append(resp.Results, out)
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Cluster) adminKill(w http.ResponseWriter, r *http.Request) {
+	proc := r.FormValue("process")
+	if proc == "" {
+		http.Error(w, "missing process parameter", http.StatusBadRequest)
+		return
+	}
+	results, killed, err := c.Kill(r.FormValue("query"), proc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := ForkResponse{Killed: killed}
+	for _, hr := range results {
+		out := ForkHostResult{Host: hr.Host, Output: hr.Output}
+		if hr.Err != nil {
+			out.Error = hr.Err.Error()
+		}
+		resp.Results = append(resp.Results, out)
+	}
+	writeJSON(w, resp)
+}
+
+// adminShoot reinstalls the named nodes (node=a&node=b). With watch=1 it
+// waits for the first node's eKV port and reports it so the CLI can attach.
+func (c *Cluster) adminShoot(w http.ResponseWriter, r *http.Request) {
+	r.ParseForm()
+	names := r.Form["node"]
+	if len(names) == 0 {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	if err := c.ShootNode(names...); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := map[string]string{"status": "reinstalling"}
+	if r.FormValue("watch") == "1" {
+		n, _ := c.NodeByName(names[0])
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if addr := n.EKVAddr(); addr != "" {
+				resp["ekv"] = addr
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// adminIntegrate powers on `count` new simulated machines and integrates
+// them (insert-ethers + sequential boot). Parameters: count, rack,
+// membership, mhz, wait (seconds).
+func (c *Cluster) adminIntegrate(w http.ResponseWriter, r *http.Request) {
+	count := formInt(r, "count", 1)
+	rack := formInt(r, "rack", 0)
+	membership := formInt(r, "membership", clusterdb.MembershipCompute)
+	mhz := formInt(r, "mhz", 733)
+	wait := time.Duration(formInt(r, "wait", 60)) * time.Second
+
+	profiles := make([]hardware.Profile, count)
+	for i := range profiles {
+		profiles[i] = hardware.PIIICompute(c.macs, mhz)
+	}
+	nodes, err := c.IntegrateNodes(profiles, membership, rack, wait)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var names []string
+	for _, n := range nodes {
+		names = append(names, n.Name())
+	}
+	writeJSON(w, map[string]interface{}{"integrated": names})
+}
+
+func (c *Cluster) adminAddUser(w http.ResponseWriter, r *http.Request) {
+	name := r.FormValue("name")
+	if name == "" {
+		http.Error(w, "missing name parameter", http.StatusBadRequest)
+		return
+	}
+	uid := formInt(r, "uid", 500)
+	if err := c.AddUser(name, uid); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "added", "user": name})
+}
+
+func (c *Cluster) adminReinstallCluster(w http.ResponseWriter, r *http.Request) {
+	wait := time.Duration(formInt(r, "wait", 120)) * time.Second
+	if err := c.ReinstallCluster(wait); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Wait for the shot nodes to come back up before reporting.
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+		allUp := true
+		for _, n := range c.Nodes() {
+			if n.State() != node.StateUp {
+				allUp = false
+				break
+			}
+		}
+		if allUp {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	writeJSON(w, map[string]string{"status": "cluster reinstalled"})
+}
+
+func (c *Cluster) adminConsistency(w http.ResponseWriter, r *http.Request) {
+	ref, divergent, err := c.ConsistencyReport()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"reference": ref, "divergent": divergent})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func formInt(r *http.Request, key string, def int) int {
+	if s := r.FormValue(key); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return def
+}

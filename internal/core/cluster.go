@@ -1,0 +1,358 @@
+// Package core assembles the complete Rocks system: a frontend running the
+// cluster database, the kickstart CGI, the HTTP distribution server, DHCP,
+// syslog, NIS, NFS, and PBS/Maui — plus the lifecycle machinery that boots,
+// installs, discovers, and reinstalls compute nodes. It is the public
+// façade a downstream user programs against; the cmd/ tools and examples
+// are thin wrappers over it.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/dhcp"
+	"rocks/internal/dist"
+	"rocks/internal/hardware"
+	"rocks/internal/installer"
+	"rocks/internal/kickstart"
+	"rocks/internal/nfs"
+	"rocks/internal/nis"
+	"rocks/internal/node"
+	"rocks/internal/pbs"
+	"rocks/internal/power"
+	"rocks/internal/syslogd"
+)
+
+// FrontendIP is the frontend's address on the private network, as in
+// Table II.
+const FrontendIP = "10.1.1.1"
+
+// Config parameterizes cluster construction.
+type Config struct {
+	// Name is the cluster's name (site attribute ClusterName).
+	Name string
+	// Sources are the rocks-dist inputs; nil means the synthetic Red Hat
+	// mirror plus the local Rocks packages.
+	Sources []dist.Source
+	// ParentURL, when set, is a parent distribution served over HTTP (an
+	// NPACI or campus master, Figure 6); it is mirrored with wget-over-HTTP
+	// semantics and layered under Sources, so this cluster's distribution
+	// derives from the parent.
+	ParentURL string
+	// Framework is the XML configuration infrastructure; nil means the
+	// stock Rocks graph.
+	Framework *kickstart.Framework
+	// DisableEKV turns off per-install eKV listeners (large fan-outs).
+	DisableEKV bool
+	// DHCPRetry/DHCPTimeout tune the installer's discovery loop.
+	DHCPRetry   time.Duration
+	DHCPTimeout time.Duration
+	// ListenAddr is where the frontend's HTTP service binds; empty means
+	// an ephemeral loopback port (tests) — cluster-sim sets a fixed port
+	// so the CLI tools can find it.
+	ListenAddr string
+}
+
+// Cluster is a running Rocks cluster.
+type Cluster struct {
+	cfg Config
+
+	DB     *clusterdb.Database
+	Syslog *syslogd.Collector
+	Bus    *dhcp.Bus
+	DHCPd  *dhcp.Server
+	Dist   *dist.Distribution
+	NIS    *nis.Domain
+	NFS    *nfs.Server
+	Home   *nfs.Export
+	PBS    *pbs.Server
+	PDU    *power.PDU
+
+	Frontend *node.Node
+	macs     *hardware.MACAllocator
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+	baseURL string
+
+	mu      sync.Mutex
+	nodes   map[string]*node.Node // by MAC
+	byName  map[string]*node.Node
+	outlets int
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds and boots a cluster frontend: database, distribution, HTTP
+// (kickstart CGI + package serving), DHCP, syslog, NIS, NFS, PBS, and a
+// PDU. The frontend node itself is installed through the very kickstart
+// pipeline it serves — the paper's frontends install from the same CD
+// mechanism as compute nodes.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Name == "" {
+		cfg.Name = "Rocks Cluster"
+	}
+	if cfg.Framework == nil {
+		cfg.Framework = kickstart.DefaultFramework()
+	}
+	if cfg.Sources == nil && cfg.ParentURL == "" {
+		cfg.Sources = []dist.Source{
+			{Name: "redhat-7.2", Repo: dist.SyntheticRedHat()},
+			{Name: "rocks-local", Repo: dist.LocalRocksPackages()},
+		}
+	}
+	if cfg.ParentURL != "" {
+		mirror, err := dist.Mirror(http.DefaultClient, cfg.ParentURL, "parent-mirror")
+		if err != nil {
+			return nil, fmt.Errorf("core: replicating parent distribution: %w", err)
+		}
+		cfg.Sources = append([]dist.Source{{Name: "parent-mirror", Repo: mirror}}, cfg.Sources...)
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		DB:     clusterdb.New(),
+		Syslog: syslogd.New(),
+		Bus:    dhcp.NewBus(),
+		NIS:    nis.NewDomain("rocks"),
+		NFS:    nfs.NewServer(),
+		PBS:    pbs.NewServer(),
+		PDU:    power.NewPDU("pdu-0-0"),
+		macs:   hardware.NewMACAllocator(),
+		nodes:  make(map[string]*node.Node),
+		byName: make(map[string]*node.Node),
+	}
+	if err := clusterdb.InitSchema(c.DB); err != nil {
+		return nil, err
+	}
+	if err := clusterdb.SetSiteValue(c.DB, "ClusterName", cfg.Name); err != nil {
+		return nil, err
+	}
+	c.Dist = dist.Build(cfg.Name, cfg.Framework, cfg.Sources...)
+	c.DHCPd = dhcp.NewServer("frontend-0", c.Syslog)
+	c.Bus.Register(c.DHCPd)
+	c.Home = c.NFS.AddExport("/export/home")
+
+	if err := c.startHTTP(); err != nil {
+		return nil, err
+	}
+
+	// Install the frontend through its own services.
+	fe := node.New(hardware.Frontend(c.macs))
+	c.Frontend = fe
+	if _, err := clusterdb.InsertNode(c.DB, clusterdb.Node{
+		MAC: fe.MAC(), Name: "frontend-0", Membership: clusterdb.MembershipFrontend,
+		IP: FrontendIP, Comment: "Gateway machine", Arch: fe.HW.Arch, CPUs: fe.HW.CPUs,
+	}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.syncDHCP(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.trackNode(fe)
+	if err := c.bootOnce(fe); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("core: installing frontend: %w", err)
+	}
+	if err := c.WriteReports(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// BaseURL returns the frontend's HTTP root (kickstart CGI and dist).
+func (c *Cluster) BaseURL() string { return c.baseURL }
+
+// MACs returns the cluster's Ethernet address allocator; all simulated
+// hardware on the private segment must draw from it so addresses are
+// unique.
+func (c *Cluster) MACs() *hardware.MACAllocator { return c.macs }
+
+// trackNode registers a node in the cluster's indexes and installs its
+// reboot hook.
+func (c *Cluster) trackNode(n *node.Node) {
+	c.mu.Lock()
+	c.nodes[n.MAC()] = n
+	c.mu.Unlock()
+	n.OnReboot = func() {
+		// The node rebooted (shoot-node, reinstall job, or plain reboot):
+		// it leaves the batch pool immediately and comes back through the
+		// boot path.
+		if name := n.Name(); name != "" {
+			c.PBS.UnregisterMom(name)
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := c.bootOnce(n); err != nil {
+				c.Syslog.Log("frontend-0", "rocks", "node %s failed to boot: %v", n.Name(), err)
+			}
+		}()
+	}
+}
+
+// installerConfig builds the per-install configuration.
+func (c *Cluster) installerConfig() installer.Config {
+	return installer.Config{
+		Bus:         c.Bus,
+		HTTP:        http.DefaultClient,
+		DHCPRetry:   c.cfg.DHCPRetry,
+		DHCPTimeout: c.cfg.DHCPTimeout,
+		DisableEKV:  c.cfg.DisableEKV,
+	}
+}
+
+// bootOnce takes a node through one power-on: install if needed, then come
+// up and join the cluster's services.
+func (c *Cluster) bootOnce(n *node.Node) error {
+	if n.NeedsInstall() {
+		if _, err := installer.Run(n, c.installerConfig()); err != nil {
+			return err
+		}
+	}
+	return c.comeUp(n)
+}
+
+// comeUp transitions an installed node to Up: bind NIS, mount home over
+// NFS, register the PBS mom (compute nodes), and index the hostname.
+func (c *Cluster) comeUp(n *node.Node) error {
+	n.SetState(node.StateUp)
+	name := n.Name()
+	if name == "" {
+		return fmt.Errorf("core: node %s has no hostname after boot", n.MAC())
+	}
+	c.mu.Lock()
+	c.byName[name] = n
+	c.mu.Unlock()
+
+	// ypbind: pull the account map and materialize /etc/passwd.nis.
+	b := nis.Bind(c.NIS)
+	if m, _ := b.Refresh(); m != "" {
+		n.Disk().WriteFile("/etc/passwd.nis", []byte(m), 0o644)
+	}
+	// mount home (compute nodes only; the frontend *is* the server).
+	if n != c.Frontend {
+		if _, err := c.NFS.Mount("/export/home", "/home", name); err != nil {
+			c.Syslog.Log(name, "mount", "NFS mount failed: %v", err)
+		}
+	}
+	// pbs-mom registers with the server and a scheduling pass runs.
+	if _, ok := n.PackageDB().Query("pbs-mom"); ok {
+		c.PBS.RegisterMom(name, n)
+		c.PBS.Schedule()
+	}
+	c.Syslog.Log(name, "rocks", "node up (kernel %s, %d packages)",
+		n.KernelVersion(), n.PackageDB().Len())
+	return nil
+}
+
+// NodeByName returns a tracked node.
+func (c *Cluster) NodeByName(name string) (*node.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.byName[name]
+	return n, ok
+}
+
+// Nodes returns all tracked nodes keyed by MAC (a copy).
+func (c *Cluster) Nodes() map[string]*node.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*node.Node, len(c.nodes))
+	for k, v := range c.nodes {
+		out[k] = v
+	}
+	return out
+}
+
+// syncDHCP regenerates the DHCP server's table from the database.
+func (c *Cluster) syncDHCP() error {
+	nodes, err := clusterdb.Nodes(c.DB, "")
+	if err != nil {
+		return err
+	}
+	want := map[string]dhcp.Binding{}
+	for _, n := range nodes {
+		if n.MAC == "" || n.IP == "" {
+			continue
+		}
+		want[n.MAC] = dhcp.Binding{IP: n.IP, Hostname: n.Name, NextServer: c.baseURL}
+	}
+	for mac := range c.DHCPd.Bindings() {
+		if _, ok := want[mac]; !ok {
+			c.DHCPd.RemoveBinding(mac)
+		}
+	}
+	for mac, b := range want {
+		c.DHCPd.SetBinding(mac, b)
+	}
+	return nil
+}
+
+// WriteReports regenerates the service configuration files from the
+// database onto the frontend's disk — the dbreport step (§6.4).
+func (c *Cluster) WriteReports() error {
+	if !c.Frontend.Disk().Bootable() {
+		return nil // frontend still installing
+	}
+	hosts, err := clusterdb.HostsReport(c.DB)
+	if err != nil {
+		return err
+	}
+	dhcpConf, err := clusterdb.DHCPReport(c.DB)
+	if err != nil {
+		return err
+	}
+	pbsNodes, err := clusterdb.PBSNodesReport(c.DB)
+	if err != nil {
+		return err
+	}
+	d := c.Frontend.Disk()
+	if err := d.WriteFile("/etc/hosts", []byte(hosts), 0o644); err != nil {
+		return err
+	}
+	if err := d.WriteFile("/etc/dhcpd.conf", []byte(dhcpConf), 0o644); err != nil {
+		return err
+	}
+	if err := d.WriteFile("/opt/pbs/server_priv/nodes", []byte(pbsNodes), 0o644); err != nil {
+		return err
+	}
+	// Back the configuration database up alongside the reports (the
+	// mysqldump a careful Rocks site cron'd); rocksql -dump reads it.
+	if err := d.WriteFile("/var/db/cluster.sql", []byte(c.DB.Dump()), 0o600); err != nil {
+		return err
+	}
+	return c.syncDHCP()
+}
+
+// AddUser creates an account on the frontend: an NIS map entry plus a home
+// directory on the NFS export. Compute nodes see it without reinstalling.
+func (c *Cluster) AddUser(name string, uid int) error {
+	if err := c.NIS.AddUser(nis.User{Name: name, UID: uid, GID: uid}); err != nil {
+		return err
+	}
+	m, _ := c.NFS.Mount("/export/home", "/home", "frontend-0")
+	return m.WriteFile("/home/"+name+"/.profile", []byte("# "+name+"\n"))
+}
+
+// Close shuts the cluster down: HTTP stops, node goroutines drain.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.httpLn != nil {
+		c.httpLn.Close()
+	}
+	c.wg.Wait()
+}

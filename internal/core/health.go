@@ -1,0 +1,75 @@
+package core
+
+import (
+	"net/http"
+	"time"
+
+	"rocks/internal/monitor"
+	"rocks/internal/node"
+)
+
+// Ping answers a management-Ethernet reachability probe for a tracked node.
+// Per §4, the network is up while Linux runs (node Up) and during
+// installation (eKV is reachable); a node that is off, mid-boot, or crashed
+// is dark.
+func (c *Cluster) Ping(host string) (bool, string) {
+	n, ok := c.NodeByName(host)
+	if !ok {
+		// Fall back to MAC addressing for nodes that never got a hostname.
+		c.mu.Lock()
+		n, ok = c.nodes[host]
+		c.mu.Unlock()
+		if !ok {
+			return false, "unknown host"
+		}
+	}
+	switch st := n.State(); st {
+	case node.StateUp, node.StateInstalling:
+		return true, string(st)
+	default:
+		return false, string(st)
+	}
+}
+
+// NewMonitor starts a health monitor over the cluster's current nodes
+// (frontend included). New nodes must be added with Watch; the caller owns
+// Stop.
+func (c *Cluster) NewMonitor(patience, interval time.Duration) *monitor.Monitor {
+	m := monitor.New(monitor.PingerFunc(c.Ping), patience, interval)
+	m.Watch("frontend-0")
+	for _, s := range c.Status() {
+		if s.Name != "" {
+			m.Watch(s.Name)
+		}
+	}
+	return m
+}
+
+// adminHealth serves a one-shot health report: every node probed now, dark
+// nodes flagged, with the PDU outlet to cycle.
+func (c *Cluster) adminHealth(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Host   string `json:"host"`
+		Alive  bool   `json:"alive"`
+		State  string `json:"state"`
+		Outlet int    `json:"outlet,omitempty"`
+	}
+	var rows []row
+	for _, s := range c.Status() {
+		name := s.Name
+		if name == "" {
+			name = s.MAC
+		}
+		alive, state := c.Ping(name)
+		rr := row{Host: name, Alive: alive, State: state}
+		if !alive {
+			if n, ok := c.NodeByName(name); ok {
+				if outlet, wired := c.PDU.OutletFor(n.MAC()); wired {
+					rr.Outlet = outlet
+				}
+			}
+		}
+		rows = append(rows, rr)
+	}
+	writeJSON(w, rows)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/hardware"
+	"rocks/internal/node"
+)
+
+// TestScaleSixteenNodes integrates a full cabinet of 16 nodes on the live
+// plane (real HTTP, real DHCP exchanges, 162 real package fetches each) and
+// verifies the §3.2 questions all have answers: every node up, every
+// manifest identical, PBS seeing every mom, and one SQL query accounting
+// for the whole cluster.
+func TestScaleSixteenNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-node live integration")
+	}
+	c, err := New(Config{
+		Name:       "scale",
+		DHCPRetry:  2 * time.Millisecond,
+		DisableEKV: true, // 16 concurrent TCP screens add nothing here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ie, err := c.StartInsertEthers(clusterdb.MembershipCompute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ie.Stop()
+
+	const n = 16
+	nodes := make([]*node.Node, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		nodes[i] = node.New(hardware.PIIICompute(c.MACs(), 733))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.PowerOn(nodes[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, nd := range nodes {
+		if !WaitState(nd, node.StateUp, 2*time.Minute) {
+			t.Fatalf("node %d (%s) stuck in %s", i, nd.MAC(), nd.State())
+		}
+	}
+
+	// One query accounts for the whole machine.
+	res, err := c.DB.Query(`SELECT COUNT(*) FROM nodes, memberships
+		WHERE nodes.membership = memberships.id AND memberships.compute = 'yes'`)
+	if err != nil || res.Rows[0][0].Int != n {
+		t.Fatalf("compute count = %v, %v", res, err)
+	}
+	// All moms registered.
+	if got := len(c.PBS.Moms()); got != n {
+		t.Errorf("moms = %d", got)
+	}
+	// Byte-identical manifests across all 16.
+	ref, divergent, err := c.ConsistencyReport()
+	if err != nil || len(divergent) != 0 {
+		t.Errorf("consistency: ref=%s divergent=%v err=%v", ref, divergent, err)
+	}
+	// Unique identities.
+	seen := map[string]bool{}
+	for _, nd := range nodes {
+		key := nd.Name() + "/" + nd.IP()
+		if seen[key] {
+			t.Errorf("duplicate identity %s", key)
+		}
+		seen[key] = true
+		if nd.PackageDB().Len() != 162 {
+			t.Errorf("%s has %d packages", nd.Name(), nd.PackageDB().Len())
+		}
+	}
+	// Fork across all 16 at once.
+	results, err := c.Fork("", "rpm -q glibc")
+	if err != nil || len(results) != n {
+		t.Fatalf("fork: %d results, %v", len(results), err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Host, r.Err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package ctools implements the SQL-driven cluster tools of §6.4:
+// cluster-fork runs a command on the set of nodes an arbitrary SQL query
+// returns, and cluster-kill is the paper's worked example — killing a
+// runaway job on exactly the nodes a query (including multi-table joins)
+// selects. The brute-force "every hostname matching compute-*" approach the
+// paper retired is available as the default query for comparison.
+package ctools
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/rexec"
+)
+
+// DefaultQuery selects every compute node via the memberships join — what
+// cluster tools do when the user passes no --query.
+const DefaultQuery = `SELECT nodes.name FROM nodes, memberships ` +
+	`WHERE nodes.membership = memberships.id AND memberships.compute = 'yes' ` +
+	`ORDER BY nodes.id`
+
+// Lookup resolves a hostname to something that can execute commands; it
+// reports false for hosts that are down or unknown.
+type Lookup func(host string) (rexec.Executor, bool)
+
+// HostResult is the outcome of a command on one host.
+type HostResult struct {
+	Host   string
+	Output string
+	Err    error
+}
+
+// Fork runs cmd on every host the query selects, concurrently, returning
+// results in query order. A host that is down yields a HostResult carrying
+// the error rather than aborting the sweep — the §3.2 "was node X offline?"
+// question gets answered per host.
+func Fork(db *clusterdb.Database, lookup Lookup, query, cmd string) ([]HostResult, error) {
+	if query == "" {
+		query = DefaultQuery
+	}
+	res, err := db.Query(query)
+	if err != nil {
+		return nil, fmt.Errorf("ctools: query failed: %w", err)
+	}
+	hosts := res.Strings()
+	results := make([]HostResult, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func(i int, host string) {
+			defer wg.Done()
+			results[i].Host = host
+			ex, ok := lookup(host)
+			if !ok {
+				results[i].Err = fmt.Errorf("ctools: %s is down", host)
+				return
+			}
+			out, err := ex.Exec(cmd)
+			results[i].Output = out
+			results[i].Err = err
+		}(i, h)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// Kill is cluster-kill: terminate a named process on the selected nodes.
+// It returns the per-host results and the total number of processes killed.
+func Kill(db *clusterdb.Database, lookup Lookup, query, process string) ([]HostResult, int, error) {
+	results, err := Fork(db, lookup, query, "kill "+process)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0
+	for _, r := range results {
+		if r.Err == nil {
+			var n int
+			fmt.Sscanf(r.Output, "killed %d", &n)
+			total += n
+		}
+	}
+	return results, total, nil
+}
+
+// Format renders fork results the way the CLI prints them: host-prefixed
+// lines, errors marked.
+func Format(results []HostResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%s: ERROR: %v\n", r.Host, r.Err)
+			continue
+		}
+		out := strings.TrimRight(r.Output, "\n")
+		if out == "" {
+			fmt.Fprintf(&b, "%s:\n", r.Host)
+			continue
+		}
+		for _, line := range strings.Split(out, "\n") {
+			fmt.Fprintf(&b, "%s: %s\n", r.Host, line)
+		}
+	}
+	return b.String()
+}
+
+// GroupFormat renders fork results with identical outputs collapsed — the
+// readable form for large clusters, where 31 nodes usually say the same
+// thing and the one that differs is the interesting one.
+func GroupFormat(results []HostResult) string {
+	type group struct {
+		hosts []string
+		body  string
+		isErr bool
+	}
+	index := map[string]*group{}
+	var order []*group
+	for _, r := range results {
+		body := r.Output
+		isErr := false
+		if r.Err != nil {
+			body = r.Err.Error()
+			isErr = true
+		}
+		key := fmt.Sprintf("%v\x00%s", isErr, body)
+		g, ok := index[key]
+		if !ok {
+			g = &group{body: body, isErr: isErr}
+			index[key] = g
+			order = append(order, g)
+		}
+		g.hosts = append(g.hosts, r.Host)
+	}
+	var b strings.Builder
+	for _, g := range order {
+		label := fmt.Sprintf("%d host(s): %s", len(g.hosts), strings.Join(g.hosts, " "))
+		if g.isErr {
+			label += "  [ERROR]"
+		}
+		b.WriteString(label)
+		b.WriteByte('\n')
+		body := strings.TrimRight(g.body, "\n")
+		if body == "" {
+			b.WriteString("  (no output)\n")
+			continue
+		}
+		for _, line := range strings.Split(body, "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package ctools
+
+import (
+	"strings"
+	"testing"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/hardware"
+	"rocks/internal/node"
+	"rocks/internal/rexec"
+)
+
+// testCluster builds the paper's Table II database plus live nodes for the
+// compute entries and the web server.
+func testCluster(t *testing.T) (*clusterdb.Database, map[string]*node.Node) {
+	t.Helper()
+	db := clusterdb.New()
+	if err := clusterdb.InitSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	clusterdb.AddMembership(db, "NFS", 7, false) // id 7
+	clusterdb.AddMembership(db, "Web", 8, false) // id 8
+	macs := hardware.NewMACAllocator()
+	nodes := map[string]*node.Node{}
+	mk := func(name string, membership, rack, rank int, ip string, up bool) {
+		n := node.New(hardware.PIIICompute(macs, 733))
+		n.SetName(name)
+		n.SetIP(ip)
+		if up {
+			n.SetState(node.StateUp)
+		}
+		nodes[name] = n
+		if _, err := clusterdb.InsertNode(db, clusterdb.Node{
+			MAC: n.MAC(), Name: name, Membership: membership,
+			Rack: rack, Rank: rank, IP: ip,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("frontend-0", clusterdb.MembershipFrontend, 0, 0, "10.1.1.1", true)
+	mk("compute-0-0", clusterdb.MembershipCompute, 0, 0, "10.255.255.245", true)
+	mk("compute-0-1", clusterdb.MembershipCompute, 0, 1, "10.255.255.244", true)
+	mk("compute-0-2", clusterdb.MembershipCompute, 0, 2, "10.255.255.243", true)
+	mk("compute-0-3", clusterdb.MembershipCompute, 0, 3, "10.255.255.242", false) // down
+	mk("web-1-0", 8, 1, 0, "10.255.255.246", true)
+	return db, nodes
+}
+
+func lookupFor(nodes map[string]*node.Node) Lookup {
+	return func(host string) (rexec.Executor, bool) {
+		n, ok := nodes[host]
+		return n, ok
+	}
+}
+
+func TestForkDefaultQueryHitsComputeNodesOnly(t *testing.T) {
+	db, nodes := testCluster(t)
+	results, err := Fork(db, lookupFor(nodes), "", "hostname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("default query selected %d hosts, want the 4 compute nodes", len(results))
+	}
+	for i, r := range results {
+		if !strings.HasPrefix(r.Host, "compute-0-") {
+			t.Errorf("host %d = %s", i, r.Host)
+		}
+	}
+	// compute-0-3 is down: its result carries the error, others succeed.
+	if results[3].Err == nil {
+		t.Error("down node reported success")
+	}
+	if results[0].Err != nil || results[0].Output != "compute-0-0\n" {
+		t.Errorf("up node result = %+v", results[0])
+	}
+}
+
+// TestClusterKillByRack runs the paper's first example: kill the runaway
+// only in cabinet 1.
+func TestClusterKillByRack(t *testing.T) {
+	db, nodes := testCluster(t)
+	nodes["web-1-0"].StartProcess("bad-job")
+	nodes["compute-0-0"].StartProcess("bad-job") // different rack: must survive
+
+	results, killed, err := Kill(db, lookupFor(nodes),
+		`select name from nodes where rack=1`, "bad-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Host != "web-1-0" {
+		t.Fatalf("results = %+v", results)
+	}
+	if killed != 1 {
+		t.Errorf("killed = %d, want 1", killed)
+	}
+	if len(nodes["compute-0-0"].Processes()) != 1 {
+		t.Error("cluster-kill leaked outside the rack=1 query")
+	}
+}
+
+// TestClusterKillMembershipJoin runs the paper's multi-table join example
+// verbatim.
+func TestClusterKillMembershipJoin(t *testing.T) {
+	db, nodes := testCluster(t)
+	for _, name := range []string{"compute-0-0", "compute-0-1", "web-1-0", "frontend-0"} {
+		nodes[name].StartProcess("bad-job")
+	}
+	query := `select nodes.name from nodes,memberships where \
+		nodes.membership = memberships.id and \
+		memberships.name = 'Compute'`
+	_, killed, err := Kill(db, lookupFor(nodes), query, "bad-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != 2 {
+		t.Errorf("killed = %d, want 2 (only compute nodes)", killed)
+	}
+	if len(nodes["web-1-0"].Processes()) != 1 || len(nodes["frontend-0"].Processes()) != 1 {
+		t.Error("kill touched non-compute nodes")
+	}
+}
+
+func TestForkBadQuery(t *testing.T) {
+	db, nodes := testCluster(t)
+	if _, err := Fork(db, lookupFor(nodes), "select from", "hostname"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if _, err := Fork(db, lookupFor(nodes), "DELETE FROM nodes", "hostname"); err == nil {
+		t.Error("mutating query accepted")
+	}
+}
+
+func TestForkUnknownHost(t *testing.T) {
+	db, nodes := testCluster(t)
+	clusterdb.InsertNode(db, clusterdb.Node{MAC: "gh:os:t", Name: "compute-9-9",
+		Membership: clusterdb.MembershipCompute, Rack: 9, Rank: 9, IP: "10.9.9.9"})
+	results, err := Fork(db, lookupFor(nodes), "", "hostname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ghost *HostResult
+	for i := range results {
+		if results[i].Host == "compute-9-9" {
+			ghost = &results[i]
+		}
+	}
+	if ghost == nil || ghost.Err == nil {
+		t.Errorf("ghost node should error: %+v", ghost)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	db, nodes := testCluster(t)
+	results, _ := Fork(db, lookupFor(nodes), `select name from nodes where name = 'compute-0-0' or name = 'compute-0-3' order by name`, "hostname")
+	out := Format(results)
+	if !strings.Contains(out, "compute-0-0: compute-0-0") {
+		t.Errorf("Format = %q", out)
+	}
+	if !strings.Contains(out, "compute-0-3: ERROR") {
+		t.Errorf("Format should mark the down node: %q", out)
+	}
+}
+
+func TestGroupFormatCollapsesIdenticalOutput(t *testing.T) {
+	db, nodes := testCluster(t)
+	// Most nodes report "killed 0"; the one with a stale job differs.
+	nodes["compute-0-1"].StartProcess("stale-job")
+	results, err := Fork(db, lookupFor(nodes),
+		`select name from nodes where name like 'compute-0-_' and name != 'compute-0-3' order by name`,
+		"kill stale-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := GroupFormat(results)
+	if !strings.Contains(out, "2 host(s): compute-0-0 compute-0-2") {
+		t.Errorf("majority group missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 host(s): compute-0-1") {
+		t.Errorf("odd one out not isolated:\n%s", out)
+	}
+	// Down nodes group by their error.
+	results, _ = Fork(db, lookupFor(nodes), "", "kill stale-job")
+	out = GroupFormat(results)
+	if !strings.Contains(out, "[ERROR]") {
+		t.Errorf("error group missing:\n%s", out)
+	}
+}

@@ -1,0 +1,228 @@
+// Package dhcp implements the slice of DHCP that Rocks management depends
+// on (§5: "For configuring Ethernet devices on compute nodes, the Dynamic
+// Host Configuration Protocol is essential"): DISCOVER/OFFER over a
+// broadcast segment, a server driven by a MAC→address binding table, and
+// syslog emission for unknown MACs — the hook insert-ethers listens on
+// (§6.4).
+//
+// Packets use a compact binary wire format so the code path exercises real
+// marshalling, but the transport is an in-process broadcast Bus standing in
+// for the private Ethernet segment.
+package dhcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"rocks/internal/syslogd"
+)
+
+// MessageType is the DHCP message op.
+type MessageType byte
+
+// The message types the Rocks flow uses.
+const (
+	Discover MessageType = 1
+	Offer    MessageType = 2
+	Request  MessageType = 3
+	Ack      MessageType = 4
+)
+
+// String names the message type in syslog's vocabulary.
+func (t MessageType) String() string {
+	switch t {
+	case Discover:
+		return "DHCPDISCOVER"
+	case Offer:
+		return "DHCPOFFER"
+	case Request:
+		return "DHCPREQUEST"
+	case Ack:
+		return "DHCPACK"
+	}
+	return fmt.Sprintf("DHCP(%d)", byte(t))
+}
+
+// Packet is a simplified DHCP message.
+type Packet struct {
+	Type       MessageType
+	Xid        uint32 // transaction id
+	MAC        string // client hardware address
+	YourIP     string // assigned address (OFFER/ACK)
+	Hostname   string // option 12
+	NextServer string // siaddr: where to kickstart from
+}
+
+const wireMagic = 0x52434b53 // "RCKS"
+
+// Marshal encodes the packet.
+func (p Packet) Marshal() []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, wireMagic)
+	b = append(b, byte(p.Type))
+	b = binary.BigEndian.AppendUint32(b, p.Xid)
+	for _, s := range []string{p.MAC, p.YourIP, p.Hostname, p.NextServer} {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// Unmarshal decodes a packet from wire bytes.
+func Unmarshal(b []byte) (Packet, error) {
+	var p Packet
+	if len(b) < 9 || binary.BigEndian.Uint32(b[:4]) != wireMagic {
+		return p, fmt.Errorf("dhcp: bad packet header")
+	}
+	p.Type = MessageType(b[4])
+	p.Xid = binary.BigEndian.Uint32(b[5:9])
+	rest := b[9:]
+	fields := []*string{&p.MAC, &p.YourIP, &p.Hostname, &p.NextServer}
+	for _, f := range fields {
+		if len(rest) < 2 {
+			return p, fmt.Errorf("dhcp: truncated packet")
+		}
+		n := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < n {
+			return p, fmt.Errorf("dhcp: truncated field")
+		}
+		*f = string(rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return p, fmt.Errorf("dhcp: %d trailing bytes", len(rest))
+	}
+	return p, nil
+}
+
+// Responder handles a broadcast packet, optionally replying.
+type Responder interface {
+	HandleDHCP(Packet) (Packet, bool)
+}
+
+// Bus is the private Ethernet broadcast segment: clients broadcast, every
+// registered responder sees the packet, and the first affirmative reply is
+// returned to the sender. Packets cross the bus in wire format, so both
+// marshalling paths are exercised on every exchange.
+type Bus struct {
+	mu         sync.RWMutex
+	responders []Responder
+}
+
+// NewBus creates an empty segment.
+func NewBus() *Bus { return &Bus{} }
+
+// Register attaches a responder (a DHCP server) to the segment.
+func (b *Bus) Register(r Responder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.responders = append(b.responders, r)
+}
+
+// Broadcast sends a packet to every responder and returns the first reply.
+func (b *Bus) Broadcast(p Packet) (Packet, bool) {
+	wire := p.Marshal()
+	b.mu.RLock()
+	responders := append([]Responder(nil), b.responders...)
+	b.mu.RUnlock()
+	for _, r := range responders {
+		decoded, err := Unmarshal(wire)
+		if err != nil {
+			return Packet{}, false
+		}
+		if reply, ok := r.HandleDHCP(decoded); ok {
+			// Replies also cross the wire.
+			back, err := Unmarshal(reply.Marshal())
+			if err != nil {
+				return Packet{}, false
+			}
+			return back, true
+		}
+	}
+	return Packet{}, false
+}
+
+// Binding is one static host entry in the server's configuration — the
+// product of a dbreport over the nodes table.
+type Binding struct {
+	IP         string
+	Hostname   string
+	NextServer string
+}
+
+// Server answers DISCOVER/REQUEST for known MACs and logs unknown MACs to
+// syslog, which is the signal insert-ethers discovers new nodes by.
+type Server struct {
+	mu       sync.RWMutex
+	host     string // server's own hostname, used as the syslog origin
+	bindings map[string]Binding
+	log      *syslogd.Collector
+}
+
+// NewServer creates a DHCP server logging to the given collector.
+func NewServer(host string, log *syslogd.Collector) *Server {
+	return &Server{host: host, bindings: make(map[string]Binding), log: log}
+}
+
+// SetBinding installs or replaces the static entry for a MAC.
+func (s *Server) SetBinding(mac string, b Binding) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bindings[mac] = b
+}
+
+// RemoveBinding deletes a MAC's entry.
+func (s *Server) RemoveBinding(mac string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.bindings, mac)
+}
+
+// Bindings returns a copy of the current table.
+func (s *Server) Bindings() map[string]Binding {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Binding, len(s.bindings))
+	for k, v := range s.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// HandleDHCP implements Responder: DISCOVER→OFFER and REQUEST→ACK for known
+// MACs; unknown MACs are logged and left unanswered, exactly the behavior
+// insert-ethers depends on.
+func (s *Server) HandleDHCP(p Packet) (Packet, bool) {
+	if p.Type != Discover && p.Type != Request {
+		return Packet{}, false
+	}
+	s.mu.RLock()
+	b, ok := s.bindings[p.MAC]
+	s.mu.RUnlock()
+	if !ok {
+		if s.log != nil {
+			s.log.Log(s.host, "dhcpd", "%s from %s via eth0: network 10.0.0.0/8: no free leases",
+				p.Type, p.MAC)
+		}
+		return Packet{}, false
+	}
+	reply := Packet{
+		Xid:        p.Xid,
+		MAC:        p.MAC,
+		YourIP:     b.IP,
+		Hostname:   b.Hostname,
+		NextServer: b.NextServer,
+	}
+	if p.Type == Discover {
+		reply.Type = Offer
+	} else {
+		reply.Type = Ack
+	}
+	if s.log != nil {
+		s.log.Log(s.host, "dhcpd", "%s on %s to %s (%s) via eth0",
+			reply.Type, b.IP, p.MAC, b.Hostname)
+	}
+	return reply, true
+}

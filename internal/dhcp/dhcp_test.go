@@ -1,0 +1,153 @@
+package dhcp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rocks/internal/syslogd"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := Packet{
+		Type:       Discover,
+		Xid:        0xdeadbeef,
+		MAC:        "00:50:8b:e0:3a:a7",
+		Hostname:   "compute-0-0",
+		NextServer: "10.1.1.1",
+	}
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(typ byte, xid uint32, mac, ip, host, next string) bool {
+		p := Packet{Type: MessageType(typ), Xid: xid, MAC: mac, YourIP: ip,
+			Hostname: host, NextServer: next}
+		got, err := Unmarshal(p.Marshal())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("definitely not a packet"),
+		Packet{Type: Discover}.Marshal()[:10], // truncated
+		append(Packet{Type: Discover}.Marshal(), 0xff),        // trailing byte
+		append([]byte{0, 0, 0, 0}, Packet{}.Marshal()[4:]...), // bad magic
+	}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d: Unmarshal accepted garbage", i)
+		}
+	}
+}
+
+func TestMessageTypeString(t *testing.T) {
+	if Discover.String() != "DHCPDISCOVER" || Offer.String() != "DHCPOFFER" {
+		t.Error("type names wrong")
+	}
+	if !strings.Contains(MessageType(99).String(), "99") {
+		t.Error("unknown type should render numerically")
+	}
+}
+
+func TestServerOffersKnownMAC(t *testing.T) {
+	log := syslogd.New()
+	s := NewServer("frontend-0", log)
+	s.SetBinding("aa:bb", Binding{IP: "10.255.255.254", Hostname: "compute-0-0", NextServer: "10.1.1.1"})
+
+	reply, ok := s.HandleDHCP(Packet{Type: Discover, Xid: 7, MAC: "aa:bb"})
+	if !ok {
+		t.Fatal("no offer for a known MAC")
+	}
+	if reply.Type != Offer || reply.YourIP != "10.255.255.254" ||
+		reply.Hostname != "compute-0-0" || reply.NextServer != "10.1.1.1" || reply.Xid != 7 {
+		t.Errorf("offer = %+v", reply)
+	}
+	ack, ok := s.HandleDHCP(Packet{Type: Request, Xid: 8, MAC: "aa:bb"})
+	if !ok || ack.Type != Ack {
+		t.Errorf("request → %+v, %v", ack, ok)
+	}
+}
+
+func TestServerLogsUnknownMAC(t *testing.T) {
+	log := syslogd.New()
+	s := NewServer("frontend-0", log)
+	_, ok := s.HandleDHCP(Packet{Type: Discover, MAC: "de:ad:be:ef:00:01"})
+	if ok {
+		t.Fatal("server answered an unknown MAC")
+	}
+	hits := log.Grep("de:ad:be:ef:00:01")
+	if len(hits) != 1 {
+		t.Fatalf("syslog entries = %v", hits)
+	}
+	if hits[0].Tag != "dhcpd" || !strings.Contains(hits[0].Text, "DHCPDISCOVER") {
+		t.Errorf("log line = %+v", hits[0])
+	}
+}
+
+func TestServerIgnoresNonClientMessages(t *testing.T) {
+	s := NewServer("frontend-0", nil)
+	if _, ok := s.HandleDHCP(Packet{Type: Offer, MAC: "aa"}); ok {
+		t.Error("server must not respond to OFFER")
+	}
+}
+
+func TestBusEndToEnd(t *testing.T) {
+	log := syslogd.New()
+	bus := NewBus()
+	s := NewServer("frontend-0", log)
+	bus.Register(s)
+
+	// Unknown MAC: no reply, but a syslog trace.
+	if _, ok := bus.Broadcast(Packet{Type: Discover, MAC: "aa:bb", Xid: 1}); ok {
+		t.Fatal("offer for unregistered MAC")
+	}
+	if len(log.Grep("aa:bb")) != 1 {
+		t.Fatal("discovery not logged")
+	}
+
+	// Bind (what insert-ethers does) and retry: now the node gets its lease.
+	s.SetBinding("aa:bb", Binding{IP: "10.255.255.254", Hostname: "compute-0-0", NextServer: "10.1.1.1"})
+	reply, ok := bus.Broadcast(Packet{Type: Discover, MAC: "aa:bb", Xid: 2})
+	if !ok || reply.YourIP != "10.255.255.254" {
+		t.Fatalf("retry after binding: %+v, %v", reply, ok)
+	}
+}
+
+func TestBusFirstResponderWins(t *testing.T) {
+	bus := NewBus()
+	a := NewServer("a", nil)
+	a.SetBinding("m", Binding{IP: "10.0.0.1"})
+	b := NewServer("b", nil)
+	b.SetBinding("m", Binding{IP: "10.0.0.2"})
+	bus.Register(a)
+	bus.Register(b)
+	reply, ok := bus.Broadcast(Packet{Type: Discover, MAC: "m"})
+	if !ok || reply.YourIP != "10.0.0.1" {
+		t.Errorf("reply = %+v, want the first server's offer", reply)
+	}
+}
+
+func TestRemoveBinding(t *testing.T) {
+	s := NewServer("fe", nil)
+	s.SetBinding("m", Binding{IP: "10.0.0.1"})
+	s.RemoveBinding("m")
+	if _, ok := s.HandleDHCP(Packet{Type: Discover, MAC: "m"}); ok {
+		t.Error("removed binding still answered")
+	}
+	if len(s.Bindings()) != 0 {
+		t.Error("Bindings not empty")
+	}
+}

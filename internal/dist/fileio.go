@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rocks/internal/rpm"
+)
+
+// On-disk distribution trees. rocks-dist materializes a distribution as a
+// directory shaped like a Red Hat tree (RedHat/RPMS/*.rpm); this file moves
+// repositories between memory and such trees so the rocks-dist CLI can
+// compose distributions across process boundaries.
+
+// WriteTree writes every package of a repository under dir/RedHat/RPMS/,
+// plus a MANIFEST listing NVRA, size, and provenance. It returns the number
+// of package files written.
+func WriteTree(repo *rpm.Repository, dir string) (int, error) {
+	rpms := filepath.Join(dir, "RedHat", "RPMS")
+	if err := os.MkdirAll(rpms, 0o755); err != nil {
+		return 0, fmt.Errorf("dist: %w", err)
+	}
+	var manifest []string
+	n := 0
+	for _, p := range repo.All() {
+		f, err := os.Create(filepath.Join(rpms, p.Filename()))
+		if err != nil {
+			return n, fmt.Errorf("dist: %w", err)
+		}
+		if _, err := p.WriteTo(f); err != nil {
+			f.Close()
+			return n, fmt.Errorf("dist: writing %s: %w", p.Filename(), err)
+		}
+		if err := f.Close(); err != nil {
+			return n, err
+		}
+		manifest = append(manifest, fmt.Sprintf("%s %d %s", p.NVRA(), p.Size, p.Source))
+		n++
+	}
+	sort.Strings(manifest)
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"),
+		[]byte(strings.Join(manifest, "\n")+"\n"), 0o644); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Materialize writes the full distribution tree: packages under
+// RedHat/RPMS/ plus the XML configuration infrastructure under profiles/ —
+// the §6.2.3 build directory users edit to customize a distribution.
+func Materialize(d *Distribution, dir string) (int, error) {
+	n, err := WriteTree(d.Repo, dir)
+	if err != nil {
+		return n, err
+	}
+	if d.Framework != nil {
+		if err := d.Framework.Export(filepath.Join(dir, "profiles")); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadTree loads every .rpm under dir/RedHat/RPMS/ into a repository named
+// after the source name.
+func ReadTree(dir, name string) (*rpm.Repository, error) {
+	rpms := filepath.Join(dir, "RedHat", "RPMS")
+	entries, err := os.ReadDir(rpms)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s is not a distribution tree: %w", dir, err)
+	}
+	repo := rpm.NewRepository(name)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".rpm") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(rpms, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		p, err := rpm.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dist: reading %s: %w", e.Name(), err)
+		}
+		p.Source = name
+		repo.Add(p)
+	}
+	return repo, nil
+}

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rocks/internal/rpm"
+)
+
+func TestWriteAndReadTree(t *testing.T) {
+	dir := t.TempDir()
+	repo := rpm.NewRepository("src")
+	p := rpm.New("dhcp", v("2.0", "5"), rpm.ArchI386,
+		rpm.FileEntry{Path: "/usr/sbin/dhcpd", Mode: 0o755, Data: []byte("binary")})
+	p.Summary = "DHCP server"
+	repo.Add(p)
+	repo.Add(rpm.New("glibc", v("2.2.4", "24"), rpm.ArchI386))
+
+	n, err := WriteTree(repo, dir)
+	if err != nil || n != 2 {
+		t.Fatalf("WriteTree = %d, %v", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "RedHat", "RPMS", "dhcp-2.0-5.i386.rpm")); err != nil {
+		t.Fatalf("package file missing: %v", err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil || !strings.Contains(string(manifest), "dhcp-2.0-5.i386") {
+		t.Errorf("MANIFEST = %q, %v", manifest, err)
+	}
+
+	got, err := ReadTree(dir, "reread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("reread %d packages", got.Len())
+	}
+	q := got.Get("dhcp-2.0-5.i386")
+	if q == nil || q.Summary != "DHCP server" || string(q.Files[0].Data) != "binary" {
+		t.Errorf("round trip lost data: %+v", q)
+	}
+	if q.Source != "reread" {
+		t.Errorf("provenance = %q", q.Source)
+	}
+}
+
+func TestReadTreeErrors(t *testing.T) {
+	if _, err := ReadTree(t.TempDir(), "x"); err == nil {
+		t.Error("empty dir should not be a distribution tree")
+	}
+}
+
+func TestTreeRoundTripThroughBuild(t *testing.T) {
+	// synth → write → read → build: the CLI's composition path.
+	dir := t.TempDir()
+	if _, err := WriteTree(SyntheticRedHat(), dir); err != nil {
+		t.Fatal(err)
+	}
+	repo, err := ReadTree(dir, "mirror")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Build("fromdisk", nil, Source{Name: "mirror", Repo: repo})
+	if d.Repo.Len() != SyntheticRedHat().Len() {
+		t.Errorf("lost packages: %d vs %d", d.Repo.Len(), SyntheticRedHat().Len())
+	}
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"rocks/internal/rpm"
+)
+
+// HTTP transport for distributions. The paper's nodes pull RPMs with
+// Kickstart's HTTP method (§5), and rocks-dist replicates parent
+// distributions with wget over HTTP (§6.2.3). The layout mirrors a Red Hat
+// tree: packages live under RedHat/RPMS/, and RedHat/RPMS/ itself returns a
+// plain-text listing (one filename per line) that the mirror client walks
+// the way wget walks a directory index.
+
+// Handler serves a distribution read-only over HTTP:
+//
+//	GET {prefix}/RedHat/RPMS/            → newline-separated package listing
+//	GET {prefix}/RedHat/RPMS/<file>.rpm  → the package in its on-disk format
+//	GET {prefix}/profiles/graph.dot      → the framework's graph (diagnostic)
+//
+// Replicating an installation web server is safe precisely because this is
+// strictly read-only (§6.3 footnote).
+func Handler(d *Distribution) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/RedHat/RPMS/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/RedHat/RPMS/")
+		if rest == "" {
+			var names []string
+			for _, p := range d.Repo.All() {
+				names = append(names, p.Filename())
+			}
+			sort.Strings(names)
+			w.Header().Set("Content-Type", "text/plain")
+			io.WriteString(w, strings.Join(names, "\n")+"\n")
+			return
+		}
+		meta, err := rpm.ParseFilename(rest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p := d.Repo.Get(meta.NVRA())
+		if p == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-rpm")
+		if _, err := p.WriteTo(w); err != nil {
+			// Connection-level failure; nothing recoverable server-side.
+			return
+		}
+	})
+	mux.HandleFunc("/RedHat/base/hdlist", func(w http.ResponseWriter, r *http.Request) {
+		// The hdlist gives installers package sizes up front (progress
+		// accounting) without fetching payloads: "filename size" per line.
+		var lines []string
+		for _, p := range d.Repo.All() {
+			lines = append(lines, fmt.Sprintf("%s %d", p.Filename(), p.Size))
+		}
+		sort.Strings(lines)
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	})
+	mux.HandleFunc("/profiles/graph.dot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		io.WriteString(w, d.Framework.DOT())
+	})
+	return mux
+}
+
+// Mirror replicates a served distribution's packages into a local
+// repository — the wget step of Figure 6. baseURL addresses the Handler
+// root (e.g. "http://10.1.1.1/dist"). The returned repository's packages
+// carry the mirror's name as provenance.
+func Mirror(client *http.Client, baseURL, name string) (*rpm.Repository, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	listURL := baseURL + "/RedHat/RPMS/"
+	resp, err := client.Get(listURL)
+	if err != nil {
+		return nil, fmt.Errorf("dist: mirroring %s: %w", listURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: mirroring %s: HTTP %s", listURL, resp.Status)
+	}
+	listing, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading listing: %w", err)
+	}
+	repo := rpm.NewRepository(name)
+	for _, fn := range strings.Fields(string(listing)) {
+		pkgURL := listURL + fn
+		pr, err := client.Get(pkgURL)
+		if err != nil {
+			return nil, fmt.Errorf("dist: fetching %s: %w", pkgURL, err)
+		}
+		if pr.StatusCode != http.StatusOK {
+			pr.Body.Close()
+			return nil, fmt.Errorf("dist: fetching %s: HTTP %s", pkgURL, pr.Status)
+		}
+		p, err := rpm.Read(pr.Body)
+		pr.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dist: decoding %s: %w", pkgURL, err)
+		}
+		p.Source = name
+		repo.Add(p)
+	}
+	return repo, nil
+}

@@ -1,0 +1,156 @@
+package ekv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScreenMirroredToClient(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Attach(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s.Printf("Package Installation\n")
+	s.Printf("Name   : dev-3.0.6-5\n")
+	if !c.WaitFor("dev-3.0.6-5", 2*time.Second) {
+		t.Fatalf("client never saw output; screen=%q", c.Screen())
+	}
+	if s.Screen() != "Package Installation\nName   : dev-3.0.6-5\n" {
+		t.Errorf("server transcript = %q", s.Screen())
+	}
+}
+
+func TestLateAttachGetsBacklog(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Printf("early output before anyone attached\n")
+
+	c, err := Attach(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.WaitFor("early output", 2*time.Second) {
+		t.Errorf("late attach missed backlog; screen=%q", c.Screen())
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Attach(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	s.Printf("fan-out\n")
+	for i, c := range clients {
+		if !c.WaitFor("fan-out", 2*time.Second) {
+			t.Errorf("client %d missed output", i)
+		}
+	}
+}
+
+func TestKeyboardInput(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Attach(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Send("retry"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case line := <-s.Input():
+		if line != "retry" {
+			t.Errorf("input = %q", line)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("installer never received the keystroke line")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Write([]byte("x")); err == nil {
+		t.Error("Write after Close should fail")
+	}
+	s.Close() // idempotent
+}
+
+func TestClientDisconnectDoesNotBreakServer(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Attach(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.Printf("still alive %d\n", i)
+	}
+	if !strings.Contains(s.Screen(), "still alive 9") {
+		t.Error("server output lost after client disconnect")
+	}
+}
+
+func TestFigure7StyleScreen(t *testing.T) {
+	// Render an installation status screen shaped like the paper's
+	// Figure 7 and verify a remote viewer captures it intact.
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Attach(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s.Printf("Red Hat Linux (C) 2000 Red Hat, Inc.\n")
+	s.Printf("+---------------- Package Installation -----------------+\n")
+	s.Printf(" Name   : dev-3.0.6-5\n")
+	s.Printf(" Size   : 340k\n")
+	s.Printf(" Packages  Bytes  Time\n")
+	s.Printf(" Total     : 162  386M  0:01.44\n")
+	if !c.WaitFor("Total     : 162", 2*time.Second) {
+		t.Fatalf("screen = %q", c.Screen())
+	}
+	if !strings.Contains(c.Screen(), "Package Installation") {
+		t.Error("banner missing")
+	}
+}

@@ -1,0 +1,339 @@
+// Package experiments reproduces the paper's quantitative results in
+// modeled (virtual) time. The live plane (internal/core) proves the
+// mechanisms work; this package replays the same artifacts — the real
+// kickstart profile and the real synthetic distribution's package sizes —
+// through the internal/simnet fluid-flow network model to predict wall
+// clock at testbed scale (Table I, the §6.3 serial-download
+// micro-benchmark, and the Gigabit/replicated-server/Myrinet ablations).
+//
+// Calibration follows the paper's own accounting for a solo reinstall of
+// 10.3 minutes (618 s): ~223 s is "downloading and installing RPMs" and
+// "the remainder of the time is spent in rebooting and post configuration",
+// with the Myrinet driver source rebuild contributing a 20-30% penalty. The
+// server side uses the measured single-stream throughput (7-8 MB/s from a
+// 100 Mbit NIC, §6.3) and a higher aggregate utilization for many
+// concurrent streams.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rocks/internal/dist"
+	"rocks/internal/kickstart"
+	"rocks/internal/simnet"
+)
+
+// PackageWork is one package's contribution to a reinstall: bytes over the
+// wire, then CPU seconds to unpack and configure.
+type PackageWork struct {
+	Name    string
+	Bytes   float64
+	CPUSecs float64
+}
+
+// ReinstallParams parameterizes one concurrent-reinstallation experiment.
+type ReinstallParams struct {
+	Nodes int
+	// Servers is the number of replicated HTTP servers behind load
+	// balancing (§6.3); nodes are assigned round-robin.
+	Servers int
+	// ServerMBps is one server's effective aggregate throughput in MB/s.
+	// The paper's dual-PIII on 100 Mbit: ~92% utilization ≈ 11.5 MB/s.
+	ServerMBps float64
+	// ClientMBps caps a single node's stream: the measured 7-8 MB/s
+	// single-stream ceiling (~60% of Fast Ethernet).
+	ClientMBps float64
+	// PreSecs is power-on → first byte (POST, boot, DHCP, kickstart
+	// fetch, partitioning).
+	PreSecs float64
+	// PostSecs is post-configuration plus the final reboot, excluding the
+	// Myrinet driver build.
+	PostSecs float64
+	// GMBuildSecs is the Myrinet source rebuild (§6.3's 20-30% penalty).
+	GMBuildSecs float64
+	// WithMyrinet includes the GM build (Table I nodes all have Myrinet).
+	WithMyrinet bool
+	// Packages is the per-package workload; nil means the real compute
+	// profile resolved against the synthetic distribution.
+	Packages []PackageWork
+	// Bursty switches the per-node demand model: instead of the smoothed
+	// "1 MB/s average" pipeline anaconda presents (the paper's model), each
+	// package downloads at full stream speed and then stalls for its CPU
+	// time. Identical nodes then burst in lockstep and contend even at
+	// small N — the ablation showing why the demand model matters.
+	Bursty bool
+}
+
+// DefaultParams returns the Table I configuration for n nodes.
+func DefaultParams(n int) ReinstallParams {
+	return ReinstallParams{
+		Nodes:       n,
+		Servers:     1,
+		ServerMBps:  11.5,
+		ClientMBps:  7.5,
+		PreSecs:     60,
+		PostSecs:    195,
+		GMBuildSecs: 140,
+		WithMyrinet: true,
+		Packages:    ComputePackageWork(),
+	}
+}
+
+var (
+	pkgOnce sync.Once
+	pkgWork []PackageWork
+)
+
+// ComputePackageWork resolves the compute appliance's kickstart profile
+// against the synthetic Red Hat distribution and converts it to per-package
+// work: the same 162 packages and ~225 MB the live installer moves, with
+// CPU time split proportionally to size so that the solo
+// download-and-install phase matches the paper's 223 s at 7.5 MB/s.
+func ComputePackageWork() []PackageWork {
+	pkgOnce.Do(func() {
+		fw := kickstart.DefaultFramework()
+		d := dist.Build("bench", fw, dist.Source{Name: "redhat", Repo: dist.SyntheticRedHat()})
+		profile, err := fw.Generate(kickstart.Request{
+			Appliance: "compute", Arch: "i386", NodeName: "bench",
+			Attrs: kickstart.DefaultAttrs("http://frontend/dist", "frontend"),
+		})
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		pkgs, err := d.ResolveProfile(profile)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		var totalBytes float64
+		for _, p := range pkgs {
+			totalBytes += float64(p.Size)
+		}
+		// Solo D&I = 223 s; wire time at the single-stream ceiling is
+		// bytes/7.5 MB/s; the rest is CPU, apportioned by size.
+		const soloDI = 223.0
+		wire := totalBytes / (7.5 * 1e6 * mbFactor)
+		cpuTotal := soloDI - wire
+		if cpuTotal < 0 {
+			cpuTotal = 0
+		}
+		work := make([]PackageWork, len(pkgs))
+		for i, p := range pkgs {
+			work[i] = PackageWork{
+				Name:    p.Name,
+				Bytes:   float64(p.Size),
+				CPUSecs: cpuTotal * float64(p.Size) / totalBytes,
+			}
+		}
+		pkgWork = work
+	})
+	return pkgWork
+}
+
+// mbFactor converts the paper's MB (2^20 bytes, matching "225 MB") against
+// MB/s link rates quoted in decimal; we treat both as 2^20 for internal
+// consistency, so 7.5 MB/s means 7.5*2^20 B/s.
+const mbFactor = 1048576.0 / 1e6
+
+// mbps converts an "MB/s" figure to bytes/second.
+func mbps(v float64) float64 { return v * 1048576 }
+
+// fastEthernetBps is a 100 Mbit NIC's raw capacity in bytes/second.
+const fastEthernetBps = 12.5e6
+
+// ReinstallResult is the outcome of one experiment.
+type ReinstallResult struct {
+	Params      ReinstallParams
+	PerNodeSecs []float64
+	TotalSecs   float64 // when the last node finished
+	// BytesMoved is the total wire traffic.
+	BytesMoved float64
+}
+
+// TotalMinutes reports the Table I figure.
+func (r ReinstallResult) TotalMinutes() float64 { return r.TotalSecs / 60 }
+
+// RunReinstall simulates p.Nodes concurrent reinstallations and returns
+// per-node and total completion times.
+func RunReinstall(p ReinstallParams) ReinstallResult {
+	if p.Nodes <= 0 {
+		panic("experiments: need at least one node")
+	}
+	if p.Servers <= 0 {
+		p.Servers = 1
+	}
+	if p.Packages == nil {
+		p.Packages = ComputePackageWork()
+	}
+	sim := simnet.New()
+	servers := make([]*simnet.Link, p.Servers)
+	for i := range servers {
+		servers[i] = sim.NewLink(fmt.Sprintf("server-%d", i), mbps(p.ServerMBps))
+	}
+	res := ReinstallResult{Params: p, PerNodeSecs: make([]float64, p.Nodes)}
+
+	for n := 0; n < p.Nodes; n++ {
+		n := n
+		client := sim.NewLink(fmt.Sprintf("client-%d", n), fastEthernetBps) // raw 100 Mbit NIC; the stream cap applies separately
+		server := servers[n%p.Servers]
+		path := []*simnet.Link{server, client}
+
+		var installPkg func(i int)
+		finish := func() {
+			post := p.PostSecs
+			if p.WithMyrinet {
+				post += p.GMBuildSecs
+			}
+			sim.After(post, func() {
+				res.PerNodeSecs[n] = sim.Now()
+			})
+		}
+		installPkg = func(i int) {
+			if i >= len(p.Packages) {
+				finish()
+				return
+			}
+			w := p.Packages[i]
+			res.BytesMoved += w.Bytes
+			if p.Bursty {
+				// Ablation: download at wire speed, then stall for CPU.
+				sim.StartFlow(fmt.Sprintf("n%d-%s", n, w.Name), w.Bytes, path, mbps(p.ClientMBps), func() {
+					sim.After(w.CPUSecs, func() { installPkg(i + 1) })
+				})
+				return
+			}
+			// Anaconda overlaps the next package's download with the
+			// current package's unpack, so a node presents a smooth demand
+			// to the server rather than wire-speed bursts — this is exactly
+			// the paper's "each reinstalling node demands 1 MB/sec" model.
+			// Fold the package's CPU time into an effective rate cap: the
+			// flow completes when download AND install are both done.
+			wireSecs := w.Bytes / mbps(p.ClientMBps)
+			effRate := w.Bytes / (wireSecs + w.CPUSecs)
+			sim.StartFlow(fmt.Sprintf("n%d-%s", n, w.Name), w.Bytes, path, effRate, func() {
+				installPkg(i + 1)
+			})
+		}
+		sim.After(p.PreSecs, func() { installPkg(0) })
+	}
+	sim.Run()
+	for _, t := range res.PerNodeSecs {
+		if t > res.TotalSecs {
+			res.TotalSecs = t
+		}
+	}
+	return res
+}
+
+// TableIRow pairs a measured point from the paper with our prediction.
+type TableIRow struct {
+	Nodes         int
+	PaperMinutes  float64
+	ModelMinutes  float64
+	PerNodeSpread float64 // max-min across nodes, seconds
+}
+
+// PaperTableI is Table I as published.
+var PaperTableI = map[int]float64{1: 10.3, 2: 9.8, 4: 10.1, 8: 10.4, 16: 11.1, 32: 13.7}
+
+// RunTableI reproduces the full table.
+func RunTableI() []TableIRow {
+	var rows []TableIRow
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		r := RunReinstall(DefaultParams(n))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range r.PerNodeSecs {
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+		rows = append(rows, TableIRow{
+			Nodes:         n,
+			PaperMinutes:  PaperTableI[n],
+			ModelMinutes:  r.TotalMinutes(),
+			PerNodeSpread: hi - lo,
+		})
+	}
+	return rows
+}
+
+// FormatTableI renders the comparison table.
+func FormatTableI(rows []TableIRow) string {
+	s := fmt.Sprintf("%-6s %-22s %-22s\n", "Nodes", "Paper (minutes)", "Model (minutes)")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-6d %-22.1f %-22.1f\n", r.Nodes, r.PaperMinutes, r.ModelMinutes)
+	}
+	return s
+}
+
+// SerialDownloadMBps reproduces the §6.3 micro-benchmark: serially
+// downloading every RPM a compute node fetches, reporting the achieved
+// MB/s (paper: "the web server sourced 7-8 MB/s").
+func SerialDownloadMBps(p ReinstallParams) float64 {
+	if p.Packages == nil {
+		p.Packages = ComputePackageWork()
+	}
+	sim := simnet.New()
+	server := sim.NewLink("server", mbps(p.ServerMBps))
+	client := sim.NewLink("client", fastEthernetBps)
+	var total float64
+	var next func(i int)
+	done := 0.0
+	next = func(i int) {
+		if i >= len(p.Packages) {
+			done = sim.Now()
+			return
+		}
+		w := p.Packages[i]
+		total += w.Bytes
+		sim.StartFlow(w.Name, w.Bytes, []*simnet.Link{server, client}, mbps(p.ClientMBps), func() {
+			next(i + 1)
+		})
+	}
+	next(0)
+	sim.Run()
+	if done == 0 {
+		return 0
+	}
+	return total / done / 1048576
+}
+
+// MaxFullSpeedReinstalls reports how many concurrent reinstallations a
+// configuration supports "at full speed": the largest N whose total time
+// stays within tol of the solo time (the paper's model predicts 7 for Fast
+// Ethernet and 7.0-9.5× that for Gigabit).
+func MaxFullSpeedReinstalls(base ReinstallParams, tol float64, maxN int) int {
+	solo := base
+	solo.Nodes = 1
+	ref := RunReinstall(solo).TotalSecs
+	best := 1
+	for n := 2; n <= maxN; n++ {
+		p := base
+		p.Nodes = n
+		if RunReinstall(p).TotalSecs <= ref*(1+tol) {
+			best = n
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// SequentialIntegration models first-time cluster integration (§6.4):
+// insert-ethers assigns rack/rank in discovery order, so nodes are booted
+// one at a time — each must finish installing before the next powers on.
+// The contrast with RunReinstall is the paper's §5 punchline: integrating N
+// nodes costs N solo installs, but REinstalling the whole cluster later
+// costs barely more than one, because reinstallation is concurrent.
+func SequentialIntegration(p ReinstallParams) ReinstallResult {
+	res := ReinstallResult{Params: p, PerNodeSecs: make([]float64, p.Nodes)}
+	solo := p
+	solo.Nodes = 1
+	one := RunReinstall(solo)
+	for i := 0; i < p.Nodes; i++ {
+		res.PerNodeSecs[i] = float64(i+1) * one.TotalSecs
+		res.BytesMoved += one.BytesMoved
+	}
+	res.TotalSecs = res.PerNodeSecs[p.Nodes-1]
+	return res
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputePackageWorkMatchesPaperWorkload(t *testing.T) {
+	work := ComputePackageWork()
+	if len(work) != 162 {
+		t.Errorf("packages = %d, want 162", len(work))
+	}
+	var bytes, cpu float64
+	for _, w := range work {
+		bytes += w.Bytes
+		cpu += w.CPUSecs
+	}
+	if math.Abs(bytes-225*1048576)/(225*1048576) > 0.01 {
+		t.Errorf("total bytes = %.0f, want ~225 MB", bytes)
+	}
+	// CPU plus solo wire time must equal the paper's 223 s D&I phase.
+	wire := bytes / mbps(7.5)
+	if math.Abs(cpu+wire-223) > 1 {
+		t.Errorf("solo D&I = %.1f s, want 223", cpu+wire)
+	}
+}
+
+func TestSoloReinstallMatchesPaper(t *testing.T) {
+	r := RunReinstall(DefaultParams(1))
+	if math.Abs(r.TotalMinutes()-10.3) > 0.2 {
+		t.Errorf("solo reinstall = %.2f min, want 10.3 ± 0.2", r.TotalMinutes())
+	}
+}
+
+// TestTableIShape asserts the paper's qualitative result: reinstall time is
+// flat through 8 concurrent nodes, rises modestly at 16, and more at 32.
+func TestTableIShape(t *testing.T) {
+	rows := RunTableI()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byNodes := map[int]float64{}
+	for _, r := range rows {
+		byNodes[r.Nodes] = r.ModelMinutes
+	}
+	solo := byNodes[1]
+	for _, n := range []int{2, 4, 8} {
+		if math.Abs(byNodes[n]-solo) > 0.2 {
+			t.Errorf("%d nodes = %.2f min; want flat at ~%.2f (no contention through 8)", n, byNodes[n], solo)
+		}
+	}
+	if byNodes[16] <= solo+0.5 {
+		t.Errorf("16 nodes = %.2f min; the server should be saturated past ~11 nodes", byNodes[16])
+	}
+	if byNodes[32] <= byNodes[16]+1 {
+		t.Errorf("32 nodes = %.2f min; contention should grow markedly (16: %.2f)", byNodes[32], byNodes[16])
+	}
+	// 16-node point should be close to the paper's 11.1.
+	if math.Abs(byNodes[16]-11.1) > 1.5 {
+		t.Errorf("16 nodes = %.2f min, paper measured 11.1", byNodes[16])
+	}
+	// All nodes in a symmetric run finish together.
+	for _, r := range rows {
+		if r.PerNodeSpread > 1 {
+			t.Errorf("%d nodes: per-node spread %.1f s; symmetric runs should finish together", r.Nodes, r.PerNodeSpread)
+		}
+	}
+}
+
+func TestSerialDownloadMicrobenchmark(t *testing.T) {
+	// §6.3: "we found the web server sourced 7-8 MB/s."
+	got := SerialDownloadMBps(DefaultParams(1))
+	if got < 7.0 || got > 8.0 {
+		t.Errorf("serial download = %.2f MB/s, want 7-8", got)
+	}
+}
+
+// TestFullSpeedConcurrency reproduces the paper's capacity model: with the
+// web server providing ~7 MB/s and each node demanding ~1 MB/s, "the web
+// server described above should be able to support 7 concurrent
+// reinstallations at full speed."
+func TestFullSpeedConcurrency(t *testing.T) {
+	p := DefaultParams(1)
+	p.ServerMBps = 7.0
+	got := MaxFullSpeedReinstalls(p, 0.02, 16)
+	if got < 6 || got > 8 {
+		t.Errorf("full-speed concurrency = %d, want ~7", got)
+	}
+}
+
+// TestGigabitScaling reproduces the §6.3 footnote: "Gigabit Ethernet will
+// support 7.0-9.5 times the number of concurrent full-speed reinstallations
+// over Fast Ethernet."
+func TestGigabitScaling(t *testing.T) {
+	fe := DefaultParams(1)
+	fe.ServerMBps = 7.0
+	feN := MaxFullSpeedReinstalls(fe, 0.02, 20)
+
+	ge := fe
+	ge.ServerMBps = 7.0 * 8.5 // GigE ≈ 8.5× Fast Ethernet effective throughput
+	geN := MaxFullSpeedReinstalls(ge, 0.02, 100)
+
+	ratio := float64(geN) / float64(feN)
+	if ratio < 7.0 || ratio > 9.5 {
+		t.Errorf("GigE/FE concurrency ratio = %.1f (FE=%d, GE=%d), want 7.0-9.5", ratio, feN, geN)
+	}
+}
+
+// TestReplicatedServers reproduces §6.3: "By deploying N web servers, one
+// can support N times the number of concurrent full-speed reinstallations."
+func TestReplicatedServers(t *testing.T) {
+	base := DefaultParams(32)
+	one := RunReinstall(base)
+
+	quad := base
+	quad.Servers = 4
+	four := RunReinstall(quad)
+
+	solo := RunReinstall(DefaultParams(1)).TotalSecs
+	if four.TotalSecs > solo*1.02 {
+		t.Errorf("32 nodes on 4 servers = %.0f s; should be full speed (solo %.0f s)", four.TotalSecs, solo)
+	}
+	if one.TotalSecs <= four.TotalSecs*1.2 {
+		t.Errorf("replication should help markedly: 1 server %.0f s vs 4 servers %.0f s", one.TotalSecs, four.TotalSecs)
+	}
+}
+
+// TestMyrinetRebuildPenalty reproduces §6.3: the source rebuild "adds only
+// a 20-30% time penalty on reinstallation".
+func TestMyrinetRebuildPenalty(t *testing.T) {
+	with := RunReinstall(DefaultParams(1)).TotalSecs
+	p := DefaultParams(1)
+	p.WithMyrinet = false
+	without := RunReinstall(p).TotalSecs
+	penalty := (with - without) / without
+	if penalty < 0.20 || penalty > 0.30 {
+		t.Errorf("Myrinet rebuild penalty = %.0f%%, want 20-30%%", penalty*100)
+	}
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	r := RunReinstall(DefaultParams(4))
+	perNode := 225.0 * 1048576
+	if math.Abs(r.BytesMoved-4*perNode)/(4*perNode) > 0.02 {
+		t.Errorf("BytesMoved = %.0f, want ~4×225 MB", r.BytesMoved)
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	out := FormatTableI(RunTableI())
+	for _, want := range []string{"Nodes", "Paper", "Model", "32", "13.7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTableI missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReinstallValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero nodes should panic")
+		}
+	}()
+	RunReinstall(ReinstallParams{})
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := RunReinstall(DefaultParams(16))
+	b := RunReinstall(DefaultParams(16))
+	if a.TotalSecs != b.TotalSecs {
+		t.Errorf("non-deterministic: %.6f vs %.6f", a.TotalSecs, b.TotalSecs)
+	}
+}
+
+// TestSequentialVsConcurrent pins the §5 contrast: integrating 16 nodes
+// takes ~16 solo installs, while reinstalling the same 16 concurrently
+// takes little more than one.
+func TestSequentialVsConcurrent(t *testing.T) {
+	p := DefaultParams(16)
+	seq := SequentialIntegration(p)
+	conc := RunReinstall(p)
+	if seq.TotalSecs < 15*conc.TotalSecs/2 {
+		t.Errorf("sequential %0.f s vs concurrent %.0f s: expected ~16x gap", seq.TotalSecs, conc.TotalSecs)
+	}
+	if math.Abs(seq.TotalSecs-16*618)/(16*618) > 0.02 {
+		t.Errorf("sequential = %.0f s, want ~16 x 618", seq.TotalSecs)
+	}
+}
+
+// TestBurstyDemandAblation: with lockstep wire-speed bursts, even 8
+// identical nodes contend; the smoothed pipeline model keeps them at solo
+// speed — documenting why the demand model follows the paper's 1 MB/s
+// accounting.
+func TestBurstyDemandAblation(t *testing.T) {
+	smooth := RunReinstall(DefaultParams(8)).TotalSecs
+	p := DefaultParams(8)
+	p.Bursty = true
+	bursty := RunReinstall(p).TotalSecs
+	if bursty <= smooth*1.05 {
+		t.Errorf("bursty %.0f s vs smooth %.0f s: bursts should contend", bursty, smooth)
+	}
+	// Solo is unaffected by the demand model (no contention to smooth).
+	soloSmooth := RunReinstall(DefaultParams(1)).TotalSecs
+	ps := DefaultParams(1)
+	ps.Bursty = true
+	soloBursty := RunReinstall(ps).TotalSecs
+	if math.Abs(soloSmooth-soloBursty) > 1 {
+		t.Errorf("solo differs across demand models: %.1f vs %.1f", soloSmooth, soloBursty)
+	}
+}

@@ -1,0 +1,207 @@
+// Package hardware models the physical variety a Rocks cluster absorbs:
+// CPU architectures, disk subsystems (SCSI, IDE, integrated RAID), and
+// network interfaces (Ethernet, Myrinet). The paper's Meteor cluster grew
+// to "seven different types of nodes, two different CPU architectures,
+// manufactured by three vendors with three different types of disk-storage
+// adapters" (§3.1); Rocks handles that by letting the installer autodetect
+// hardware and load the right modules instead of cloning disk images.
+package hardware
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DiskType enumerates the three storage-adapter families the paper names.
+type DiskType string
+
+// Disk subsystem types (§1: "disk subsystem type: SCSI, IDE, integrated
+// RAID adapter").
+const (
+	DiskSCSI DiskType = "scsi"
+	DiskIDE  DiskType = "ide"
+	DiskRAID DiskType = "raid"
+)
+
+// NICType enumerates network interface families.
+type NICType string
+
+// Network interface types. Every node has Ethernet (the management
+// network); compute nodes usually add Myrinet (§3.1).
+const (
+	NICEthernet NICType = "ethernet"
+	NICMyrinet  NICType = "myrinet"
+)
+
+// NIC is one network interface.
+type NIC struct {
+	Type NICType
+	MAC  string
+	Mbps int // link speed (Ethernet: 100 or 1000; Myrinet: 1280)
+}
+
+// Disk describes the node's system disk.
+type Disk struct {
+	Type   DiskType
+	SizeMB int
+}
+
+// Profile is a node's hardware description — what the installer probes.
+type Profile struct {
+	Model  string // human-readable, e.g. "VA Linux 1220"
+	Vendor string
+	Arch   string // "i386", "athlon", "ia64"
+	CPUMHz int
+	CPUs   int
+	MemMB  int
+	Disk   Disk
+	NICs   []NIC
+}
+
+// EthernetMAC returns the MAC of the first Ethernet interface — the address
+// DHCP discovery and the nodes table key on. It returns "" if the profile
+// has no Ethernet NIC (such a node cannot be managed by Rocks; §4 assumes
+// an integrated Ethernet device).
+func (p Profile) EthernetMAC() string {
+	for _, n := range p.NICs {
+		if n.Type == NICEthernet {
+			return n.MAC
+		}
+	}
+	return ""
+}
+
+// EthernetMbps returns the first Ethernet interface's speed, or 0.
+func (p Profile) EthernetMbps() int {
+	for _, n := range p.NICs {
+		if n.Type == NICEthernet {
+			return n.Mbps
+		}
+	}
+	return 0
+}
+
+// HasMyrinet reports whether the node carries a Myrinet adapter, which
+// obliges the installer to rebuild the GM driver from source (§6.3).
+func (p Profile) HasMyrinet() bool {
+	for _, n := range p.NICs {
+		if n.Type == NICMyrinet {
+			return true
+		}
+	}
+	return false
+}
+
+// Probe is the result of hardware autodetection: the kernel modules the
+// installer must load. Reproducing this detection is exactly the "wheel
+// reinvention" the paper says proprietary installers waste effort on
+// (§3.3); we model its outcome.
+type Probe struct {
+	DiskDriver   string   // module for the disk adapter
+	DiskDevice   string   // device name the kickstart partitioning targets
+	NICDrivers   []string // modules for each NIC, in NIC order
+	NeedsGMBuild bool     // Myrinet present: GM driver must be built from source
+}
+
+// Detect maps a hardware profile to drivers the way anaconda's probe does.
+func Detect(p Profile) (Probe, error) {
+	var pr Probe
+	switch p.Disk.Type {
+	case DiskSCSI:
+		pr.DiskDriver, pr.DiskDevice = "aic7xxx", "sda"
+	case DiskIDE:
+		pr.DiskDriver, pr.DiskDevice = "ide-disk", "hda"
+	case DiskRAID:
+		pr.DiskDriver, pr.DiskDevice = "megaraid", "sda"
+	default:
+		return pr, fmt.Errorf("hardware: unknown disk type %q", p.Disk.Type)
+	}
+	for _, n := range p.NICs {
+		switch n.Type {
+		case NICEthernet:
+			if n.Mbps >= 1000 {
+				pr.NICDrivers = append(pr.NICDrivers, "acenic")
+			} else {
+				pr.NICDrivers = append(pr.NICDrivers, "eepro100")
+			}
+		case NICMyrinet:
+			pr.NICDrivers = append(pr.NICDrivers, "gm")
+			pr.NeedsGMBuild = true
+		default:
+			return pr, fmt.Errorf("hardware: unknown NIC type %q", n.Type)
+		}
+	}
+	return pr, nil
+}
+
+// MACAllocator hands out deterministic, unique Ethernet addresses for
+// simulated nodes. It is safe for concurrent use.
+type MACAllocator struct {
+	mu   sync.Mutex
+	next uint32
+	oui  string
+}
+
+// NewMACAllocator creates an allocator under a fixed OUI prefix.
+func NewMACAllocator() *MACAllocator {
+	return &MACAllocator{oui: "00:50:8b"} // Compaq's OUI, as in Table II
+}
+
+// Next returns the next MAC address.
+func (a *MACAllocator) Next() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.next
+	a.next++
+	return fmt.Sprintf("%s:%02x:%02x:%02x", a.oui, byte(n>>16), byte(n>>8), byte(n))
+}
+
+// Catalog returns the heterogeneous node-type mix of the Meteor cluster
+// (§3.1): seven node types, two CPU architectures, three vendors, three
+// disk-adapter types. macs supplies unique Ethernet addresses.
+func Catalog(macs *MACAllocator) []Profile {
+	eth := func(mbps int) NIC { return NIC{Type: NICEthernet, MAC: macs.Next(), Mbps: mbps} }
+	myri := func() NIC { return NIC{Type: NICMyrinet, MAC: macs.Next(), Mbps: 1280} }
+	return []Profile{
+		{Model: "PIII-733 compute", Vendor: "Compaq", Arch: "i386", CPUMHz: 733, CPUs: 2,
+			MemMB: 512, Disk: Disk{DiskSCSI, 9000}, NICs: []NIC{eth(100), myri()}},
+		{Model: "PIII-800 compute", Vendor: "Compaq", Arch: "i386", CPUMHz: 800, CPUs: 2,
+			MemMB: 512, Disk: Disk{DiskIDE, 20000}, NICs: []NIC{eth(100), myri()}},
+		{Model: "PIII-1000 compute", Vendor: "IBM", Arch: "i386", CPUMHz: 1000, CPUs: 2,
+			MemMB: 1024, Disk: Disk{DiskRAID, 18000}, NICs: []NIC{eth(100), myri()}},
+		{Model: "Athlon compute", Vendor: "VA Linux", Arch: "athlon", CPUMHz: 1200, CPUs: 1,
+			MemMB: 512, Disk: Disk{DiskIDE, 40000}, NICs: []NIC{eth(100)}},
+		{Model: "IA-64 compute", Vendor: "IBM", Arch: "ia64", CPUMHz: 800, CPUs: 2,
+			MemMB: 2048, Disk: Disk{DiskSCSI, 18000}, NICs: []NIC{eth(100)}},
+		{Model: "Dual-homed frontend", Vendor: "Compaq", Arch: "i386", CPUMHz: 733, CPUs: 2,
+			MemMB: 1024, Disk: Disk{DiskSCSI, 18000}, NICs: []NIC{eth(100), eth(100)}},
+		{Model: "NFS server", Vendor: "VA Linux", Arch: "i386", CPUMHz: 866, CPUs: 2,
+			MemMB: 2048, Disk: Disk{DiskRAID, 72000}, NICs: []NIC{eth(1000)}},
+	}
+}
+
+// PIIICompute returns the paper's Table I compute node: a 733 MHz - 1 GHz
+// PIII with Fast Ethernet and Myrinet.
+func PIIICompute(macs *MACAllocator, mhz int) Profile {
+	return Profile{
+		Model: fmt.Sprintf("PIII-%d compute", mhz), Vendor: "Compaq", Arch: "i386",
+		CPUMHz: mhz, CPUs: 1, MemMB: 512, Disk: Disk{DiskSCSI, 9000},
+		NICs: []NIC{
+			{Type: NICEthernet, MAC: macs.Next(), Mbps: 100},
+			{Type: NICMyrinet, MAC: macs.Next(), Mbps: 1280},
+		},
+	}
+}
+
+// Frontend returns the paper's HTTP server: a dual 733 MHz PIII with
+// 100 Mbit Ethernet.
+func Frontend(macs *MACAllocator) Profile {
+	return Profile{
+		Model: "Dual PIII-733 frontend", Vendor: "Compaq", Arch: "i386",
+		CPUMHz: 733, CPUs: 2, MemMB: 1024, Disk: Disk{DiskSCSI, 18000},
+		NICs: []NIC{
+			{Type: NICEthernet, MAC: macs.Next(), Mbps: 100},
+			{Type: NICEthernet, MAC: macs.Next(), Mbps: 100}, // dual-homed: public side
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package hardware
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetectDiskDrivers(t *testing.T) {
+	cases := []struct {
+		disk   DiskType
+		driver string
+		dev    string
+	}{
+		{DiskSCSI, "aic7xxx", "sda"},
+		{DiskIDE, "ide-disk", "hda"},
+		{DiskRAID, "megaraid", "sda"},
+	}
+	for _, c := range cases {
+		p := Profile{Disk: Disk{Type: c.disk}}
+		pr, err := Detect(p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.disk, err)
+		}
+		if pr.DiskDriver != c.driver || pr.DiskDevice != c.dev {
+			t.Errorf("%s: got %s/%s, want %s/%s", c.disk, pr.DiskDriver, pr.DiskDevice, c.driver, c.dev)
+		}
+	}
+}
+
+func TestDetectNICDriversAndGMBuild(t *testing.T) {
+	macs := NewMACAllocator()
+	p := PIIICompute(macs, 733)
+	pr, err := Detect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(pr.NICDrivers, " ") != "eepro100 gm" {
+		t.Errorf("NIC drivers = %v", pr.NICDrivers)
+	}
+	if !pr.NeedsGMBuild {
+		t.Error("Myrinet node must need a GM source build")
+	}
+	noMyri := Profile{Disk: Disk{Type: DiskIDE},
+		NICs: []NIC{{Type: NICEthernet, MAC: "m", Mbps: 1000}}}
+	pr2, _ := Detect(noMyri)
+	if pr2.NeedsGMBuild {
+		t.Error("Ethernet-only node must not need a GM build")
+	}
+	if pr2.NICDrivers[0] != "acenic" {
+		t.Errorf("gigabit driver = %v", pr2.NICDrivers)
+	}
+}
+
+func TestDetectUnknownHardware(t *testing.T) {
+	if _, err := Detect(Profile{Disk: Disk{Type: "floppy"}}); err == nil {
+		t.Error("unknown disk type should fail")
+	}
+	if _, err := Detect(Profile{Disk: Disk{Type: DiskIDE},
+		NICs: []NIC{{Type: "token-ring"}}}); err == nil {
+		t.Error("unknown NIC type should fail")
+	}
+}
+
+func TestMACAllocatorUniqueAndStable(t *testing.T) {
+	a := NewMACAllocator()
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		m := a.Next()
+		if seen[m] {
+			t.Fatalf("duplicate MAC %s", m)
+		}
+		seen[m] = true
+		if !strings.HasPrefix(m, "00:50:8b:") || len(m) != 17 {
+			t.Fatalf("malformed MAC %s", m)
+		}
+	}
+	b := NewMACAllocator()
+	if b.Next() != "00:50:8b:00:00:00" {
+		t.Error("allocator not deterministic")
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	macs := NewMACAllocator()
+	p := PIIICompute(macs, 1000)
+	if p.EthernetMAC() == "" || p.EthernetMbps() != 100 {
+		t.Errorf("Ethernet accessors: %q %d", p.EthernetMAC(), p.EthernetMbps())
+	}
+	if !p.HasMyrinet() {
+		t.Error("PIII compute should have Myrinet")
+	}
+	var none Profile
+	if none.EthernetMAC() != "" || none.EthernetMbps() != 0 || none.HasMyrinet() {
+		t.Error("empty profile accessors should be zero")
+	}
+}
+
+func TestCatalogMatchesMeteorHeterogeneity(t *testing.T) {
+	macs := NewMACAllocator()
+	cat := Catalog(macs)
+	if len(cat) != 7 {
+		t.Fatalf("catalog has %d node types, want 7 (§3.1)", len(cat))
+	}
+	arches := map[string]bool{}
+	vendors := map[string]bool{}
+	disks := map[DiskType]bool{}
+	macsSeen := map[string]bool{}
+	for _, p := range cat {
+		arches[p.Arch] = true
+		vendors[p.Vendor] = true
+		disks[p.Disk.Type] = true
+		for _, n := range p.NICs {
+			if macsSeen[n.MAC] {
+				t.Errorf("duplicate MAC %s in catalog", n.MAC)
+			}
+			macsSeen[n.MAC] = true
+		}
+		if _, err := Detect(p); err != nil {
+			t.Errorf("catalog profile %q does not probe: %v", p.Model, err)
+		}
+	}
+	// "two different CPU architectures" is the minimum; we carry three
+	// (i386, athlon, ia64 — athlon is a distinct kickstart arch).
+	if len(arches) < 2 {
+		t.Errorf("arches = %v, want at least 2", arches)
+	}
+	if len(vendors) != 3 {
+		t.Errorf("vendors = %v, want 3", vendors)
+	}
+	if len(disks) != 3 {
+		t.Errorf("disk types = %v, want 3", disks)
+	}
+}
+
+func TestFrontendIsDualHomed(t *testing.T) {
+	macs := NewMACAllocator()
+	fe := Frontend(macs)
+	eth := 0
+	for _, n := range fe.NICs {
+		if n.Type == NICEthernet {
+			eth++
+		}
+	}
+	if eth != 2 {
+		t.Errorf("frontend has %d Ethernet NICs, want 2 (dual-homed)", eth)
+	}
+	if fe.CPUs != 2 || fe.CPUMHz != 733 {
+		t.Errorf("frontend should be the paper's dual 733 MHz PIII: %+v", fe)
+	}
+}

@@ -1,0 +1,252 @@
+package insertethers
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/dhcp"
+	"rocks/internal/syslogd"
+)
+
+type fixture struct {
+	db    *clusterdb.Database
+	log   *syslogd.Collector
+	bus   *dhcp.Bus
+	dhcpd *dhcp.Server
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{
+		db:  clusterdb.New(),
+		log: syslogd.New(),
+		bus: dhcp.NewBus(),
+	}
+	if err := clusterdb.InitSchema(f.db); err != nil {
+		t.Fatal(err)
+	}
+	f.dhcpd = dhcp.NewServer("frontend-0", f.log)
+	f.bus.Register(f.dhcpd)
+	// The frontend itself occupies 10.1.1.1.
+	clusterdb.InsertNode(f.db, clusterdb.Node{MAC: "fe:fe:fe:fe:fe:fe", Name: "frontend-0",
+		Membership: clusterdb.MembershipFrontend, IP: "10.1.1.1"})
+	return f
+}
+
+func (f *fixture) start(t *testing.T, cfg Config) (*InsertEthers, chan clusterdb.Node) {
+	t.Helper()
+	inserted := make(chan clusterdb.Node, 64)
+	cfg.DB = f.db
+	cfg.Syslog = f.log
+	cfg.DHCP = f.dhcpd
+	if cfg.NextServer == "" {
+		cfg.NextServer = "http://10.1.1.1"
+	}
+	cfg.OnInsert = func(n clusterdb.Node) { inserted <- n }
+	ie, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ie.Stop)
+	return ie, inserted
+}
+
+// discover emulates a node broadcasting DISCOVER until it gets an offer.
+func (f *fixture) discover(t *testing.T, mac string) dhcp.Packet {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reply, ok := f.bus.Broadcast(dhcp.Packet{Type: dhcp.Discover, MAC: mac}); ok {
+			return reply
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("node %s never received an offer", mac)
+	return dhcp.Packet{}
+}
+
+func TestDiscoverySequence(t *testing.T) {
+	f := newFixture(t)
+	_, inserted := f.start(t, Config{Rack: 0})
+
+	// Boot three nodes sequentially, as §6.4 prescribes for rack/rank
+	// assignment.
+	var macs = []string{"00:50:8b:e0:3a:a7", "00:50:8b:e0:44:5e", "00:50:8b:e0:40:95"}
+	for i, mac := range macs {
+		offer := f.discover(t, mac)
+		n := <-inserted
+		if n.Name != fmt.Sprintf("compute-0-%d", i) {
+			t.Errorf("node %d named %s", i, n.Name)
+		}
+		if offer.Hostname != n.Name || offer.YourIP != n.IP {
+			t.Errorf("offer %+v does not match inserted node %+v", offer, n)
+		}
+		if offer.NextServer != "http://10.1.1.1" {
+			t.Errorf("next-server = %q", offer.NextServer)
+		}
+	}
+	// IPs descend from the top of the private space.
+	nodes, _ := clusterdb.Nodes(f.db, "membership = 2")
+	if len(nodes) != 3 {
+		t.Fatalf("db has %d compute nodes", len(nodes))
+	}
+	if nodes[0].IP != "10.255.255.254" || nodes[2].IP != "10.255.255.252" {
+		t.Errorf("IPs = %s, %s, %s", nodes[0].IP, nodes[1].IP, nodes[2].IP)
+	}
+}
+
+func TestDuplicateDiscoverInsertsOnce(t *testing.T) {
+	f := newFixture(t)
+	ie, inserted := f.start(t, Config{})
+	f.discover(t, "aa:aa:aa:aa:aa:aa")
+	<-inserted
+	// The node retries DISCOVER (it does, constantly, while waiting): no
+	// second row may appear.
+	for i := 0; i < 5; i++ {
+		f.bus.Broadcast(dhcp.Packet{Type: dhcp.Discover, MAC: "aa:aa:aa:aa:aa:aa"})
+	}
+	time.Sleep(20 * time.Millisecond)
+	nodes, _ := clusterdb.Nodes(f.db, "membership = 2")
+	if len(nodes) != 1 {
+		t.Errorf("duplicate DISCOVER created %d rows", len(nodes))
+	}
+	if got := ie.Inserted(); len(got) != 1 {
+		t.Errorf("Inserted = %v", got)
+	}
+}
+
+func TestMembershipSelection(t *testing.T) {
+	f := newFixture(t)
+	// Discover an NFS appliance instead of compute nodes.
+	id, err := clusterdb.AddMembership(f.db, "NFS", 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inserted := f.start(t, Config{Membership: id, Rack: 0})
+	f.discover(t, "00:50:8b:a5:4d:b1")
+	n := <-inserted
+	if n.Name != "nfs-0-0" {
+		t.Errorf("name = %s, want nfs-0-0", n.Name)
+	}
+}
+
+func TestRackNumbering(t *testing.T) {
+	f := newFixture(t)
+	_, inserted := f.start(t, Config{Rack: 1})
+	f.discover(t, "bb:bb:bb:bb:bb:01")
+	n := <-inserted
+	if n.Name != "compute-1-0" || n.Rack != 1 || n.Rank != 0 {
+		t.Errorf("node = %+v", n)
+	}
+}
+
+func TestSyslogTrail(t *testing.T) {
+	f := newFixture(t)
+	_, inserted := f.start(t, Config{})
+	f.discover(t, "cc:cc:cc:cc:cc:01")
+	<-inserted
+	if len(f.log.Grep("no free leases")) == 0 {
+		t.Error("dhcpd's unknown-MAC line missing")
+	}
+	if len(f.log.Grep("inserted compute-0-0")) == 0 {
+		t.Error("insert-ethers trail missing")
+	}
+}
+
+func TestSyncDHCPRemovesDeletedNodes(t *testing.T) {
+	f := newFixture(t)
+	_, inserted := f.start(t, Config{})
+	f.discover(t, "dd:dd:dd:dd:dd:01")
+	n := <-inserted
+	// Administrator removes the node from the database and regenerates.
+	if err := clusterdb.DeleteNode(f.db, n.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDHCP(f.db, f.dhcpd, "http://10.1.1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.dhcpd.HandleDHCP(dhcp.Packet{Type: dhcp.Request, MAC: "dd:dd:dd:dd:dd:01"}); ok {
+		t.Error("deleted node still has a DHCP binding")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("Start without services accepted")
+	}
+}
+
+func TestReplaceSwappedHardware(t *testing.T) {
+	f := newFixture(t)
+	// Original node discovered normally.
+	ie1, inserted := f.start(t, Config{})
+	f.discover(t, "aa:aa:aa:aa:aa:01")
+	orig := <-inserted
+	// Only one insert-ethers session runs at a time: end discovery before
+	// starting the replacement session, or both would race for the new MAC.
+	ie1.Stop()
+
+	// The motherboard dies; a replacement with a fresh NIC arrives. A new
+	// session with Replace set binds the new MAC to the old identity.
+	ie2, err := Start(Config{DB: f.db, Syslog: f.log, DHCP: f.dhcpd,
+		NextServer: "http://10.1.1.1", Replace: orig.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ie2.Stop()
+	offer := f.discover(t, "bb:bb:bb:bb:bb:02")
+	if offer.Hostname != orig.Name || offer.YourIP != orig.IP {
+		t.Fatalf("replacement got %+v, want the original identity %s/%s", offer, orig.Name, orig.IP)
+	}
+	n, ok, _ := clusterdb.NodeByMAC(f.db, "bb:bb:bb:bb:bb:02")
+	if !ok || n.Name != orig.Name {
+		t.Errorf("db row = %+v, %v", n, ok)
+	}
+	if _, ok, _ := clusterdb.NodeByMAC(f.db, "aa:aa:aa:aa:aa:01"); ok {
+		t.Error("old MAC still bound")
+	}
+	// One-shot: the next unknown MAC inserts normally.
+	offer = f.discover(t, "cc:cc:cc:cc:cc:03")
+	if offer.Hostname == orig.Name {
+		t.Error("replace mode leaked to a second MAC")
+	}
+	nodes, _ := clusterdb.Nodes(f.db, "membership = 2")
+	if len(nodes) != 2 {
+		t.Errorf("compute rows = %d, want 2", len(nodes))
+	}
+}
+
+func TestReplaceUnknownNodeLogsError(t *testing.T) {
+	f := newFixture(t)
+	ie, err := Start(Config{DB: f.db, Syslog: f.log, DHCP: f.dhcpd,
+		NextServer: "http://10.1.1.1", Replace: "ghost-9-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ie.Stop()
+	f.bus.Broadcast(dhcp.Packet{Type: dhcp.Discover, MAC: "dd:dd:dd:dd:dd:04"})
+	if _, ok := f.log.WaitFor(func(m syslogd.Message) bool {
+		return strings.Contains(m.Text, "no such node")
+	}, 2*time.Second); !ok {
+		t.Error("replacement error not logged")
+	}
+}
+
+func TestScreenRendering(t *testing.T) {
+	f := newFixture(t)
+	ie, inserted := f.start(t, Config{Rack: 0})
+	if !strings.Contains(ie.Screen(), "waiting for new nodes") {
+		t.Errorf("empty screen = %q", ie.Screen())
+	}
+	f.discover(t, "ee:ee:ee:ee:ee:01")
+	<-inserted
+	screen := ie.Screen()
+	for _, want := range []string{"Inserted Appliances", "compute-0-0", "ee:ee:ee:ee:ee:01", "10.255.255.254"} {
+		if !strings.Contains(screen, want) {
+			t.Errorf("screen missing %q:\n%s", want, screen)
+		}
+	}
+}

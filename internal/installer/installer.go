@@ -1,0 +1,618 @@
+// Package installer simulates Red Hat's Kickstart installer (anaconda) with
+// the Rocks eKV modification (§6.3). A run performs the full §5/§6.1 node
+// flow against live services: acquire an address over DHCP, fetch the
+// dynamically generated kickstart file over HTTP, partition the disk
+// (reformatting root, preserving non-root partitions), pull every RPM over
+// HTTP, execute %post scripts, rebuild the Myrinet driver from source when
+// the hardware probe demands it, and reboot. Progress is written to the
+// node's eKV port so shoot-node can watch remotely.
+package installer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rocks/internal/dhcp"
+	"rocks/internal/ekv"
+	"rocks/internal/hardware"
+	"rocks/internal/kickstart"
+	"rocks/internal/node"
+	"rocks/internal/rpm"
+)
+
+// ClientIPHeader carries the installing node's DHCP-assigned address to the
+// kickstart CGI. The real CGI keys on the TCP source address (§6.1); every
+// simulated node shares the loopback interface, so the address travels in a
+// header instead. The CGI prefers it over RemoteAddr.
+const ClientIPHeader = "X-Rocks-Client-IP"
+
+// Config wires an installation run to the cluster's services.
+type Config struct {
+	// Bus is the private Ethernet broadcast segment for DHCP.
+	Bus *dhcp.Bus
+	// HTTP fetches the kickstart file and packages; nil means
+	// http.DefaultClient.
+	HTTP *http.Client
+	// DHCPRetry is the wait between DISCOVER attempts while the node is
+	// still unknown (insert-ethers may not have bound it yet).
+	DHCPRetry time.Duration
+	// DHCPTimeout bounds the whole discovery phase.
+	DHCPTimeout time.Duration
+	// DisableEKV skips starting the eKV listener (mass fan-out tests).
+	DisableEKV bool
+	// InteractiveRetryWait, when positive, keeps a failed package fetch
+	// alive: the installer prompts on eKV and waits this long for a user
+	// to type "retry" (try the package again) or "abort" (§6.3: "we've
+	// also inserted code that allows users to interact with the
+	// installation"). Zero disables interaction and fails immediately.
+	InteractiveRetryWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTP == nil {
+		c.HTTP = http.DefaultClient
+	}
+	if c.DHCPRetry <= 0 {
+		c.DHCPRetry = 10 * time.Millisecond
+	}
+	if c.DHCPTimeout <= 0 {
+		c.DHCPTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Result summarizes a completed installation.
+type Result struct {
+	Profile       *kickstart.Profile
+	Packages      int
+	Bytes         int64
+	GMRebuilt     bool
+	EKVTranscript string
+}
+
+// Run installs the node. On success the node is left in StateBooting with a
+// bootable disk; the caller (the cluster orchestrator) completes the boot.
+// On failure the node is left in StateCrashed — the paper's "physical
+// intervention required" outcome.
+func Run(n *node.Node, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n.SetState(node.StateInstalling)
+	n.ClearReinstall()
+
+	var screen io.Writer = io.Discard
+	var ekvSrv *ekv.Server
+	if !cfg.DisableEKV {
+		var err error
+		ekvSrv, err = ekv.NewServer()
+		if err != nil {
+			return fail(n, nil, fmt.Errorf("installer: starting eKV: %w", err))
+		}
+		defer func() {
+			n.SetEKVAddr("")
+			ekvSrv.Close()
+		}()
+		n.SetEKVAddr(ekvSrv.Addr())
+		screen = ekvSrv
+	}
+	res := &Result{}
+
+	fmt.Fprintf(screen, "Red Hat Linux (C) 2000 Red Hat, Inc.  [Rocks eKV]\n")
+
+	// Hardware probe: autodetect the modules to load (§1, §3.3).
+	probe, err := hardware.Detect(n.HW)
+	if err != nil {
+		return fail(n, ekvSrv, fmt.Errorf("installer: hardware probe: %w", err))
+	}
+	fmt.Fprintf(screen, "probing hardware: disk driver %s (%s), NIC drivers %s\n",
+		probe.DiskDriver, probe.DiskDevice, strings.Join(probe.NICDrivers, ", "))
+
+	// DHCP: the network "is configured early in the boot cycle" (§4).
+	lease, err := acquireLease(n, cfg, screen)
+	if err != nil {
+		return fail(n, ekvSrv, err)
+	}
+	n.SetIP(lease.YourIP)
+	n.SetName(lease.Hostname)
+	fmt.Fprintf(screen, "eth0: %s (%s), kickstart server %s\n",
+		lease.YourIP, lease.Hostname, lease.NextServer)
+
+	// Fetch the dynamically generated kickstart file (§6.1).
+	profile, err := fetchKickstart(cfg, lease, n.HW.Arch)
+	if err != nil {
+		return fail(n, ekvSrv, err)
+	}
+	res.Profile = profile
+	fmt.Fprintf(screen, "retrieved kickstart: appliance %q, %d packages\n",
+		profile.Appliance, len(profile.Packages))
+
+	// %pre scripts run in the install environment before partitioning —
+	// anaconda executes them from the ramdisk, so their effects are
+	// environment-only; we record the transcript.
+	if len(profile.Pre) > 0 {
+		fmt.Fprintf(screen, "running %d pre-installation scripts\n", len(profile.Pre))
+		for i, script := range profile.Pre {
+			n.Logf("pre %d: %s", i, strings.TrimSpace(script.Text))
+		}
+	}
+
+	// Partitioning, per the command section.
+	if err := applyPartitioning(n, profile, screen); err != nil {
+		return fail(n, ekvSrv, err)
+	}
+
+	// Package installation over HTTP.
+	distURL, err := distBase(profile)
+	if err != nil {
+		return fail(n, ekvSrv, err)
+	}
+	count, bytes, err := installPackages(n, cfg, profile, distURL, screen, ekvSrv)
+	if err != nil {
+		return fail(n, ekvSrv, err)
+	}
+	res.Packages, res.Bytes = count, bytes
+
+	// The kernel payload makes the disk bootable.
+	if m, ok := n.PackageDB().Query("kernel"); ok {
+		kv := m.Version.Version + "-" + m.Version.Release
+		n.SetKernelVersion(kv)
+		if err := n.Disk().WriteFile("/boot/vmlinuz", []byte("vmlinuz-"+kv), 0o755); err != nil {
+			return fail(n, ekvSrv, err)
+		}
+	}
+
+	// %post scripts.
+	if err := runPostScripts(n, profile, screen); err != nil {
+		return fail(n, ekvSrv, err)
+	}
+
+	// Myrinet driver: rebuilt from source so it always matches the kernel
+	// that was just installed (§6.3).
+	if probe.NeedsGMBuild {
+		if err := rebuildGMDriver(n, screen); err != nil {
+			return fail(n, ekvSrv, err)
+		}
+		res.GMRebuilt = true
+	}
+
+	n.Logf("installation complete: %d packages, %d bytes", count, bytes)
+	n.Disk().WriteFile("/root/install.log", []byte(strings.Join(n.InstallLog(), "\n")+"\n"), 0o644)
+	fmt.Fprintf(screen, "installation complete; rebooting\n")
+	n.MarkInstalled()
+	n.SetState(node.StateBooting)
+	if ekvSrv != nil {
+		res.EKVTranscript = ekvSrv.Screen()
+	}
+	return res, nil
+}
+
+func fail(n *node.Node, ekvSrv *ekv.Server, err error) (*Result, error) {
+	if ekvSrv != nil {
+		ekvSrv.Printf("INSTALL FAILED: %v\n(interactive shell available on this port)\n", err)
+	}
+	n.Logf("install failed: %v", err)
+	n.SetState(node.StateCrashed)
+	return nil, err
+}
+
+// acquireLease runs the DISCOVER/OFFER/REQUEST/ACK exchange, retrying while
+// the node is unknown. During first integration the DHCP server stays
+// silent until insert-ethers binds the MAC, so the retry loop is what makes
+// sequential discovery work.
+func acquireLease(n *node.Node, cfg Config, screen io.Writer) (dhcp.Packet, error) {
+	deadline := time.Now().Add(cfg.DHCPTimeout)
+	xid := uint32(1)
+	fmt.Fprintf(screen, "sending DHCPDISCOVER from %s\n", n.MAC())
+	for {
+		offer, ok := cfg.Bus.Broadcast(dhcp.Packet{Type: dhcp.Discover, Xid: xid, MAC: n.MAC()})
+		if ok {
+			ack, ok := cfg.Bus.Broadcast(dhcp.Packet{Type: dhcp.Request, Xid: xid, MAC: n.MAC()})
+			if !ok {
+				return dhcp.Packet{}, fmt.Errorf("installer: OFFER but no ACK for %s", n.MAC())
+			}
+			_ = offer
+			return ack, nil
+		}
+		if time.Now().After(deadline) {
+			return dhcp.Packet{}, fmt.Errorf("installer: DHCP timeout for %s (node never inserted?)", n.MAC())
+		}
+		xid++
+		time.Sleep(cfg.DHCPRetry)
+	}
+}
+
+func fetchKickstart(cfg Config, lease dhcp.Packet, arch string) (*kickstart.Profile, error) {
+	// The architecture travels in the request, exactly as anaconda encodes
+	// it in the kickstart URL; the CGI uses it to prune arch-conditional
+	// graph edges and records it in the nodes table.
+	url := strings.TrimSuffix(lease.NextServer, "/") + "/install/kickstart.cgi?arch=" + arch
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("installer: %w", err)
+	}
+	req.Header.Set(ClientIPHeader, lease.YourIP)
+	resp, err := cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("installer: fetching kickstart: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("installer: reading kickstart: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("installer: kickstart CGI: HTTP %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	profile, err := kickstart.ParseProfile(string(body))
+	if err != nil {
+		return nil, err
+	}
+	return profile, nil
+}
+
+// distBase extracts the distribution URL from the profile's `url` command.
+func distBase(p *kickstart.Profile) (string, error) {
+	v, ok := p.CommandValue("url")
+	if !ok {
+		return "", fmt.Errorf("installer: kickstart has no url directive")
+	}
+	fields := strings.Fields(v)
+	for i, f := range fields {
+		if f == "--url" && i+1 < len(fields) {
+			return strings.TrimSuffix(fields[i+1], "/"), nil
+		}
+	}
+	return "", fmt.Errorf("installer: malformed url directive %q", v)
+}
+
+// applyPartitioning interprets clearpart/part commands. Root ("/") is
+// always reformatted; a partition marked --noformat is created if absent
+// but its contents survive if present — the §6.3 persistence contract.
+// Fixed partition sizes must fit the probed disk; anaconda refuses to
+// install onto hardware that cannot hold the requested layout.
+func applyPartitioning(n *node.Node, p *kickstart.Profile, screen io.Writer) error {
+	var fixedMB int
+	for _, c := range p.Commands {
+		fields := strings.Fields(c)
+		if len(fields) < 2 || fields[0] != "part" {
+			continue
+		}
+		grow := false
+		size := 0
+		for i, f := range fields {
+			if f == "--grow" {
+				grow = true
+			}
+			if f == "--size" && i+1 < len(fields) {
+				fmt.Sscanf(fields[i+1], "%d", &size)
+			}
+		}
+		if !grow {
+			fixedMB += size
+		}
+	}
+	if disk := n.HW.Disk.SizeMB; disk > 0 && fixedMB > disk {
+		return fmt.Errorf("installer: kickstart requests %d MB of fixed partitions but the %s disk holds %d MB",
+			fixedMB, n.HW.Disk.Type, disk)
+	}
+
+	d := n.Disk()
+	for _, c := range p.Commands {
+		fields := strings.Fields(c)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "clearpart":
+			for _, f := range fields[1:] {
+				if f == "--all" {
+					fmt.Fprintf(screen, "clearing all partitions\n")
+					d.RemoveAll()
+				}
+			}
+		case "part":
+			if len(fields) < 2 {
+				return fmt.Errorf("installer: malformed part command %q", c)
+			}
+			mount := fields[1]
+			noformat := false
+			for _, f := range fields[2:] {
+				if f == "--noformat" {
+					noformat = true
+				}
+			}
+			if noformat {
+				part := d.EnsurePartition(mount)
+				if !part.Formatted {
+					d.Format(mount)
+					fmt.Fprintf(screen, "formatting %s (first use)\n", mount)
+				} else {
+					fmt.Fprintf(screen, "preserving %s\n", mount)
+				}
+			} else {
+				d.Format(mount)
+				fmt.Fprintf(screen, "formatting %s\n", mount)
+			}
+		}
+	}
+	if _, ok := d.Partition("/"); !ok {
+		return fmt.Errorf("installer: kickstart defined no root partition")
+	}
+	return nil
+}
+
+// installPackages resolves the profile's package names against the served
+// repository listing (newest version per name, like anaconda's hdlist) and
+// downloads and unpacks each one.
+func installPackages(n *node.Node, cfg Config, p *kickstart.Profile, distURL string, screen io.Writer, ekvSrv *ekv.Server) (int, int64, error) {
+	n.ResetPackageDB()
+	listURL := distURL + "/RedHat/RPMS/"
+	best, err := fetchListing(cfg, listURL, n.HW.Arch)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	var total int64
+	// The Figure 7 status panel's Total/Completed/Remaining accounting:
+	// package sizes come from the hdlist when the server provides one.
+	var grandTotal int64
+	for _, name := range p.Packages {
+		if m, ok := best[name]; ok {
+			grandTotal += m.Size
+		}
+	}
+	start := time.Now()
+	for i := 0; i < len(p.Packages); i++ {
+		name := p.Packages[i]
+		pkg, err := fetchPackage(cfg, listURL, best, name)
+		if err != nil {
+			// The eKV keyboard gives the administrator a chance to fix
+			// the distribution and retry without restarting the install.
+			if cfg.InteractiveRetryWait > 0 && ekvSrv != nil {
+				fmt.Fprintf(screen, "FAILED: %v\ntype 'retry' to try %s again, 'abort' to give up\n", err, name)
+				if awaitRetry(ekvSrv, cfg.InteractiveRetryWait) {
+					fmt.Fprintf(screen, "retrying %s\n", name)
+					// Refresh the listing: the fix may be a new package.
+					if refreshed, rerr := fetchListing(cfg, listURL, n.HW.Arch); rerr == nil {
+						best = refreshed
+					}
+					i--
+					continue
+				}
+			}
+			return i, total, err
+		}
+		for _, f := range pkg.Files {
+			if err := n.Disk().WriteFile(f.Path, f.Data, f.Mode); err != nil {
+				return i, total, fmt.Errorf("installer: unpacking %s: %w", pkg.NVRA(), err)
+			}
+		}
+		n.PackageDB().Install(pkg.Metadata)
+		total += pkg.Size
+		// Redraw the Figure 7 panel for every package, exactly as the
+		// paper's screenshot shows.
+		writeStatusPanel(screen, pkg, i+1, len(p.Packages), total, grandTotal, time.Since(start))
+	}
+	fmt.Fprintf(screen, " Total  : %d packages, %dM\n", len(p.Packages), total>>20)
+	return len(p.Packages), total, nil
+}
+
+// writeStatusPanel renders the installation panel of Figure 7.
+func writeStatusPanel(w io.Writer, pkg *rpm.Package, done, totalPkgs int, doneBytes, totalBytes int64, elapsed time.Duration) {
+	mm := func(b int64) string { return fmt.Sprintf("%dM", b>>20) }
+	clock := func(d time.Duration) string {
+		secs := int(d.Seconds())
+		return fmt.Sprintf("%d:%02d.%02d", secs/60, secs%60, int(d.Milliseconds()/10)%100)
+	}
+	var remainTime time.Duration
+	if doneBytes > 0 && totalBytes > doneBytes {
+		remainTime = time.Duration(float64(elapsed) * float64(totalBytes-doneBytes) / float64(doneBytes))
+	}
+	fmt.Fprintf(w, "+---------------- Package Installation -----------------+\n")
+	fmt.Fprintf(w, "| Name   : %-45s |\n", pkg.NVRA())
+	fmt.Fprintf(w, "| Size   : %-45s |\n", fmt.Sprintf("%dk", pkg.Size/1024))
+	fmt.Fprintf(w, "| Summary: %-45.45s |\n", pkg.Summary)
+	fmt.Fprintf(w, "|             Packages   Bytes      Time              |\n")
+	fmt.Fprintf(w, "| Total     : %-8d   %-8s   %-8s          |\n", totalPkgs, mm(totalBytes), clock(elapsed+remainTime))
+	fmt.Fprintf(w, "| Completed : %-8d   %-8s   %-8s          |\n", done, mm(doneBytes), clock(elapsed))
+	fmt.Fprintf(w, "| Remaining : %-8d   %-8s   %-8s          |\n", totalPkgs-done, mm(totalBytes-doneBytes), clock(remainTime))
+	fmt.Fprintf(w, "+--------------------------------------------------------+\n")
+}
+
+// runPostScripts executes each %post section with a miniature shell
+// interpreter: `echo 'text' > path`, `echo 'text' >> path`, and
+// `chkconfig <svc> on|off` have real effects on the node; every other line
+// is recorded in the install log (the transcript a real %post leaves).
+func runPostScripts(n *node.Node, p *kickstart.Profile, screen io.Writer) error {
+	fmt.Fprintf(screen, "running %d post-configuration scripts\n", len(p.Post))
+	services := map[string]bool{}
+	for i, s := range p.Post {
+		scriptPath := fmt.Sprintf("/root/ks-post.%03d.sh", i)
+		if err := n.Disk().WriteFile(scriptPath, []byte(s.Text), 0o755); err != nil {
+			return err
+		}
+		for _, line := range strings.Split(s.Text, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := execPostLine(n, line, services); err != nil {
+				return fmt.Errorf("installer: post script %d: %w", i, err)
+			}
+		}
+	}
+	var enabled []string
+	for svc, on := range services {
+		if on {
+			enabled = append(enabled, svc)
+		}
+	}
+	n.SetServices(enabled)
+	return nil
+}
+
+// execPostLine applies one %post line.
+func execPostLine(n *node.Node, line string, services map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "chkconfig":
+		if len(fields) == 3 {
+			services[fields[1]] = fields[2] == "on"
+		}
+		n.Logf("post: %s", line)
+		return nil
+	case "echo":
+		// echo 'text' > path   or   echo 'text' >> path
+		if i := strings.LastIndex(line, ">>"); i > 0 {
+			text := extractEchoText(line[:i])
+			path := strings.TrimSpace(line[i+2:])
+			if strings.HasPrefix(path, "/") {
+				return n.Disk().AppendFile(path, []byte(text+"\n"))
+			}
+		} else if i := strings.LastIndex(line, ">"); i > 0 {
+			text := extractEchoText(line[:i])
+			path := strings.TrimSpace(line[i+1:])
+			if strings.HasPrefix(path, "/") {
+				return n.Disk().WriteFile(path, []byte(text+"\n"), 0o644)
+			}
+		}
+		n.Logf("post: %s", line)
+		return nil
+	default:
+		n.Logf("post: %s", line)
+		return nil
+	}
+}
+
+// extractEchoText pulls the quoted (or bare) argument of an echo.
+func extractEchoText(s string) string {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "echo"))
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// rebuildGMDriver compiles the Myrinet driver from its source RPM against
+// the just-installed kernel. It fails if the source package or its build
+// requirements are missing — a real configuration error Rocks surfaces.
+func rebuildGMDriver(n *node.Node, screen io.Writer) error {
+	db := n.PackageDB()
+	src, ok := db.Query("myrinet-gm-src")
+	if !ok {
+		return fmt.Errorf("installer: node has Myrinet hardware but no myrinet-gm-src package")
+	}
+	for _, req := range []string{"gcc", "kernel"} {
+		if _, ok := db.Query(req); !ok {
+			return fmt.Errorf("installer: GM driver build requires %q which is not installed", req)
+		}
+	}
+	kv := n.KernelVersion()
+	fmt.Fprintf(screen, "building GM driver %s against kernel %s\n", src.Version, kv)
+	module := fmt.Sprintf("/lib/modules/%s/kernel/drivers/net/gm.o", kv)
+	if err := n.Disk().WriteFile(module, []byte("gm module for "+kv), 0o644); err != nil {
+		return err
+	}
+	n.SetGMDriverFor(kv)
+	n.Logf("gm driver rebuilt for kernel %s", kv)
+	return nil
+}
+
+// fetchListing retrieves the repository index and resolves the newest
+// compatible version of every package (anaconda's hdlist step). It prefers
+// the hdlist endpoint, which carries sizes for progress accounting, and
+// falls back to the bare directory listing.
+func fetchListing(cfg Config, listURL, arch string) (map[string]rpm.Metadata, error) {
+	entries, err := fetchIndex(cfg, strings.TrimSuffix(listURL, "RPMS/")+"base/hdlist")
+	if err != nil {
+		entries, err = fetchIndex(cfg, listURL)
+		if err != nil {
+			return nil, err
+		}
+	}
+	best := map[string]rpm.Metadata{}
+	for i := 0; i < len(entries); i++ {
+		fn := entries[i]
+		m, err := rpm.ParseFilename(fn)
+		if err != nil {
+			continue
+		}
+		// An hdlist pairs each filename with its size.
+		if i+1 < len(entries) {
+			if size, serr := strconv.ParseInt(entries[i+1], 10, 64); serr == nil {
+				m.Size = size
+				i++
+			}
+		}
+		if !rpm.ArchCompatible(arch, m.Arch) {
+			continue
+		}
+		cur, ok := best[m.Name]
+		if !ok || rpm.Compare(m.Version, cur.Version) > 0 {
+			best[m.Name] = m
+		}
+	}
+	return best, nil
+}
+
+// fetchIndex retrieves a whitespace-separated index document.
+func fetchIndex(cfg Config, url string) ([]string, error) {
+	resp, err := cfg.HTTP.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("installer: listing %s: %w", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("installer: listing %s: HTTP %s (%v)", url, resp.Status, err)
+	}
+	return strings.Fields(string(body)), nil
+}
+
+// fetchPackage downloads and decodes one package by name.
+func fetchPackage(cfg Config, listURL string, best map[string]rpm.Metadata, name string) (*rpm.Package, error) {
+	m, ok := best[name]
+	if !ok {
+		return nil, fmt.Errorf("installer: package %q not present in distribution", name)
+	}
+	pkgURL := listURL + m.Filename()
+	pr, err := cfg.HTTP.Get(pkgURL)
+	if err != nil {
+		return nil, fmt.Errorf("installer: fetching %s: %w", pkgURL, err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("installer: fetching %s: HTTP %s", pkgURL, pr.Status)
+	}
+	pkg, err := rpm.Read(pr.Body)
+	if err != nil {
+		return nil, fmt.Errorf("installer: decoding %s: %w", pkgURL, err)
+	}
+	return pkg, nil
+}
+
+// awaitRetry blocks for an eKV keyboard decision; it reports true for
+// "retry", false for "abort" or timeout.
+func awaitRetry(srv *ekv.Server, wait time.Duration) bool {
+	deadline := time.After(wait)
+	for {
+		select {
+		case line := <-srv.Input():
+			switch strings.TrimSpace(line) {
+			case "retry":
+				return true
+			case "abort":
+				return false
+			}
+		case <-deadline:
+			return false
+		}
+	}
+}

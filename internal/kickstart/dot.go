@@ -1,0 +1,55 @@
+package kickstart
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax — the visualization the
+// paper shows as Figure 4. Appliance roots are drawn as boxes, ordinary
+// modules as ellipses; arch-restricted edges are labelled.
+func (f *Framework) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph rocks {\n")
+	b.WriteString("\trankdir=TB;\n")
+	b.WriteString("\tnode [shape=ellipse];\n")
+	roots := map[string]bool{}
+	for _, r := range f.Graph.Roots() {
+		roots[r] = true
+	}
+	names := f.Graph.NodeNames()
+	// Include node files that no edge mentions (isolated modules).
+	mentioned := map[string]bool{}
+	for _, n := range names {
+		mentioned[n] = true
+	}
+	var isolated []string
+	for n := range f.Nodes {
+		if !mentioned[n] {
+			isolated = append(isolated, n)
+		}
+	}
+	sort.Strings(isolated)
+	names = append(names, isolated...)
+
+	for _, n := range names {
+		attrs := []string{fmt.Sprintf("label=%q", n)}
+		if roots[n] {
+			attrs = append(attrs, "shape=box", "style=bold")
+		}
+		if _, ok := f.Nodes[n]; !ok {
+			attrs = append(attrs, `color=red`, `label="`+n+`\n(missing)"`)
+		}
+		fmt.Fprintf(&b, "\t%q [%s];\n", n, strings.Join(attrs, ", "))
+	}
+	for _, e := range f.Graph.Edges {
+		if len(e.Arches) > 0 {
+			fmt.Fprintf(&b, "\t%q -> %q [label=%q];\n", e.From, e.To, strings.Join(e.Arches, ","))
+		} else {
+			fmt.Fprintf(&b, "\t%q -> %q;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package kickstart_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rocks/internal/kickstart"
+)
+
+// Example_generate shows the §6.1 pipeline in miniature: node files linked
+// by a graph, traversed for an appliance, rendered as a kickstart file.
+func Example_generate() {
+	fw := kickstart.NewFramework()
+	fw.AddNode(&kickstart.NodeFile{
+		Name: "compute",
+		Main: []string{"install", "url --url ${Kickstart_DistURL}"},
+	})
+	fw.AddNode(&kickstart.NodeFile{
+		Name:     "mpi",
+		Packages: []kickstart.PackageRef{{Name: "mpich"}, {Name: "pvm"}},
+	})
+	fw.AddNode(&kickstart.NodeFile{
+		Name:     "c-development",
+		Packages: []kickstart.PackageRef{{Name: "gcc"}},
+		Post:     []kickstart.Script{{Text: "gcc --version >> /root/install.log"}},
+	})
+	fw.Graph.AddEdge("compute", "mpi")
+	fw.Graph.AddEdge("mpi", "c-development")
+
+	profile, err := fw.Generate(kickstart.Request{
+		Appliance: "compute",
+		Arch:      "i386",
+		NodeName:  "compute-0-0",
+		Attrs:     map[string]string{"Kickstart_DistURL": "http://10.1.1.1/install/dist"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("modules:", strings.Join(profile.Modules, " "))
+	fmt.Println("packages:", strings.Join(profile.Packages, " "))
+	url, _ := profile.CommandValue("url")
+	fmt.Println("url:", url)
+	// Output:
+	// modules: compute mpi c-development
+	// packages: mpich pvm gcc
+	// url: --url http://10.1.1.1/install/dist
+}

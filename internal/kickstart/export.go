@@ -1,0 +1,109 @@
+package kickstart
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// XML export. rocks-dist materializes each distribution's XML configuration
+// infrastructure in a build directory (§6.2.3: "Inside this tree is a build
+// directory that contains the XML configuration infrastructure. Users can
+// customize this new distribution by editing the XML modules or graph").
+// Export writes a Framework back to that on-disk form; LoadFS reads it.
+
+// XML renders a node file in the Figure 2 format.
+func (n *NodeFile) XML() string {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\" standalone=\"no\"?>\n<kickstart>\n")
+	if n.Description != "" {
+		fmt.Fprintf(&b, "\t<description>%s</description>\n", xmlEscape(n.Description))
+	}
+	for _, p := range n.Packages {
+		if len(p.Arches) > 0 {
+			fmt.Fprintf(&b, "\t<package arch=%q>%s</package>\n",
+				strings.Join(p.Arches, ","), xmlEscape(p.Name))
+		} else {
+			fmt.Fprintf(&b, "\t<package>%s</package>\n", xmlEscape(p.Name))
+		}
+	}
+	for _, m := range n.Main {
+		fmt.Fprintf(&b, "\t<main>%s</main>\n", xmlEscape(m))
+	}
+	writeScripts := func(tag string, scripts []Script) {
+		for _, s := range scripts {
+			attrs := ""
+			if s.Interpreter != "" {
+				attrs += fmt.Sprintf(" interpreter=%q", s.Interpreter)
+			}
+			if len(s.Arches) > 0 {
+				attrs += fmt.Sprintf(" arch=%q", strings.Join(s.Arches, ","))
+			}
+			fmt.Fprintf(&b, "\t<%s%s>\n%s\n\t</%s>\n", tag, attrs, xmlEscape(s.Text), tag)
+		}
+	}
+	writeScripts("pre", n.Pre)
+	writeScripts("post", n.Post)
+	b.WriteString("</kickstart>\n")
+	return b.String()
+}
+
+// XML renders the graph in the Figure 3 format.
+func (g *Graph) XML() string {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\" standalone=\"no\"?>\n<graph>\n")
+	if g.Description != "" {
+		fmt.Fprintf(&b, "\t<description>%s</description>\n", xmlEscape(g.Description))
+	}
+	for _, e := range g.Edges {
+		if len(e.Arches) > 0 {
+			fmt.Fprintf(&b, "\t<edge from=%q to=%q arch=%q/>\n",
+				e.From, e.To, strings.Join(e.Arches, ","))
+		} else {
+			fmt.Fprintf(&b, "\t<edge from=%q to=%q/>\n", e.From, e.To)
+		}
+	}
+	b.WriteString("</graph>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// Export writes the framework to dir as nodes/*.xml and graphs/default.xml
+// — the profiles build directory a site edits and LoadFS reads back.
+func (f *Framework) Export(dir string) error {
+	nodesDir := filepath.Join(dir, "nodes")
+	graphsDir := filepath.Join(dir, "graphs")
+	for _, d := range []string{nodesDir, graphsDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return fmt.Errorf("kickstart: export: %w", err)
+		}
+	}
+	names := make([]string, 0, len(f.Nodes))
+	for n := range f.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		path := filepath.Join(nodesDir, n+".xml")
+		if err := os.WriteFile(path, []byte(f.Nodes[n].XML()), 0o644); err != nil {
+			return fmt.Errorf("kickstart: export %s: %w", n, err)
+		}
+	}
+	graphName := f.Graph.Name
+	if graphName == "" {
+		graphName = "default"
+	}
+	path := filepath.Join(graphsDir, graphName+".xml")
+	if err := os.WriteFile(path, []byte(f.Graph.XML()), 0o644); err != nil {
+		return fmt.Errorf("kickstart: export graph: %w", err)
+	}
+	return nil
+}

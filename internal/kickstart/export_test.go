@@ -1,0 +1,112 @@
+package kickstart
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNodeXMLRoundTrip(t *testing.T) {
+	orig := &NodeFile{
+		Name:        "mpi",
+		Description: "Message passing & libraries <with markup>",
+		Packages: []PackageRef{
+			{Name: "mpich"},
+			{Name: "mpich-gm", Arches: []string{"i386", "athlon"}},
+		},
+		Main: []string{"install", "url --url ${Kickstart_DistURL}"},
+		Pre:  []Script{{Text: "echo pre"}},
+		Post: []Script{
+			{Text: "chkconfig foo on"},
+			{Interpreter: "/usr/bin/python", Text: "print('hi')", Arches: []string{"ia64"}},
+		},
+	}
+	parsed, err := ParseNode("mpi", strings.NewReader(orig.XML()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Description != orig.Description {
+		t.Errorf("description = %q", parsed.Description)
+	}
+	if !reflect.DeepEqual(parsed.Packages, orig.Packages) {
+		t.Errorf("packages = %+v", parsed.Packages)
+	}
+	if !reflect.DeepEqual(parsed.Main, orig.Main) {
+		t.Errorf("main = %+v", parsed.Main)
+	}
+	if len(parsed.Post) != 2 || parsed.Post[1].Interpreter != "/usr/bin/python" ||
+		!reflect.DeepEqual(parsed.Post[1].Arches, []string{"ia64"}) {
+		t.Errorf("post = %+v", parsed.Post)
+	}
+	if parsed.Post[0].Text != "chkconfig foo on" {
+		t.Errorf("post text = %q", parsed.Post[0].Text)
+	}
+}
+
+func TestGraphXMLRoundTrip(t *testing.T) {
+	g := &Graph{Name: "default", Description: "test graph"}
+	g.AddEdge("compute", "mpi")
+	g.AddEdge("compute", "myrinet", "i386", "athlon")
+	parsed, err := ParseGraph("default", strings.NewReader(g.XML()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Description != g.Description || !reflect.DeepEqual(parsed.Edges, g.Edges) {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+// TestExportLoadRoundTrip writes the full default framework to disk and
+// loads it back: the build-directory cycle of §6.2.3. The reloaded
+// framework must generate byte-identical kickstart files.
+func TestExportLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := DefaultFramework()
+	if err := orig.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir + "/nodes")
+	if err != nil || len(entries) != len(orig.Nodes) {
+		t.Fatalf("exported %d node files, want %d (%v)", len(entries), len(orig.Nodes), err)
+	}
+	loaded, err := LoadFS(os.DirFS(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := loaded.Validate("i386", "athlon", "ia64"); len(errs) != 0 {
+		t.Fatalf("reloaded framework invalid: %v", errs)
+	}
+	attrs := DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")
+	for _, app := range []string{"compute", "frontend"} {
+		for _, arch := range []string{"i386", "ia64"} {
+			a, err1 := orig.Generate(Request{Appliance: app, Arch: arch, NodeName: "n", Attrs: attrs})
+			b, err2 := loaded.Generate(Request{Appliance: app, Arch: arch, NodeName: "n", Attrs: attrs})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s/%s: %v %v", app, arch, err1, err2)
+			}
+			if a.Render() != b.Render() {
+				t.Errorf("%s/%s: kickstart changed across export/load", app, arch)
+			}
+		}
+	}
+}
+
+// TestExportedFigure2Style checks the exported dhcp-server module still
+// carries the paper's awk script intact.
+func TestExportedFigure2Style(t *testing.T) {
+	fw := DefaultFramework()
+	xmlText := fw.Nodes["dhcp-server"].XML()
+	for _, want := range []string{"<package>dhcp</package>", "DHCPD_INTERFACES"} {
+		if !strings.Contains(xmlText, want) {
+			t.Errorf("export missing %q:\n%s", want, xmlText)
+		}
+	}
+	parsed, err := ParseNode("dhcp-server", strings.NewReader(xmlText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(parsed.Post[0].Text, `printf("DHCPD_INTERFACES=\"eth0\"\n");`) {
+		t.Errorf("awk script mangled: %q", parsed.Post[0].Text)
+	}
+}

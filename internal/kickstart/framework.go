@@ -1,0 +1,161 @@
+package kickstart
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Framework is the complete XML configuration infrastructure of one
+// distribution: a graph plus the node files it references. rocks-dist
+// materializes one of these in each distribution's build directory
+// (§6.2.3); users customize a cluster by editing or adding node files and
+// graph edges.
+type Framework struct {
+	Graph *Graph
+	Nodes map[string]*NodeFile
+}
+
+// NewFramework returns an empty framework with an empty graph.
+func NewFramework() *Framework {
+	return &Framework{Graph: &Graph{Name: "default"}, Nodes: make(map[string]*NodeFile)}
+}
+
+// AddNode registers a node file, replacing any module of the same name —
+// which is exactly how a site overrides a stock Rocks module with a local
+// copy.
+func (f *Framework) AddNode(n *NodeFile) { f.Nodes[n.Name] = n }
+
+// Clone returns a deep-enough copy: the graph edges and node map are
+// copied so a child distribution can extend its framework without mutating
+// the parent's. Node files themselves are immutable by convention and
+// shared.
+func (f *Framework) Clone() *Framework {
+	g := &Graph{Name: f.Graph.Name, Description: f.Graph.Description,
+		Edges: append([]Edge(nil), f.Graph.Edges...)}
+	nodes := make(map[string]*NodeFile, len(f.Nodes))
+	for k, v := range f.Nodes {
+		nodes[k] = v
+	}
+	return &Framework{Graph: g, Nodes: nodes}
+}
+
+// LoadFS populates a framework from a filesystem laid out the way
+// rocks-dist builds the profiles directory: nodes/*.xml are node files,
+// graphs/*.xml are graph files (all merged). Missing directories are not an
+// error — a site may supply only extra nodes.
+func LoadFS(fsys fs.FS) (*Framework, error) {
+	fw := NewFramework()
+	nodeFiles, err := fs.Glob(fsys, "nodes/*.xml")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(nodeFiles)
+	for _, nf := range nodeFiles {
+		data, err := fs.ReadFile(fsys, nf)
+		if err != nil {
+			return nil, fmt.Errorf("kickstart: reading %s: %w", nf, err)
+		}
+		name := strings.TrimSuffix(path.Base(nf), ".xml")
+		parsed, err := ParseNode(name, strings.NewReader(string(data)))
+		if err != nil {
+			return nil, err
+		}
+		fw.AddNode(parsed)
+	}
+	graphFiles, err := fs.Glob(fsys, "graphs/*.xml")
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(graphFiles)
+	for _, gf := range graphFiles {
+		data, err := fs.ReadFile(fsys, gf)
+		if err != nil {
+			return nil, fmt.Errorf("kickstart: reading %s: %w", gf, err)
+		}
+		name := strings.TrimSuffix(path.Base(gf), ".xml")
+		parsed, err := ParseGraph(name, strings.NewReader(string(data)))
+		if err != nil {
+			return nil, err
+		}
+		fw.Graph.Merge(parsed)
+	}
+	return fw, nil
+}
+
+// TraversalError reports a graph reference to a node file that does not
+// exist, including the path that reached it — the diagnostic an
+// administrator needs when a hand-edited graph has a typo.
+type TraversalError struct {
+	Missing string
+	Path    []string
+}
+
+// Error renders the missing module and the path that reached it.
+func (e *TraversalError) Error() string {
+	return fmt.Sprintf("kickstart: graph references node %q which has no node file (path: %s)",
+		e.Missing, strings.Join(e.Path, " -> "))
+}
+
+// Traverse walks the graph depth-first from root, following only edges that
+// apply to arch, and returns the reachable node files in deterministic
+// preorder (the paper's example: compute -> compute, mpi, c-development).
+// Cycles are tolerated — each module is visited once. A reference to a
+// missing node file returns a *TraversalError.
+func (f *Framework) Traverse(root, arch string) ([]*NodeFile, error) {
+	var order []*NodeFile
+	visited := map[string]bool{}
+	var walk func(name string, trail []string) error
+	walk = func(name string, trail []string) error {
+		if visited[name] {
+			return nil
+		}
+		visited[name] = true
+		nf, ok := f.Nodes[name]
+		if !ok {
+			return &TraversalError{Missing: name, Path: append(trail, name)}
+		}
+		order = append(order, nf)
+		for _, next := range f.Graph.Successors(name, arch) {
+			if err := walk(next, append(trail, name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, nil); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// Validate checks every edge endpoint has a node file and that every
+// appliance root traverses cleanly for the given architectures. It returns
+// all problems, not just the first.
+func (f *Framework) Validate(arches ...string) []error {
+	var errs []error
+	seen := map[string]bool{}
+	for _, e := range f.Graph.Edges {
+		for _, end := range []string{e.From, e.To} {
+			if _, ok := f.Nodes[end]; !ok && !seen[end] {
+				seen[end] = true
+				errs = append(errs, fmt.Errorf("kickstart: edge endpoint %q has no node file", end))
+			}
+		}
+	}
+	if len(arches) == 0 {
+		arches = []string{"i386"}
+	}
+	for _, root := range f.Graph.Roots() {
+		for _, arch := range arches {
+			if _, err := f.Traverse(root, arch); err != nil {
+				if !seen[err.(*TraversalError).Missing] {
+					errs = append(errs, err)
+				}
+			}
+		}
+	}
+	return errs
+}

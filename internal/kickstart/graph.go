@@ -1,0 +1,115 @@
+package kickstart
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Edge is one directed relation in the graph: installing From implies
+// installing To. Edges may be restricted to architectures, which is how one
+// graph file supports the Meteor cluster's three processor types (§6.1).
+type Edge struct {
+	From, To string
+	Arches   []string
+}
+
+func (e Edge) matches(arch string) bool { return archListMatches(e.Arches, arch) }
+
+// Graph is a parsed graph file: a set of edges over node-file names.
+type Graph struct {
+	Name        string
+	Description string
+	Edges       []Edge
+}
+
+type xmlGraph struct {
+	XMLName     xml.Name  `xml:"graph"`
+	Description string    `xml:"description"`
+	Edges       []xmlEdge `xml:"edge"`
+}
+
+type xmlEdge struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	Arch string `xml:"arch,attr"`
+}
+
+// ParseGraph parses a graph file.
+func ParseGraph(name string, r io.Reader) (*Graph, error) {
+	var xg xmlGraph
+	dec := xml.NewDecoder(r)
+	dec.Strict = false
+	if err := decodeCaseInsensitive(dec, &xg); err != nil {
+		return nil, fmt.Errorf("kickstart: parsing graph %q: %w", name, err)
+	}
+	g := &Graph{Name: name, Description: strings.TrimSpace(xg.Description)}
+	for _, e := range xg.Edges {
+		from, to := strings.TrimSpace(e.From), strings.TrimSpace(e.To)
+		if from == "" || to == "" {
+			return nil, fmt.Errorf("kickstart: graph %q has an edge missing from/to", name)
+		}
+		g.Edges = append(g.Edges, Edge{From: from, To: to, Arches: splitArches(e.Arch)})
+	}
+	return g, nil
+}
+
+// AddEdge appends an edge; used by programmatic graph construction and by
+// rocks-dist when a child distribution extends its parent's graph (§6.2.3).
+func (g *Graph) AddEdge(from, to string, arches ...string) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Arches: arches})
+}
+
+// Successors returns the targets of all edges leaving `from` that apply to
+// arch, in edge order.
+func (g *Graph) Successors(from, arch string) []string {
+	var out []string
+	for _, e := range g.Edges {
+		if e.From == from && e.matches(arch) {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Roots returns node names that appear as edge sources but never as
+// targets — the appliances (Figure 4 calls out "compute" and "frontend").
+func (g *Graph) Roots() []string {
+	isTarget := map[string]bool{}
+	isSource := map[string]bool{}
+	for _, e := range g.Edges {
+		isTarget[e.To] = true
+		isSource[e.From] = true
+	}
+	var roots []string
+	for s := range isSource {
+		if !isTarget[s] {
+			roots = append(roots, s)
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// NodeNames returns every node name mentioned by any edge, sorted.
+func (g *Graph) NodeNames() []string {
+	seen := map[string]bool{}
+	for _, e := range g.Edges {
+		seen[e.From] = true
+		seen[e.To] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge appends another graph's edges (child distributions extend the
+// parent graph rather than replacing it).
+func (g *Graph) Merge(other *Graph) {
+	g.Edges = append(g.Edges, other.Edges...)
+}

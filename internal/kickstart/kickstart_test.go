@@ -1,0 +1,377 @@
+package kickstart
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFig2DHCPNodeFile parses the paper's Figure 2 node file verbatim
+// (upper-case tags, XML comment inside <POST>, the awk rewrite script).
+func TestFig2DHCPNodeFile(t *testing.T) {
+	f, err := os.Open("testdata/nodes/dhcp-server.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nf, err := ParseNode("dhcp-server", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Description != "Setup the DHCP server for the cluster" {
+		t.Errorf("description = %q", nf.Description)
+	}
+	if len(nf.Packages) != 1 || nf.Packages[0].Name != "dhcp" {
+		t.Errorf("packages = %+v", nf.Packages)
+	}
+	if len(nf.Post) != 1 {
+		t.Fatalf("post sections = %d, want 1", len(nf.Post))
+	}
+	post := nf.Post[0].Text
+	for _, want := range []string{
+		"/^DHCPD_INTERFACES/",
+		`printf("DHCPD_INTERFACES=\"eth0\"\n");`,
+		"mv /tmp/dhcpd /etc/sysconfig/dhcpd",
+	} {
+		if !strings.Contains(post, want) {
+			t.Errorf("post script missing %q:\n%s", want, post)
+		}
+	}
+}
+
+func TestParseNodeArchRestrictions(t *testing.T) {
+	f, err := os.Open("testdata/nodes/mpi.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nf, err := ParseNode("mpi", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nf.Packages) != 3 {
+		t.Fatalf("packages = %+v", nf.Packages)
+	}
+	gm := nf.Packages[1]
+	if gm.Name != "mpich-gm" || len(gm.Arches) != 2 {
+		t.Errorf("arch-restricted package = %+v", gm)
+	}
+	if !gm.matches("i386") || !gm.matches("athlon") || gm.matches("ia64") {
+		t.Error("arch matching wrong")
+	}
+	if len(nf.Post) != 1 || !nf.Post[0].matches("i386") || nf.Post[0].matches("ia64") {
+		t.Errorf("post arch restriction wrong: %+v", nf.Post)
+	}
+}
+
+func TestParseNodeErrors(t *testing.T) {
+	if _, err := ParseNode("bad", strings.NewReader("<kickstart><package></package></kickstart>")); err == nil {
+		t.Error("empty package should fail")
+	}
+	if _, err := ParseNode("bad", strings.NewReader("not xml at all <")); err == nil {
+		t.Error("malformed XML should fail")
+	}
+}
+
+func TestParseGraphFig3(t *testing.T) {
+	f, err := os.Open("testdata/graphs/default.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := ParseGraph("default", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 3 {
+		t.Fatalf("edges = %+v", g.Edges)
+	}
+	if got := g.Successors("compute", "i386"); len(got) != 1 || got[0] != "mpi" {
+		t.Errorf("i386 successors of compute = %v", got)
+	}
+	if got := g.Successors("compute", "ia64"); len(got) != 2 {
+		t.Errorf("ia64 successors of compute = %v (arch edge should apply)", got)
+	}
+	if roots := g.Roots(); len(roots) != 1 || roots[0] != "compute" {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestLoadFS(t *testing.T) {
+	fw, err := LoadFS(os.DirFS("testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.Nodes) != 4 {
+		t.Fatalf("loaded %d nodes, want 4", len(fw.Nodes))
+	}
+	order, err := fw.Traverse("compute", "i386")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, nf := range order {
+		names = append(names, nf.Name)
+	}
+	if strings.Join(names, " ") != "compute mpi c-development" {
+		t.Errorf("traversal = %v, want the paper's compute, mpi, c-development", names)
+	}
+}
+
+func TestTraverseMissingNode(t *testing.T) {
+	fw := NewFramework()
+	fw.AddNode(&NodeFile{Name: "compute"})
+	fw.Graph.AddEdge("compute", "ghost")
+	_, err := fw.Traverse("compute", "i386")
+	te, ok := err.(*TraversalError)
+	if !ok {
+		t.Fatalf("err = %v, want *TraversalError", err)
+	}
+	if te.Missing != "ghost" || strings.Join(te.Path, "->") != "compute->ghost" {
+		t.Errorf("TraversalError = %+v", te)
+	}
+}
+
+func TestTraverseCycleTerminates(t *testing.T) {
+	fw := NewFramework()
+	fw.AddNode(&NodeFile{Name: "a"})
+	fw.AddNode(&NodeFile{Name: "b"})
+	fw.Graph.AddEdge("a", "b")
+	fw.Graph.AddEdge("b", "a")
+	order, err := fw.Traverse("a", "i386")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Errorf("cycle traversal visited %d nodes, want 2", len(order))
+	}
+}
+
+func TestTraverseDiamondVisitsOnce(t *testing.T) {
+	fw := NewFramework()
+	for _, n := range []string{"root", "l", "r", "shared"} {
+		fw.AddNode(&NodeFile{Name: n, Packages: []PackageRef{{Name: "pkg-" + n}}})
+	}
+	fw.Graph.AddEdge("root", "l")
+	fw.Graph.AddEdge("root", "r")
+	fw.Graph.AddEdge("l", "shared")
+	fw.Graph.AddEdge("r", "shared")
+	order, err := fw.Traverse("root", "i386")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Errorf("diamond visited %d nodes, want 4", len(order))
+	}
+}
+
+func TestDefaultFrameworkValidates(t *testing.T) {
+	fw := DefaultFramework()
+	if errs := fw.Validate("i386", "athlon", "ia64"); len(errs) != 0 {
+		t.Fatalf("default framework invalid: %v", errs)
+	}
+	roots := fw.Graph.Roots()
+	if strings.Join(roots, " ") != "compute frontend" {
+		t.Errorf("roots = %v, want [compute frontend]", roots)
+	}
+}
+
+// TestDefaultComputeHas162Packages pins the compute appliance at the
+// paper's package count (Figure 7: "Total ... 162" packages).
+func TestDefaultComputeHas162Packages(t *testing.T) {
+	fw := DefaultFramework()
+	p, err := fw.Generate(Request{Appliance: "compute", Arch: "i386", NodeName: "compute-0-0",
+		Attrs: DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Packages) != 162 {
+		t.Errorf("compute/i386 resolves %d packages, want 162", len(p.Packages))
+	}
+	// IA-64 nodes skip the Myrinet modules (arch-restricted edge).
+	p64, err := fw.Generate(Request{Appliance: "compute", Arch: "ia64", NodeName: "compute-1-0",
+		Attrs: DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p64.Packages) != 160 {
+		t.Errorf("compute/ia64 resolves %d packages, want 160 (no gm, no myrinet-gm-src)", len(p64.Packages))
+	}
+	for _, pkg := range p64.Packages {
+		if pkg == "gm" || pkg == "myrinet-gm-src" {
+			t.Errorf("ia64 profile must not contain %s", pkg)
+		}
+	}
+}
+
+func TestGenerateSubstitutesAttributes(t *testing.T) {
+	fw := DefaultFramework()
+	p, err := fw.Generate(Request{Appliance: "compute", Arch: "i386", NodeName: "compute-0-0",
+		Attrs: DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, ok := p.CommandValue("url")
+	if !ok || url != "--url http://10.1.1.1/dist" {
+		t.Errorf("url directive = %q, %v", url, ok)
+	}
+	text := p.Render()
+	if strings.Contains(text, "${") {
+		t.Errorf("rendered kickstart still contains unexpanded attributes:\n%s", text)
+	}
+	if !strings.Contains(text, "authconfig --enablenis --nisdomain rocks") {
+		t.Error("NIS post script not substituted")
+	}
+}
+
+func TestGenerateUndefinedAttributeFails(t *testing.T) {
+	fw := DefaultFramework()
+	_, err := fw.Generate(Request{Appliance: "compute", Arch: "i386", Attrs: map[string]string{}})
+	if err == nil || !strings.Contains(err.Error(), "undefined attribute") {
+		t.Errorf("missing attribute should fail, got %v", err)
+	}
+}
+
+func TestSubstituteEscapes(t *testing.T) {
+	got, err := substitute("cost: $$5 and $HOME stays", nil, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "cost: $5 and $HOME stays" {
+		t.Errorf("substitute = %q", got)
+	}
+	if _, err := substitute("${unterminated", nil, "m"); err == nil {
+		t.Error("unterminated reference should fail")
+	}
+}
+
+func TestRenderAndParseRoundTrip(t *testing.T) {
+	fw := DefaultFramework()
+	p, err := fw.Generate(Request{Appliance: "compute", Arch: "i386", NodeName: "compute-0-0",
+		Attrs: DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Render()
+	q, err := ParseProfile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Packages) != len(p.Packages) {
+		t.Errorf("round-trip packages %d != %d", len(q.Packages), len(p.Packages))
+	}
+	if len(q.Commands) != len(p.Commands) {
+		t.Errorf("round-trip commands %d != %d", len(q.Commands), len(p.Commands))
+	}
+	if len(q.Post) != len(p.Post) {
+		t.Errorf("round-trip post sections %d != %d", len(q.Post), len(p.Post))
+	}
+	// The Figure 2 awk script must survive the round trip byte-for-byte in
+	// content terms.
+	var found bool
+	for _, s := range q.Post {
+		if strings.Contains(s.Text, "DHCPD_INTERFACES") {
+			found = true
+		}
+	}
+	if found {
+		t.Error("compute profile should not carry the dhcp-server post script")
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfile("# just a comment\n"); err == nil {
+		t.Error("ParseProfile should reject contentless text")
+	}
+}
+
+func TestPackageDeduplicationFirstWins(t *testing.T) {
+	fw := NewFramework()
+	fw.AddNode(&NodeFile{Name: "root", Packages: []PackageRef{{Name: "shared"}, {Name: "a"}}})
+	fw.AddNode(&NodeFile{Name: "child", Packages: []PackageRef{{Name: "shared"}, {Name: "b"}}})
+	fw.Graph.AddEdge("root", "child")
+	p, err := fw.Generate(Request{Appliance: "root", Arch: "i386"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(p.Packages, " ") != "shared a b" {
+		t.Errorf("packages = %v", p.Packages)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	parent := DefaultFramework()
+	child := parent.Clone()
+	child.AddNode(&NodeFile{Name: "site-local", Packages: []PackageRef{{Name: "sitepkg"}}})
+	child.Graph.AddEdge("compute", "site-local")
+	if _, ok := parent.Nodes["site-local"]; ok {
+		t.Error("child AddNode leaked into parent")
+	}
+	before := len(parent.Graph.Edges)
+	if len(child.Graph.Edges) != before+1 {
+		t.Error("child edge not added")
+	}
+	// Parent traversal unchanged.
+	p, _ := parent.Generate(Request{Appliance: "compute", Arch: "i386",
+		Attrs: DefaultAttrs("u", "h")})
+	for _, pkg := range p.Packages {
+		if pkg == "sitepkg" {
+			t.Error("parent traversal sees child package")
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	fw := DefaultFramework()
+	dot := fw.DOT()
+	for _, want := range []string{
+		"digraph rocks",
+		`"compute" [label="compute", shape=box, style=bold];`,
+		`"compute" -> "mpi";`,
+		`"compute" -> "myrinet" [label="i386,athlon"];`,
+		`"mpi" -> "c-development";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTMarksMissingNodes(t *testing.T) {
+	fw := NewFramework()
+	fw.AddNode(&NodeFile{Name: "a"})
+	fw.Graph.AddEdge("a", "ghost")
+	dot := fw.DOT()
+	if !strings.Contains(dot, "missing") || !strings.Contains(dot, "color=red") {
+		t.Errorf("DOT should flag missing node files:\n%s", dot)
+	}
+}
+
+func TestValidateReportsMissing(t *testing.T) {
+	fw := DefaultFramework()
+	fw.Graph.AddEdge("compute", "typo-module")
+	errs := fw.Validate("i386")
+	if len(errs) == 0 {
+		t.Fatal("Validate should report the missing module")
+	}
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "typo-module") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("errors = %v", errs)
+	}
+}
+
+func TestDedent(t *testing.T) {
+	in := "\n\t\tline one\n\t\t\tindented\n\t\tline two\n\n"
+	got := dedent(in)
+	if got != "line one\n\tindented\nline two" {
+		t.Errorf("dedent = %q", got)
+	}
+	if dedent("") != "" || dedent("\n \n") != "" {
+		t.Error("dedent of blank input should be empty")
+	}
+}

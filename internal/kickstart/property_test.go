@@ -1,0 +1,90 @@
+package kickstart
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyGenerateDeterministic: generating the same request twice
+// yields byte-identical kickstart files — the guarantee that makes
+// "reinstall to a known configuration" meaningful.
+func TestPropertyGenerateDeterministic(t *testing.T) {
+	fw := DefaultFramework()
+	attrs := DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")
+	f := func(archSeed uint8) bool {
+		arch := []string{"i386", "athlon", "ia64"}[int(archSeed)%3]
+		a, err1 := fw.Generate(Request{Appliance: "compute", Arch: arch, NodeName: "n", Attrs: attrs})
+		b, err2 := fw.Generate(Request{Appliance: "compute", Arch: arch, NodeName: "n", Attrs: attrs})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Render() == b.Render()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGeneratePackagesUnique: no package appears twice in a
+// generated profile, regardless of how tangled the graph is.
+func TestPropertyGeneratePackagesUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fw := NewFramework()
+		const modules = 10
+		for i := 0; i < modules; i++ {
+			nf := &NodeFile{Name: fmt.Sprintf("m%d", i)}
+			// Random, overlapping package sets.
+			for p := 0; p < 1+r.Intn(5); p++ {
+				nf.Packages = append(nf.Packages, PackageRef{Name: fmt.Sprintf("pkg%d", r.Intn(12))})
+			}
+			fw.AddNode(nf)
+		}
+		// Random edges, possibly cyclic.
+		for e := 0; e < 15; e++ {
+			fw.Graph.AddEdge(fmt.Sprintf("m%d", r.Intn(modules)), fmt.Sprintf("m%d", r.Intn(modules)))
+		}
+		p, err := fw.Generate(Request{Appliance: "m0", Arch: "i386"})
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, pkg := range p.Packages {
+			if seen[pkg] {
+				return false
+			}
+			seen[pkg] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRenderParseStable: Render → ParseProfile → Render is a fixed
+// point for profiles generated from random subsets of the default graph.
+func TestPropertyRenderParseStable(t *testing.T) {
+	fw := DefaultFramework()
+	attrs := DefaultAttrs("http://10.1.1.1/dist", "10.1.1.1")
+	for _, app := range []string{"compute", "frontend"} {
+		p, err := fw.Generate(Request{Appliance: app, Arch: "i386", NodeName: "n", Attrs: attrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ParseProfile(p.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ParseProfile(q.Render())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Packages) != len(r.Packages) || len(q.Commands) != len(r.Commands) ||
+			len(q.Post) != len(r.Post) {
+			t.Errorf("%s: render/parse not stable", app)
+		}
+	}
+}

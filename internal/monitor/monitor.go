@@ -1,0 +1,214 @@
+// Package monitor implements the health-monitoring side of the paper's
+// management story. §4: with no dedicated management network, "an
+// administrator is 'in the dark' from the moment the node is powered on (or
+// reset) to the time Linux brings up the Ethernet network"; a node that
+// stays unreachable either has a hardware fault or fell to a common-mode
+// service failure, and the remedy is a remote power cycle. The monitor
+// periodically probes every node over the management Ethernet, tracks when
+// each was last reachable, and classifies nodes so the administrator knows
+// exactly which outlets to cycle.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Pinger answers reachability probes — the cluster provides one backed by
+// its management Ethernet.
+type Pinger interface {
+	// Ping reports whether the host currently answers on the network, and
+	// a short state description for display (e.g. "up", "installing").
+	Ping(host string) (bool, string)
+}
+
+// PingerFunc adapts a function to Pinger.
+type PingerFunc func(host string) (bool, string)
+
+// Ping calls the function.
+func (f PingerFunc) Ping(host string) (bool, string) { return f(host) }
+
+// Health classifies one host.
+type Health string
+
+// Health classes. Dark hosts have been unreachable longer than the
+// configured patience — the §4 "physical intervention or power cycle"
+// candidates.
+const (
+	HealthUp   Health = "up"
+	HealthDark Health = "dark"
+)
+
+// HostStatus is the monitor's view of one host.
+type HostStatus struct {
+	Host     string
+	Health   Health
+	Detail   string // the pinger's state description from the last probe
+	LastSeen time.Time
+	// DarkFor is how long the host has been unreachable (zero when up).
+	DarkFor time.Duration
+}
+
+// Monitor watches a fixed-or-growing set of hosts.
+type Monitor struct {
+	pinger   Pinger
+	patience time.Duration
+	now      func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	hosts    map[string]*hostRecord
+	stopCh   chan struct{}
+	stopped  bool
+	interval time.Duration
+}
+
+type hostRecord struct {
+	lastSeen time.Time
+	seenEver bool
+	detail   string
+	firstAdd time.Time
+}
+
+// New creates a monitor. patience is how long a host may be unreachable
+// before it is reported dark; interval is the background probe period
+// (zero disables the background loop; call Probe manually).
+func New(p Pinger, patience, interval time.Duration) *Monitor {
+	m := &Monitor{
+		pinger:   p,
+		patience: patience,
+		interval: interval,
+		now:      time.Now,
+		hosts:    make(map[string]*hostRecord),
+		stopCh:   make(chan struct{}),
+	}
+	if interval > 0 {
+		go m.loop()
+	}
+	return m
+}
+
+// SetClock injects a clock (tests).
+func (m *Monitor) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}
+
+// Watch adds hosts to the probe set; re-adding is a no-op.
+func (m *Monitor) Watch(hosts ...string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range hosts {
+		if _, ok := m.hosts[h]; !ok {
+			m.hosts[h] = &hostRecord{firstAdd: m.now()}
+		}
+	}
+}
+
+// Unwatch removes hosts (decommissioned nodes).
+func (m *Monitor) Unwatch(hosts ...string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range hosts {
+		delete(m.hosts, h)
+	}
+}
+
+// Probe runs one probe pass over every watched host.
+func (m *Monitor) Probe() {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.hosts))
+	for h := range m.hosts {
+		names = append(names, h)
+	}
+	now := m.now
+	m.mu.Unlock()
+
+	for _, h := range names {
+		ok, detail := m.pinger.Ping(h)
+		m.mu.Lock()
+		if rec, present := m.hosts[h]; present {
+			rec.detail = detail
+			if ok {
+				rec.lastSeen = now()
+				rec.seenEver = true
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Monitor) loop() {
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			m.Probe()
+		}
+	}
+}
+
+// Stop halts the background loop; idempotent.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.stopCh)
+	}
+}
+
+// Status reports every watched host, sorted by name.
+func (m *Monitor) Status() []HostStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	out := make([]HostStatus, 0, len(m.hosts))
+	for h, rec := range m.hosts {
+		st := HostStatus{Host: h, Detail: rec.detail, LastSeen: rec.lastSeen}
+		ref := rec.lastSeen
+		if !rec.seenEver {
+			ref = rec.firstAdd
+		}
+		if dark := now.Sub(ref); dark > m.patience {
+			st.Health = HealthDark
+			st.DarkFor = dark
+		} else {
+			st.Health = HealthUp
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Dark returns the hosts currently classified dark — the power-cycle list.
+func (m *Monitor) Dark() []string {
+	var out []string
+	for _, st := range m.Status() {
+		if st.Health == HealthDark {
+			out = append(out, st.Host)
+		}
+	}
+	return out
+}
+
+// Report renders the status table the CLI prints.
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-6s %-12s %s\n", "HOST", "HEALTH", "STATE", "DARK-FOR")
+	for _, st := range m.Status() {
+		dark := "-"
+		if st.DarkFor > 0 {
+			dark = st.DarkFor.Round(time.Second).String()
+		}
+		fmt.Fprintf(&b, "%-14s %-6s %-12s %s\n", st.Host, st.Health, st.Detail, dark)
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNet is a controllable pinger.
+type fakeNet struct {
+	mu    sync.Mutex
+	alive map[string]string // host → detail; absent = unreachable
+}
+
+func (f *fakeNet) set(host, detail string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.alive == nil {
+		f.alive = map[string]string{}
+	}
+	if detail == "" {
+		delete(f.alive, host)
+	} else {
+		f.alive[host] = detail
+	}
+}
+
+func (f *fakeNet) Ping(host string) (bool, string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.alive[host]
+	if !ok {
+		return false, "no response"
+	}
+	return true, d
+}
+
+// testClock is a manually advanced clock.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestMonitor(patience time.Duration) (*Monitor, *fakeNet, *testClock) {
+	net := &fakeNet{}
+	clock := &testClock{t: time.Unix(1000, 0)}
+	m := New(net, patience, 0) // no background loop: tests drive Probe
+	m.SetClock(clock.now)
+	return m, net, clock
+}
+
+func TestHealthyHostStaysUp(t *testing.T) {
+	m, net, clock := newTestMonitor(30 * time.Second)
+	net.set("compute-0-0", "up")
+	m.Watch("compute-0-0")
+	m.Probe()
+	clock.advance(10 * time.Second)
+	m.Probe()
+	st := m.Status()
+	if len(st) != 1 || st[0].Health != HealthUp || st[0].Detail != "up" {
+		t.Errorf("status = %+v", st)
+	}
+	if len(m.Dark()) != 0 {
+		t.Errorf("dark = %v", m.Dark())
+	}
+}
+
+func TestDarkDetectionAndRecovery(t *testing.T) {
+	m, net, clock := newTestMonitor(30 * time.Second)
+	net.set("compute-0-0", "up")
+	m.Watch("compute-0-0")
+	m.Probe()
+
+	// The node wedges: unreachable past the patience window.
+	net.set("compute-0-0", "")
+	clock.advance(31 * time.Second)
+	m.Probe()
+	st := m.Status()[0]
+	if st.Health != HealthDark || st.DarkFor < 31*time.Second {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := m.Dark(); len(got) != 1 || got[0] != "compute-0-0" {
+		t.Errorf("Dark = %v", got)
+	}
+	// The administrator power-cycles it; it reinstalls and answers again.
+	net.set("compute-0-0", "installing")
+	m.Probe()
+	if st := m.Status()[0]; st.Health != HealthUp || st.Detail != "installing" {
+		t.Errorf("recovered status = %+v", st)
+	}
+}
+
+func TestNeverSeenHostGoesDarkAfterPatience(t *testing.T) {
+	m, _, clock := newTestMonitor(30 * time.Second)
+	m.Watch("compute-0-9") // never answers
+	m.Probe()
+	if m.Status()[0].Health != HealthUp {
+		t.Error("brand-new host should get the patience window")
+	}
+	clock.advance(31 * time.Second)
+	m.Probe()
+	if m.Status()[0].Health != HealthDark {
+		t.Error("never-seen host should go dark after patience")
+	}
+}
+
+func TestWatchUnwatch(t *testing.T) {
+	m, net, _ := newTestMonitor(time.Minute)
+	net.set("a", "up")
+	m.Watch("a", "b")
+	m.Watch("a") // idempotent
+	if len(m.Status()) != 2 {
+		t.Fatalf("status = %v", m.Status())
+	}
+	m.Unwatch("b")
+	if len(m.Status()) != 1 {
+		t.Errorf("status after unwatch = %v", m.Status())
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	m, net, clock := newTestMonitor(10 * time.Second)
+	net.set("frontend-0", "up")
+	m.Watch("frontend-0", "compute-0-0")
+	m.Probe()
+	clock.advance(time.Minute)
+	m.Probe()
+	r := m.Report()
+	if !strings.Contains(r, "HOST") || !strings.Contains(r, "dark") || !strings.Contains(r, "frontend-0") {
+		t.Errorf("report = %q", r)
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	net := &fakeNet{}
+	net.set("n", "up")
+	m := New(net, time.Minute, 2*time.Millisecond)
+	defer m.Stop()
+	m.Watch("n")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := m.Status(); len(st) == 1 && st[0].Detail == "up" {
+			m.Stop()
+			m.Stop() // idempotent
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background loop never probed")
+}

@@ -1,0 +1,171 @@
+// Package mpirun implements the interactive parallel-job launcher of §4.1:
+// Rocks ships "mpirun from the MPICH distribution and REXEC from UC
+// Berkeley" for development use. This launcher starts N ranks across a
+// machine file's hosts (round-robin, one slot per CPU), propagates the
+// caller's environment through rexec, tags each rank's output, and forwards
+// signals to every rank — the observable behavior of `mpirun -np N`.
+package mpirun
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rocks/internal/rexec"
+)
+
+// Host is one machinefile entry.
+type Host struct {
+	Name  string
+	Slots int // usable CPUs; 0 means 1
+	Exec  rexec.Executor
+}
+
+// Job is a running parallel job.
+type Job struct {
+	Name  string
+	Ranks []Rank
+
+	mu      sync.Mutex
+	results []rexec.Result
+	done    bool
+}
+
+// Rank is one process of the job.
+type Rank struct {
+	Rank   int
+	Host   string
+	daemon *rexec.Daemon
+}
+
+// Launch places np ranks over the hosts round-robin by slot and starts a
+// process named after the job on each ("spawn <name>" on the node), exactly
+// one process per rank. It fails if the machinefile cannot seat np ranks or
+// any host refuses the spawn (e.g. it is down) — in that case already
+// started ranks are killed, matching mpirun's all-or-nothing startup.
+func Launch(name string, np int, hosts []Host) (*Job, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("mpirun: need a positive rank count")
+	}
+	var seats []Host
+	for _, h := range hosts {
+		slots := h.Slots
+		if slots <= 0 {
+			slots = 1
+		}
+		for s := 0; s < slots; s++ {
+			seats = append(seats, h)
+		}
+	}
+	if len(seats) < np {
+		return nil, fmt.Errorf("mpirun: %d ranks requested but the machinefile seats only %d", np, len(seats))
+	}
+	job := &Job{Name: name}
+	for r := 0; r < np; r++ {
+		h := seats[r%len(seats)]
+		d := rexec.NewDaemon(h.Name, h.Exec)
+		if _, err := h.Exec.Exec("spawn " + processName(name, r)); err != nil {
+			job.Kill()
+			return nil, fmt.Errorf("mpirun: starting rank %d on %s: %w", r, h.Name, err)
+		}
+		job.Ranks = append(job.Ranks, Rank{Rank: r, Host: h.Name, daemon: d})
+	}
+	return job, nil
+}
+
+func processName(job string, rank int) string {
+	return fmt.Sprintf("%s.%d", job, rank)
+}
+
+// Run executes a command in every rank's context concurrently — the
+// collective phase of the job — propagating env/uid/cwd, and returns the
+// per-rank results in rank order. MPI rank identity is exported as
+// MPIRUN_RANK in each rank's environment.
+func (j *Job) Run(req rexec.Request) []rexec.Result {
+	results := make([]rexec.Result, len(j.Ranks))
+	var wg sync.WaitGroup
+	for i, r := range j.Ranks {
+		wg.Add(1)
+		go func(i int, r Rank) {
+			defer wg.Done()
+			perRank := req
+			perRank.Env = make(map[string]string, len(req.Env)+2)
+			for k, v := range req.Env {
+				perRank.Env[k] = v
+			}
+			perRank.Env["MPIRUN_RANK"] = fmt.Sprint(r.Rank)
+			perRank.Env["MPIRUN_NPROCS"] = fmt.Sprint(len(j.Ranks))
+			results[i] = r.daemon.Run(perRank)
+		}(i, r)
+	}
+	wg.Wait()
+	j.mu.Lock()
+	j.results = results
+	j.mu.Unlock()
+	return results
+}
+
+// Signal forwards a signal to every rank (REXEC's signal fan-out). It
+// returns the number of rank processes the signal terminated.
+func (j *Job) Signal(sig string) int {
+	total := 0
+	for _, r := range j.Ranks {
+		n, err := r.daemon.Signal(sig, processName(j.Name, r.Rank))
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+// Kill terminates every rank process (SIGKILL fan-out) and marks the job
+// done.
+func (j *Job) Kill() int {
+	n := j.Signal("KILL")
+	j.mu.Lock()
+	j.done = true
+	j.mu.Unlock()
+	return n
+}
+
+// TaggedOutput renders the last Run's output with rank prefixes, the way
+// mpirun interleaves ranks' stdout.
+func (j *Job) TaggedOutput() string {
+	j.mu.Lock()
+	results := j.results
+	j.mu.Unlock()
+	var b strings.Builder
+	for i, res := range results {
+		stream := res.Stdout
+		if res.Err != nil {
+			stream = res.Stderr
+		}
+		for _, line := range strings.Split(strings.TrimRight(stream, "\n"), "\n") {
+			if line == "" && stream == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "%d: %s\n", i, line)
+		}
+	}
+	return b.String()
+}
+
+// Machinefile renders the host list in MPICH machinefile format
+// (host[:slots] per line, sorted), the artifact Rocks generates for users.
+func Machinefile(hosts []Host) string {
+	lines := make([]string, 0, len(hosts))
+	for _, h := range hosts {
+		slots := h.Slots
+		if slots <= 0 {
+			slots = 1
+		}
+		if slots == 1 {
+			lines = append(lines, h.Name)
+		} else {
+			lines = append(lines, fmt.Sprintf("%s:%d", h.Name, slots))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,150 @@
+package mpirun
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rocks/internal/hardware"
+	"rocks/internal/node"
+	"rocks/internal/rexec"
+)
+
+func upNodes(t *testing.T, count, cpus int) []Host {
+	t.Helper()
+	macs := hardware.NewMACAllocator()
+	hosts := make([]Host, count)
+	for i := range hosts {
+		n := node.New(hardware.PIIICompute(macs, 733))
+		name := fmt.Sprintf("compute-0-%d", i)
+		n.SetName(name)
+		n.SetState(node.StateUp)
+		hosts[i] = Host{Name: name, Slots: cpus, Exec: n}
+	}
+	return hosts
+}
+
+func TestLaunchPlacesRanksRoundRobin(t *testing.T) {
+	hosts := upNodes(t, 2, 2)
+	job, err := Launch("cpi", 4, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Kill()
+	if len(job.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(job.Ranks))
+	}
+	// Round-robin over 4 seats (2 hosts × 2 slots): c0 c0 c1 c1? Seats are
+	// built host-major, so ranks land c0,c0,c1,c1 in rank order... actually
+	// seats = [c0,c0,c1,c1] and rank r takes seats[r%4].
+	perHost := map[string]int{}
+	for _, r := range job.Ranks {
+		perHost[r.Host]++
+	}
+	if perHost["compute-0-0"] != 2 || perHost["compute-0-1"] != 2 {
+		t.Errorf("placement = %v", perHost)
+	}
+	// One process per rank exists on the nodes.
+	for _, h := range hosts {
+		out, _ := h.Exec.Exec("ps")
+		if strings.Count(out, "cpi.") != 2 {
+			t.Errorf("%s ps = %q", h.Name, out)
+		}
+	}
+}
+
+func TestLaunchOverSubscription(t *testing.T) {
+	hosts := upNodes(t, 2, 1)
+	if _, err := Launch("big", 3, hosts); err == nil {
+		t.Error("3 ranks on 2 seats should fail")
+	}
+	if _, err := Launch("none", 0, hosts); err == nil {
+		t.Error("0 ranks should fail")
+	}
+}
+
+func TestLaunchFailureCleansUp(t *testing.T) {
+	hosts := upNodes(t, 2, 1)
+	// Second node is down: startup must fail and kill rank 0.
+	downNode := hosts[1].Exec.(*node.Node)
+	downNode.SetState(node.StateOff)
+	if _, err := Launch("cpi", 2, hosts); err == nil {
+		t.Fatal("launch with a down node should fail")
+	}
+	out, _ := hosts[0].Exec.Exec("ps")
+	if strings.Contains(out, "cpi.") {
+		t.Errorf("rank 0 leaked after failed startup: %q", out)
+	}
+}
+
+func TestRunPropagatesRankEnv(t *testing.T) {
+	hosts := upNodes(t, 2, 1)
+	job, err := Launch("env", 2, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Kill()
+	results := job.Run(rexec.Request{Command: "printenv MPIRUN_RANK",
+		Env: map[string]string{"LD_LIBRARY_PATH": "/opt/mpich/lib"}})
+	for i, r := range results {
+		if r.Err != nil || strings.TrimSpace(r.Stdout) != fmt.Sprint(i) {
+			t.Errorf("rank %d env = %+v", i, r)
+		}
+	}
+	results = job.Run(rexec.Request{Command: "printenv MPIRUN_NPROCS"})
+	for _, r := range results {
+		if strings.TrimSpace(r.Stdout) != "2" {
+			t.Errorf("NPROCS = %q", r.Stdout)
+		}
+	}
+	// The user's own environment rides along.
+	results = job.Run(rexec.Request{Command: "printenv LD_LIBRARY_PATH",
+		Env: map[string]string{"LD_LIBRARY_PATH": "/opt/mpich/lib"}})
+	for _, r := range results {
+		if strings.TrimSpace(r.Stdout) != "/opt/mpich/lib" {
+			t.Errorf("user env lost: %q", r.Stdout)
+		}
+	}
+}
+
+func TestTaggedOutput(t *testing.T) {
+	hosts := upNodes(t, 2, 1)
+	job, err := Launch("hello", 2, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Kill()
+	job.Run(rexec.Request{Command: "hostname"})
+	out := job.TaggedOutput()
+	if !strings.Contains(out, "0: compute-0-0") || !strings.Contains(out, "1: compute-0-1") {
+		t.Errorf("tagged = %q", out)
+	}
+}
+
+func TestSignalForwarding(t *testing.T) {
+	hosts := upNodes(t, 2, 2)
+	job, err := Launch("sim", 4, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := job.Signal("USR1"); n != 0 {
+		t.Errorf("USR1 killed %d ranks", n)
+	}
+	if n := job.Kill(); n != 4 {
+		t.Errorf("KILL terminated %d ranks, want 4", n)
+	}
+	for _, h := range hosts {
+		out, _ := h.Exec.Exec("ps")
+		if strings.Contains(out, "sim.") {
+			t.Errorf("ranks survived on %s: %q", h.Name, out)
+		}
+	}
+}
+
+func TestMachinefile(t *testing.T) {
+	hosts := []Host{{Name: "compute-0-1", Slots: 2}, {Name: "compute-0-0"}}
+	got := Machinefile(hosts)
+	if got != "compute-0-0\ncompute-0-1:2\n" {
+		t.Errorf("machinefile = %q", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package nfs models the one unscalable service the paper admits to (§5):
+// the frontend exports user home directories to every compute node over
+// NFS. An Export is the server-side file tree; a Mount is a node's view of
+// it. Because mounts share the export's storage, a write from one node is
+// immediately visible on every other — the property parallel jobs rely on
+// and the reason reinstalls don't lose user data (home directories never
+// live on a compute node's disk).
+package nfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Export is a served directory tree, keyed by path relative to the export
+// root (e.g. "bruno/results.txt" under /export/home).
+type Export struct {
+	path string
+
+	mu    sync.RWMutex
+	files map[string][]byte
+	// reads/writes count operations for the load accounting that motivates
+	// the paper's search for a scalable alternative.
+	reads, writes int
+}
+
+// Server is the frontend's NFS daemon: a set of exports.
+type Server struct {
+	mu      sync.RWMutex
+	exports map[string]*Export
+}
+
+// NewServer creates an NFS server with no exports.
+func NewServer() *Server {
+	return &Server{exports: make(map[string]*Export)}
+}
+
+// AddExport starts serving a directory (e.g. "/export/home").
+func (s *Server) AddExport(path string) *Export {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.exports[path]; ok {
+		return e
+	}
+	e := &Export{path: path, files: make(map[string][]byte)}
+	s.exports[path] = e
+	return e
+}
+
+// Lookup finds an export by path.
+func (s *Server) Lookup(path string) (*Export, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.exports[path]
+	return e, ok
+}
+
+// Exports lists export paths, sorted (the /etc/exports report).
+func (s *Server) Exports() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.exports))
+	for p := range s.exports {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns cumulative (reads, writes) over all exports.
+func (s *Server) Stats() (reads, writes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.exports {
+		e.mu.RLock()
+		reads += e.reads
+		writes += e.writes
+		e.mu.RUnlock()
+	}
+	return
+}
+
+// Mount is one node's attachment of an export at a local mountpoint.
+type Mount struct {
+	export     *Export
+	mountPoint string // e.g. "/home"
+	host       string // mounting node, for diagnostics
+}
+
+// Mount attaches an export; it fails if the export does not exist — the
+// common-mode NFS failure §4 describes (nodes hang, fix the service, power
+// cycle).
+func (s *Server) Mount(exportPath, mountPoint, host string) (*Mount, error) {
+	e, ok := s.Lookup(exportPath)
+	if !ok {
+		return nil, fmt.Errorf("nfs: %s not exported", exportPath)
+	}
+	return &Mount{export: e, mountPoint: mountPoint, host: host}, nil
+}
+
+// rel converts an absolute path under the mountpoint to an export-relative
+// key.
+func (m *Mount) rel(path string) (string, error) {
+	prefix := strings.TrimSuffix(m.mountPoint, "/") + "/"
+	if !strings.HasPrefix(path, prefix) {
+		return "", fmt.Errorf("nfs: %s is outside mount %s", path, m.mountPoint)
+	}
+	return strings.TrimPrefix(path, prefix), nil
+}
+
+// WriteFile stores a file through the mount.
+func (m *Mount) WriteFile(path string, data []byte) error {
+	key, err := m.rel(path)
+	if err != nil {
+		return err
+	}
+	m.export.mu.Lock()
+	defer m.export.mu.Unlock()
+	m.export.files[key] = append([]byte(nil), data...)
+	m.export.writes++
+	return nil
+}
+
+// ReadFile retrieves a file through the mount.
+func (m *Mount) ReadFile(path string) ([]byte, error) {
+	key, err := m.rel(path)
+	if err != nil {
+		return nil, err
+	}
+	m.export.mu.Lock()
+	defer m.export.mu.Unlock()
+	m.export.reads++
+	data, ok := m.export.files[key]
+	if !ok {
+		return nil, fmt.Errorf("nfs: %s: no such file", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns mounted paths under the mountpoint, sorted.
+func (m *Mount) List() []string {
+	m.export.mu.RLock()
+	defer m.export.mu.RUnlock()
+	out := make([]string, 0, len(m.export.files))
+	for k := range m.export.files {
+		out = append(out, strings.TrimSuffix(m.mountPoint, "/")+"/"+k)
+	}
+	sort.Strings(out)
+	return out
+}

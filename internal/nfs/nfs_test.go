@@ -1,0 +1,95 @@
+package nfs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMountReadWrite(t *testing.T) {
+	s := NewServer()
+	s.AddExport("/export/home")
+	m, err := s.Mount("/export/home", "/home", "compute-0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile("/home/bruno/job.out", []byte("results")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("/home/bruno/job.out")
+	if err != nil || string(got) != "results" {
+		t.Errorf("ReadFile = %q, %v", got, err)
+	}
+	if _, err := m.ReadFile("/home/missing"); err == nil {
+		t.Error("missing file readable")
+	}
+	if err := m.WriteFile("/tmp/outside", nil); err == nil {
+		t.Error("write outside mount accepted")
+	}
+}
+
+func TestSharedVisibilityAcrossNodes(t *testing.T) {
+	// Home directories live on the frontend: a write from one node is
+	// immediately visible to all others, and survives any node reinstall.
+	s := NewServer()
+	s.AddExport("/export/home")
+	m0, _ := s.Mount("/export/home", "/home", "compute-0-0")
+	m1, _ := s.Mount("/export/home", "/home", "compute-0-1")
+	if err := m0.WriteFile("/home/bruno/data", []byte("from node 0")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m1.ReadFile("/home/bruno/data")
+	if err != nil || string(got) != "from node 0" {
+		t.Errorf("cross-node read = %q, %v", got, err)
+	}
+	if got := m1.List(); len(got) != 1 || got[0] != "/home/bruno/data" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestMountUnknownExportFails(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Mount("/export/ghost", "/home", "c0"); err == nil {
+		t.Error("mount of unknown export accepted")
+	}
+}
+
+func TestExportsAndStats(t *testing.T) {
+	s := NewServer()
+	s.AddExport("/export/home")
+	s.AddExport("/export/apps")
+	s.AddExport("/export/home") // idempotent
+	if got := s.Exports(); len(got) != 2 || got[0] != "/export/apps" {
+		t.Errorf("Exports = %v", got)
+	}
+	m, _ := s.Mount("/export/home", "/home", "c0")
+	m.WriteFile("/home/a", []byte("x"))
+	m.ReadFile("/home/a")
+	m.ReadFile("/home/a")
+	r, w := s.Stats()
+	if r != 2 || w != 1 {
+		t.Errorf("stats = %d reads, %d writes", r, w)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := NewServer()
+	s.AddExport("/export/home")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _ := s.Mount("/export/home", "/home", "node")
+			for j := 0; j < 25; j++ {
+				m.WriteFile("/home/user/f"+strings.Repeat("x", i), []byte("data"))
+				m.ReadFile("/home/user/f" + strings.Repeat("x", i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	m, _ := s.Mount("/export/home", "/home", "checker")
+	if got := m.List(); len(got) != 8 {
+		t.Errorf("files = %v", got)
+	}
+}

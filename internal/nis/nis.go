@@ -1,0 +1,150 @@
+// Package nis implements the Network Information Service slice Rocks uses:
+// "User account configuration (e.g., passwords and home directory
+// locations) are synchronized from the frontend node to compute nodes with
+// the Network Information Service" (§5). The frontend runs a Domain
+// (ypserv); each compute node holds a Binding (ypbind) that pulls the
+// passwd map when it is stale.
+package nis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// User is one account in the passwd map.
+type User struct {
+	Name  string
+	UID   int
+	GID   int
+	Home  string
+	Shell string
+}
+
+// passwdLine renders the user in passwd(5) format.
+func (u User) passwdLine() string {
+	shell := u.Shell
+	if shell == "" {
+		shell = "/bin/bash"
+	}
+	return fmt.Sprintf("%s:x:%d:%d::%s:%s", u.Name, u.UID, u.GID, u.Home, shell)
+}
+
+// Domain is the master map served by the frontend.
+type Domain struct {
+	name string
+
+	mu      sync.RWMutex
+	users   map[string]User
+	version int
+}
+
+// NewDomain creates an empty NIS domain (Rocks calls its domain "rocks").
+func NewDomain(name string) *Domain {
+	return &Domain{name: name, users: make(map[string]User)}
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// AddUser installs or updates an account, bumping the map version.
+func (d *Domain) AddUser(u User) error {
+	if u.Name == "" {
+		return fmt.Errorf("nis: user needs a name")
+	}
+	if u.Home == "" {
+		u.Home = "/home/" + u.Name
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.users[u.Name] = u
+	d.version++
+	return nil
+}
+
+// RemoveUser deletes an account; it reports whether the user existed.
+func (d *Domain) RemoveUser(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.users[name]; !ok {
+		return false
+	}
+	delete(d.users, name)
+	d.version++
+	return true
+}
+
+// Lookup finds one account.
+func (d *Domain) Lookup(name string) (User, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	u, ok := d.users[name]
+	return u, ok
+}
+
+// Version returns the map generation; it increases on every change.
+func (d *Domain) Version() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.version
+}
+
+// PasswdMap renders the full passwd map plus its version.
+func (d *Domain) PasswdMap() (string, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.users))
+	for n := range d.users {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(d.users[n].passwdLine())
+		b.WriteByte('\n')
+	}
+	return b.String(), d.version
+}
+
+// Binding is a node's ypbind state: which domain it follows and the map
+// version it last pulled.
+type Binding struct {
+	domain *Domain
+
+	mu      sync.Mutex
+	version int
+	passwd  string
+}
+
+// Bind attaches a client to a domain (what the nis-client %post's
+// authconfig accomplishes).
+func Bind(d *Domain) *Binding {
+	return &Binding{domain: d, version: -1}
+}
+
+// Fresh reports whether the cached map matches the master.
+func (b *Binding) Fresh() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.version == b.domain.Version()
+}
+
+// Refresh pulls the map if stale and returns it; the bool reports whether a
+// transfer happened. This models ypbind's periodic map pull — the paper's
+// "dynamic services for frequently changing state".
+func (b *Binding) Refresh() (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.version == b.domain.Version() {
+		return b.passwd, false
+	}
+	b.passwd, b.version = b.domain.PasswdMap()
+	return b.passwd, true
+}
+
+// LookupUser resolves an account through the binding, refreshing first.
+func (b *Binding) LookupUser(name string) (User, bool) {
+	b.Refresh()
+	return b.domain.Lookup(name)
+}

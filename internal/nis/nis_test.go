@@ -1,0 +1,93 @@
+package nis
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddLookupRemove(t *testing.T) {
+	d := NewDomain("rocks")
+	if err := d.AddUser(User{Name: "bruno", UID: 500, GID: 500}); err != nil {
+		t.Fatal(err)
+	}
+	u, ok := d.Lookup("bruno")
+	if !ok || u.Home != "/home/bruno" {
+		t.Errorf("Lookup = %+v, %v (default home expected)", u, ok)
+	}
+	if !d.RemoveUser("bruno") || d.RemoveUser("bruno") {
+		t.Error("RemoveUser semantics wrong")
+	}
+	if err := d.AddUser(User{}); err == nil {
+		t.Error("nameless user accepted")
+	}
+}
+
+func TestPasswdMapFormat(t *testing.T) {
+	d := NewDomain("rocks")
+	d.AddUser(User{Name: "mason", UID: 501, GID: 501})
+	d.AddUser(User{Name: "bruno", UID: 500, GID: 500, Shell: "/bin/tcsh"})
+	m, v := d.PasswdMap()
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "bruno:x:500:500::/home/bruno:/bin/tcsh") {
+		t.Errorf("map = %q", m)
+	}
+	if v != 2 {
+		t.Errorf("version = %d, want 2 (two changes)", v)
+	}
+}
+
+func TestBindingRefreshOnlyWhenStale(t *testing.T) {
+	d := NewDomain("rocks")
+	d.AddUser(User{Name: "bruno", UID: 500, GID: 500})
+	b := Bind(d)
+	if b.Fresh() {
+		t.Error("new binding should be stale")
+	}
+	_, transferred := b.Refresh()
+	if !transferred {
+		t.Error("first refresh must transfer")
+	}
+	if _, transferred = b.Refresh(); transferred {
+		t.Error("second refresh without changes must not transfer")
+	}
+	if !b.Fresh() {
+		t.Error("binding should be fresh after refresh")
+	}
+	// The paper's scenario: add an account on the frontend, nodes pick it
+	// up through NIS without any reinstall.
+	d.AddUser(User{Name: "papadopoulos", UID: 502, GID: 502})
+	if b.Fresh() {
+		t.Error("binding should go stale after a master change")
+	}
+	m, transferred := b.Refresh()
+	if !transferred || !strings.Contains(m, "papadopoulos") {
+		t.Errorf("refresh after change: %v, %q", transferred, m)
+	}
+	if u, ok := b.LookupUser("papadopoulos"); !ok || u.UID != 502 {
+		t.Errorf("LookupUser = %+v, %v", u, ok)
+	}
+}
+
+func TestConcurrentBindings(t *testing.T) {
+	d := NewDomain("rocks")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			d.AddUser(User{Name: strings.Repeat("u", i+1), UID: 500 + i, GID: 500})
+		}(i)
+		go func() {
+			defer wg.Done()
+			b := Bind(d)
+			for j := 0; j < 20; j++ {
+				b.Refresh()
+			}
+		}()
+	}
+	wg.Wait()
+	if m, _ := d.PasswdMap(); strings.Count(m, "\n") != 4 {
+		t.Errorf("map = %q", m)
+	}
+}

@@ -1,0 +1,62 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyDiskLastWriteWins: random sequences of writes/appends across
+// two partitions; reading any path returns exactly the accumulated state,
+// and reformatting the root never touches the state partition.
+func TestPropertyDiskLastWriteWins(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := NewDisk()
+		d.Format("/")
+		d.Format("/state/partition1")
+		want := map[string][]byte{}
+		paths := []string{
+			"/etc/a", "/etc/b", "/usr/bin/x",
+			"/state/partition1/r1", "/state/partition1/r2",
+		}
+		for op := 0; op < 50; op++ {
+			p := paths[r.Intn(len(paths))]
+			data := []byte(fmt.Sprintf("op%d", op))
+			if r.Intn(3) == 0 {
+				if d.AppendFile(p, data) != nil {
+					return false
+				}
+				want[p] = append(want[p], data...)
+			} else {
+				if d.WriteFile(p, data, 0o644) != nil {
+					return false
+				}
+				want[p] = append([]byte(nil), data...)
+			}
+		}
+		for p, w := range want {
+			got, err := d.ReadFile(p)
+			if err != nil || string(got) != string(w) {
+				return false
+			}
+		}
+		// Reformat root: state partition contents must be intact, root gone.
+		d.Format("/")
+		for p, w := range want {
+			got, err := d.ReadFile(p)
+			if len(p) > 7 && p[:7] == "/state/" {
+				if err != nil || string(got) != string(w) {
+					return false
+				}
+			} else if err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

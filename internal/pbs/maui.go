@@ -1,0 +1,81 @@
+package pbs
+
+import (
+	"sync"
+	"time"
+)
+
+// Maui is the standalone scheduler daemon of §4.1: PBS manages the workload
+// (starting and monitoring jobs) while Maui supplies the scheduling policy.
+// This daemon runs periodic Schedule passes against a Server and can be
+// kicked immediately when cluster state changes (a mom registering, a job
+// arriving) instead of waiting out the interval.
+type Maui struct {
+	server   *Server
+	interval time.Duration
+
+	mu      sync.Mutex
+	kick    chan struct{}
+	stop    chan struct{}
+	stopped bool
+	passes  int
+}
+
+// NewMaui creates a scheduler for the server. interval <= 0 defaults to the
+// classic 30 s RMPOLLINTERVAL scaled down for simulation (10 ms).
+func NewMaui(server *Server, interval time.Duration) *Maui {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Maui{
+		server:   server,
+		interval: interval,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches the scheduling loop.
+func (m *Maui) Start() {
+	go func() {
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-m.kick:
+			case <-t.C:
+			}
+			m.server.Schedule()
+			m.mu.Lock()
+			m.passes++
+			m.mu.Unlock()
+		}
+	}()
+}
+
+// Kick requests an immediate scheduling pass (non-blocking).
+func (m *Maui) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts the loop; it is idempotent.
+func (m *Maui) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.stop)
+	}
+}
+
+// Passes reports how many scheduling passes have run.
+func (m *Maui) Passes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.passes
+}

@@ -1,0 +1,57 @@
+package pbs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMauiSchedulesInBackground(t *testing.T) {
+	s, _ := serverWithNodes("c0", "c1")
+	m := NewMaui(s, 5*time.Millisecond)
+	m.Start()
+	defer m.Stop()
+
+	id := s.Submit(Job{Name: "auto", NodeCount: 2, Command: "hostname"})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := s.Job(id); j.State == StateComplete {
+			break
+		}
+		if time.Now().After(deadline) {
+			j, _ := s.Job(id)
+			t.Fatalf("job never scheduled: %+v", j)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.Passes() == 0 {
+		t.Error("no scheduling passes recorded")
+	}
+}
+
+func TestMauiKick(t *testing.T) {
+	s, _ := serverWithNodes("c0")
+	m := NewMaui(s, time.Hour) // interval effectively never fires
+	m.Start()
+	defer m.Stop()
+	id := s.Submit(Job{Name: "kicked", NodeCount: 1, Command: "hostname"})
+	m.Kick()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := s.Job(id); j.State == StateComplete {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("kick did not trigger a pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMauiStopIdempotent(t *testing.T) {
+	s := NewServer()
+	m := NewMaui(s, 0)
+	m.Start()
+	m.Stop()
+	m.Stop()
+	m.Kick() // must not panic after stop
+}

@@ -1,0 +1,341 @@
+// Package pbs implements the workload-management slice of the Portable
+// Batch System plus a Maui-style FCFS scheduler (§4.1): the frontend runs
+// the server with a default queue, compute nodes run moms, and jobs are
+// scheduled onto free nodes only. The load-bearing Rocks use beyond user
+// jobs is §5's rolling upgrade: "the production system can be upgraded by
+// submitting a 'reinstall cluster' job to Maui, as not to disturb any
+// running applications" — reinstall jobs queue like any other work and
+// touch a node only when it is idle.
+package pbs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Executor runs a command on a mom's machine; *node.Node satisfies it.
+type Executor interface {
+	Exec(cmd string) (string, error)
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job states, matching qstat's vocabulary.
+const (
+	StateQueued   JobState = "Q"
+	StateRunning  JobState = "R"
+	StateComplete JobState = "C"
+	StateFailed   JobState = "F"
+)
+
+// Job is one queue entry.
+type Job struct {
+	ID        int
+	Name      string
+	NodeCount int
+	// Command runs on every assigned node when the job starts. Jobs with
+	// Hold=true represent long-running applications: they occupy their
+	// nodes until Finish is called instead of completing instantly.
+	Command string
+	Hold    bool
+
+	State    JobState
+	Assigned []string
+	Output   map[string]string
+	Err      error
+}
+
+// ReinstallCommand is what a reinstall job executes on its node.
+const ReinstallCommand = "/boot/kickstart/cluster-kickstart"
+
+// Server is pbs_server plus the default queue.
+type Server struct {
+	mu     sync.Mutex
+	moms   map[string]Executor
+	busy   map[string]int // host → job ID occupying it
+	jobs   map[int]*Job
+	order  []int
+	nextID int
+}
+
+// NewServer creates a server with an empty default queue.
+func NewServer() *Server {
+	return &Server{
+		moms: make(map[string]Executor),
+		busy: make(map[string]int),
+		jobs: make(map[int]*Job),
+	}
+}
+
+// RegisterMom announces a node's mom to the server (the node came up).
+func (s *Server) RegisterMom(host string, exec Executor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.moms[host] = exec
+}
+
+// UnregisterMom removes a node (it went down or is reinstalling). Any job
+// running there is failed — the visible consequence of losing a node.
+func (s *Server) UnregisterMom(host string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.moms, host)
+	if id, ok := s.busy[host]; ok {
+		delete(s.busy, host)
+		if j := s.jobs[id]; j != nil && j.State == StateRunning {
+			j.State = StateFailed
+			j.Err = fmt.Errorf("pbs: node %s lost while job running", host)
+			// Free the job's other nodes.
+			for _, h := range j.Assigned {
+				if s.busy[h] == id {
+					delete(s.busy, h)
+				}
+			}
+		}
+	}
+}
+
+// Moms lists registered mom hosts, sorted.
+func (s *Server) Moms() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.moms))
+	for h := range s.moms {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeNodes counts registered moms with no running job.
+func (s *Server) FreeNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeLocked()
+}
+
+func (s *Server) freeLocked() int {
+	n := 0
+	for h := range s.moms {
+		if _, busy := s.busy[h]; !busy {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit queues a job and returns its ID.
+func (s *Server) Submit(j Job) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j.ID = s.nextID
+	if j.NodeCount <= 0 {
+		j.NodeCount = 1
+	}
+	j.State = StateQueued
+	j.Output = make(map[string]string)
+	s.jobs[j.ID] = &j
+	s.order = append(s.order, j.ID)
+	return j.ID
+}
+
+// SubmitReinstallCluster queues one single-node reinstall job per
+// registered mom — the §5 rolling upgrade. Each job waits for its node to
+// drain, shoots it, and completes.
+func (s *Server) SubmitReinstallCluster() []int {
+	hosts := s.Moms()
+	ids := make([]int, 0, len(hosts))
+	for _, h := range hosts {
+		ids = append(ids, s.Submit(Job{
+			Name:      "reinstall-" + h,
+			NodeCount: 1,
+			Command:   ReinstallCommand,
+			// Pin to the specific host so every node gets exactly one.
+			Assigned: []string{h},
+		}))
+	}
+	return ids
+}
+
+// Job returns a copy of the job's current record.
+func (s *Server) Job(id int) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns copies of all jobs in submission order.
+func (s *Server) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Finish completes a held (long-running) job, freeing its nodes.
+func (s *Server) Finish(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("pbs: no job %d", id)
+	}
+	if j.State != StateRunning {
+		return fmt.Errorf("pbs: job %d is %s, not running", id, j.State)
+	}
+	j.State = StateComplete
+	for _, h := range j.Assigned {
+		if s.busy[h] == id {
+			delete(s.busy, h)
+		}
+	}
+	return nil
+}
+
+// Schedule is one Maui pass: walk the queue FCFS and start every job whose
+// node requirements can be met from free moms. It returns the number of
+// jobs started. Jobs pre-pinned to hosts (reinstall jobs) start only when
+// all their hosts are free.
+func (s *Server) Schedule() int {
+	s.mu.Lock()
+	started := 0
+	type launch struct {
+		job   *Job
+		hosts []string
+		execs []Executor
+	}
+	var launches []launch
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State != StateQueued {
+			continue
+		}
+		var hosts []string
+		if len(j.Assigned) > 0 {
+			// Pinned: every named host must exist and be free.
+			ok := true
+			for _, h := range j.Assigned {
+				if _, reg := s.moms[h]; !reg {
+					ok = false
+					break
+				}
+				if _, busy := s.busy[h]; busy {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue // FCFS per pinned host: skip, try next job
+			}
+			hosts = j.Assigned
+		} else {
+			free := make([]string, 0)
+			for h := range s.moms {
+				if _, busy := s.busy[h]; !busy {
+					free = append(free, h)
+				}
+			}
+			sort.Strings(free)
+			if len(free) < j.NodeCount {
+				continue
+			}
+			hosts = free[:j.NodeCount]
+		}
+		j.Assigned = hosts
+		j.State = StateRunning
+		var execs []Executor
+		for _, h := range hosts {
+			s.busy[h] = j.ID
+			execs = append(execs, s.moms[h])
+		}
+		launches = append(launches, launch{job: j, hosts: hosts, execs: execs})
+		started++
+	}
+	s.mu.Unlock()
+
+	// Run commands outside the lock: a reinstall command flips the node's
+	// state machine, which may call back into the server.
+	for _, l := range launches {
+		if l.job.Command == "" {
+			continue
+		}
+		allOK := true
+		for i, h := range l.hosts {
+			out, err := l.execs[i].Exec(l.job.Command)
+			s.mu.Lock()
+			l.job.Output[h] = out
+			if err != nil {
+				l.job.Err = err
+				allOK = false
+			}
+			s.mu.Unlock()
+		}
+		if !l.job.Hold {
+			s.mu.Lock()
+			if l.job.State == StateRunning { // may already be Failed by UnregisterMom
+				if allOK {
+					l.job.State = StateComplete
+				} else {
+					l.job.State = StateFailed
+				}
+				for _, h := range l.hosts {
+					if s.busy[h] == l.job.ID {
+						delete(s.busy, h)
+					}
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	return started
+}
+
+// QStat renders the queue the way qstat does.
+func (s *Server) QStat() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-24s %-6s %s\n", "Job id", "Name", "State", "Nodes")
+	for _, j := range s.Jobs() {
+		fmt.Fprintf(&b, "%-6d %-24s %-6s %s\n", j.ID, j.Name, j.State, strings.Join(j.Assigned, ","))
+	}
+	return b.String()
+}
+
+// Qdel removes a job: a queued job is simply deleted from consideration; a
+// running job is terminated (its nodes freed). Completed jobs cannot be
+// deleted — their record is the accounting trail.
+func (s *Server) Qdel(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("pbs: no job %d", id)
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateFailed
+		j.Err = fmt.Errorf("pbs: deleted by qdel")
+		return nil
+	case StateRunning:
+		j.State = StateFailed
+		j.Err = fmt.Errorf("pbs: deleted by qdel")
+		for _, h := range j.Assigned {
+			if s.busy[h] == id {
+				delete(s.busy, h)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("pbs: job %d already %s", id, j.State)
+	}
+}

@@ -1,0 +1,229 @@
+package pbs
+
+import (
+	"strings"
+	"testing"
+
+	"rocks/internal/hardware"
+	"rocks/internal/node"
+)
+
+func upNode(name string) *node.Node {
+	macs := hardware.NewMACAllocator()
+	n := node.New(hardware.PIIICompute(macs, 733))
+	n.SetName(name)
+	// Give the node an installed OS so NeedsInstall is driven purely by
+	// ForceReinstall (what the reinstall-job assertions check).
+	n.Disk().Format("/")
+	n.Disk().WriteFile("/boot/vmlinuz", []byte("k"), 0o755)
+	n.SetState(node.StateUp)
+	return n
+}
+
+func serverWithNodes(names ...string) (*Server, map[string]*node.Node) {
+	s := NewServer()
+	nodes := map[string]*node.Node{}
+	for _, name := range names {
+		n := upNode(name)
+		nodes[name] = n
+		s.RegisterMom(name, n)
+	}
+	return s, nodes
+}
+
+func TestSubmitAndScheduleCommandJob(t *testing.T) {
+	s, _ := serverWithNodes("c0", "c1")
+	id := s.Submit(Job{Name: "hello", NodeCount: 2, Command: "hostname"})
+	if started := s.Schedule(); started != 1 {
+		t.Fatalf("started = %d", started)
+	}
+	j, ok := s.Job(id)
+	if !ok || j.State != StateComplete {
+		t.Fatalf("job = %+v", j)
+	}
+	if len(j.Assigned) != 2 || j.Output["c0"] != "c0\n" || j.Output["c1"] != "c1\n" {
+		t.Errorf("job outputs = %+v", j)
+	}
+	if s.FreeNodes() != 2 {
+		t.Errorf("nodes not freed: %d", s.FreeNodes())
+	}
+}
+
+func TestJobWaitsForEnoughNodes(t *testing.T) {
+	s, _ := serverWithNodes("c0")
+	id := s.Submit(Job{Name: "big", NodeCount: 4, Command: "hostname"})
+	if s.Schedule() != 0 {
+		t.Fatal("4-node job started on a 1-node cluster")
+	}
+	j, _ := s.Job(id)
+	if j.State != StateQueued {
+		t.Errorf("state = %s", j.State)
+	}
+	for _, n := range []string{"c1", "c2", "c3"} {
+		s.RegisterMom(n, upNode(n))
+	}
+	if s.Schedule() != 1 {
+		t.Fatal("job did not start once nodes arrived")
+	}
+}
+
+func TestHeldJobOccupiesNodesUntilFinish(t *testing.T) {
+	s, _ := serverWithNodes("c0", "c1")
+	id := s.Submit(Job{Name: "simulation", NodeCount: 2, Hold: true})
+	s.Schedule()
+	j, _ := s.Job(id)
+	if j.State != StateRunning || s.FreeNodes() != 0 {
+		t.Fatalf("held job: %+v, free=%d", j, s.FreeNodes())
+	}
+	// A second job must wait.
+	id2 := s.Submit(Job{Name: "next", NodeCount: 1, Command: "hostname"})
+	s.Schedule()
+	if j2, _ := s.Job(id2); j2.State != StateQueued {
+		t.Errorf("second job = %+v, want queued", j2)
+	}
+	if err := s.Finish(id); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule()
+	if j2, _ := s.Job(id2); j2.State != StateComplete {
+		t.Errorf("second job after finish = %+v", j2)
+	}
+	if err := s.Finish(id); err == nil {
+		t.Error("double Finish accepted")
+	}
+	if err := s.Finish(999); err == nil {
+		t.Error("Finish of unknown job accepted")
+	}
+}
+
+// TestReinstallClusterDoesNotDisturbRunningJobs is §5's rolling upgrade:
+// reinstall jobs queue behind the running application and only shoot nodes
+// that have drained.
+func TestReinstallClusterDoesNotDisturbRunningJobs(t *testing.T) {
+	s, nodes := serverWithNodes("c0", "c1", "c2")
+	app := s.Submit(Job{Name: "science-app", NodeCount: 2, Hold: true})
+	s.Schedule()
+	appJob, _ := s.Job(app)
+	busy := map[string]bool{}
+	for _, h := range appJob.Assigned {
+		busy[h] = true
+	}
+
+	ids := s.SubmitReinstallCluster()
+	if len(ids) != 3 {
+		t.Fatalf("reinstall jobs = %d", len(ids))
+	}
+	s.Schedule()
+	// Only the idle node was shot.
+	for _, id := range ids {
+		j, _ := s.Job(id)
+		target := strings.TrimPrefix(j.Name, "reinstall-")
+		if busy[target] {
+			if j.State != StateQueued {
+				t.Errorf("reinstall of busy node %s = %s, want queued", target, j.State)
+			}
+			if nodes[target].NeedsInstall() {
+				t.Errorf("busy node %s was shot", target)
+			}
+		} else {
+			if j.State != StateComplete {
+				t.Errorf("reinstall of idle node %s = %s", target, j.State)
+			}
+			if !nodes[target].NeedsInstall() {
+				t.Errorf("idle node %s not marked for reinstall", target)
+			}
+		}
+	}
+
+	// The application finishes; the remaining reinstalls proceed.
+	if err := s.Finish(app); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule()
+	for _, id := range ids {
+		if j, _ := s.Job(id); j.State != StateComplete {
+			t.Errorf("reinstall %s = %s after drain", j.Name, j.State)
+		}
+	}
+	for name, n := range nodes {
+		if !n.NeedsInstall() {
+			t.Errorf("node %s never reinstalled", name)
+		}
+	}
+}
+
+func TestUnregisterMomFailsRunningJob(t *testing.T) {
+	s, _ := serverWithNodes("c0", "c1")
+	id := s.Submit(Job{Name: "app", NodeCount: 2, Hold: true})
+	s.Schedule()
+	s.UnregisterMom("c0") // node dies mid-job
+	j, _ := s.Job(id)
+	if j.State != StateFailed || j.Err == nil {
+		t.Errorf("job = %+v", j)
+	}
+	if s.FreeNodes() != 1 {
+		t.Errorf("free = %d, want 1 (c1 freed, c0 gone)", s.FreeNodes())
+	}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	s, _ := serverWithNodes("c0")
+	first := s.Submit(Job{Name: "first", NodeCount: 1, Hold: true})
+	second := s.Submit(Job{Name: "second", NodeCount: 1, Command: "hostname"})
+	s.Schedule()
+	if j, _ := s.Job(first); j.State != StateRunning {
+		t.Errorf("first job = %s", j.State)
+	}
+	if j, _ := s.Job(second); j.State != StateQueued {
+		t.Errorf("second job = %s, want queued behind first", j.State)
+	}
+}
+
+func TestQStat(t *testing.T) {
+	s, _ := serverWithNodes("c0")
+	s.Submit(Job{Name: "render", NodeCount: 1, Hold: true})
+	s.Schedule()
+	out := s.QStat()
+	if !strings.Contains(out, "render") || !strings.Contains(out, " R ") {
+		t.Errorf("qstat = %q", out)
+	}
+}
+
+func TestFailedCommandMarksJobFailed(t *testing.T) {
+	s, _ := serverWithNodes("c0")
+	id := s.Submit(Job{Name: "bad", NodeCount: 1, Command: "no-such-binary"})
+	s.Schedule()
+	j, _ := s.Job(id)
+	if j.State != StateFailed || j.Err == nil {
+		t.Errorf("job = %+v", j)
+	}
+	if s.FreeNodes() != 1 {
+		t.Error("failed job did not free its node")
+	}
+}
+
+func TestQdel(t *testing.T) {
+	s, _ := serverWithNodes("c0")
+	running := s.Submit(Job{Name: "app", NodeCount: 1, Hold: true})
+	queued := s.Submit(Job{Name: "waiting", NodeCount: 1, Hold: true})
+	s.Schedule()
+
+	if err := s.Qdel(queued); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := s.Job(queued); j.State != StateFailed {
+		t.Errorf("queued job after qdel = %s", j.State)
+	}
+	if err := s.Qdel(running); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeNodes() != 1 {
+		t.Error("qdel of running job did not free its node")
+	}
+	if err := s.Qdel(running); err == nil {
+		t.Error("double qdel accepted")
+	}
+	if err := s.Qdel(999); err == nil {
+		t.Error("qdel of unknown job accepted")
+	}
+}

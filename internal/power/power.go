@@ -1,0 +1,105 @@
+// Package power models the network-enabled power distribution unit of §4:
+// when a compute node stops responding over Ethernet, the administrator
+// remotely executes "a hard power cycle command for its outlet". On a Rocks
+// node a hard power cycle forces reinstallation, so the PDU is the
+// last-resort management path before the crash cart.
+package power
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Target is the machine behind an outlet. HardPowerCycle must cut power and
+// restart the machine; Rocks nodes reinstall on the way back up.
+type Target interface {
+	HardPowerCycle()
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func()
+
+// HardPowerCycle invokes the function.
+func (f TargetFunc) HardPowerCycle() { f() }
+
+// PDU is one network-enabled power distribution unit.
+type PDU struct {
+	name string
+
+	mu      sync.Mutex
+	outlets map[int]outlet
+	history []string
+}
+
+type outlet struct {
+	label  string
+	target Target
+}
+
+// NewPDU creates a PDU with no connected outlets.
+func NewPDU(name string) *PDU {
+	return &PDU{name: name, outlets: make(map[int]outlet)}
+}
+
+// Connect wires an outlet to a target with a human-readable label
+// (typically the node name).
+func (p *PDU) Connect(outletNum int, label string, t Target) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.outlets[outletNum] = outlet{label: label, target: t}
+}
+
+// Disconnect frees an outlet.
+func (p *PDU) Disconnect(outletNum int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.outlets, outletNum)
+}
+
+// HardCycle power-cycles the device on an outlet. It returns an error for
+// an unwired outlet — the administrator fat-fingered the outlet number.
+func (p *PDU) HardCycle(outletNum int) error {
+	p.mu.Lock()
+	o, ok := p.outlets[outletNum]
+	if ok {
+		p.history = append(p.history, fmt.Sprintf("hard cycle outlet %d (%s)", outletNum, o.label))
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("power: %s has nothing on outlet %d", p.name, outletNum)
+	}
+	o.target.HardPowerCycle()
+	return nil
+}
+
+// OutletFor returns the outlet number wired to the given label.
+func (p *PDU) OutletFor(label string) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for num, o := range p.outlets {
+		if o.label == label {
+			return num, true
+		}
+	}
+	return 0, false
+}
+
+// Outlets lists wired outlet numbers in order.
+func (p *PDU) Outlets() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.outlets))
+	for n := range p.outlets {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// History returns the audit trail of cycle commands.
+func (p *PDU) History() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.history...)
+}

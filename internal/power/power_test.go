@@ -1,0 +1,48 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHardCycleInvokesTarget(t *testing.T) {
+	p := NewPDU("pdu-0-0")
+	cycled := 0
+	p.Connect(4, "compute-0-3", TargetFunc(func() { cycled++ }))
+	if err := p.HardCycle(4); err != nil {
+		t.Fatal(err)
+	}
+	if cycled != 1 {
+		t.Errorf("cycled = %d", cycled)
+	}
+	hist := p.History()
+	if len(hist) != 1 || !strings.Contains(hist[0], "compute-0-3") {
+		t.Errorf("history = %v", hist)
+	}
+}
+
+func TestHardCycleUnwiredOutlet(t *testing.T) {
+	p := NewPDU("pdu-0-0")
+	if err := p.HardCycle(9); err == nil {
+		t.Error("unwired outlet should error")
+	}
+}
+
+func TestOutletForAndDisconnect(t *testing.T) {
+	p := NewPDU("pdu-0-0")
+	p.Connect(1, "compute-0-0", TargetFunc(func() {}))
+	p.Connect(2, "compute-0-1", TargetFunc(func() {}))
+	if n, ok := p.OutletFor("compute-0-1"); !ok || n != 2 {
+		t.Errorf("OutletFor = %d, %v", n, ok)
+	}
+	if got := p.Outlets(); len(got) != 2 || got[0] != 1 {
+		t.Errorf("Outlets = %v", got)
+	}
+	p.Disconnect(2)
+	if _, ok := p.OutletFor("compute-0-1"); ok {
+		t.Error("disconnected outlet still resolvable")
+	}
+	if err := p.HardCycle(2); err == nil {
+		t.Error("cycling a disconnected outlet should fail")
+	}
+}

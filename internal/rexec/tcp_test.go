@@ -1,0 +1,103 @@
+package rexec
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+func serveNode(t *testing.T, name string) (*TCPServer, *DaemonNodePair) {
+	t.Helper()
+	n := upNode(name)
+	d := NewDaemon(name, n)
+	srv, err := Serve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, &DaemonNodePair{Daemon: d, Node: n}
+}
+
+// DaemonNodePair bundles the server-side pieces for assertions.
+type DaemonNodePair struct {
+	Daemon *Daemon
+	Node   interface {
+		Exec(string) (string, error)
+	}
+}
+
+func TestRunRemoteExecutesOverTCP(t *testing.T) {
+	srv, _ := serveNode(t, "compute-0-0")
+	res := RunRemote(srv.Addr(), Request{Command: "hostname"})
+	if res.Err != nil || res.Stdout != "compute-0-0\n" {
+		t.Errorf("res = %+v", res)
+	}
+	if res.Host != "compute-0-0" {
+		t.Errorf("host = %q", res.Host)
+	}
+}
+
+func TestRunRemoteEnvPropagation(t *testing.T) {
+	srv, _ := serveNode(t, "c0")
+	res := RunRemote(srv.Addr(), Request{Command: "printenv HOME",
+		Env: map[string]string{"HOME": "/home/bruno"}, UID: 500, GID: 500, Cwd: "/home/bruno"})
+	if res.Err != nil || res.Stdout != "/home/bruno\n" {
+		t.Errorf("env over TCP = %+v", res)
+	}
+	res = RunRemote(srv.Addr(), Request{Command: "id", UID: 500, GID: 501})
+	if res.Stdout != "uid=500 gid=501\n" {
+		t.Errorf("id over TCP = %q", res.Stdout)
+	}
+}
+
+func TestRunRemoteErrors(t *testing.T) {
+	srv, _ := serveNode(t, "c0")
+	res := RunRemote(srv.Addr(), Request{Command: "no-such-binary"})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "not found") {
+		t.Errorf("res = %+v", res)
+	}
+	// Dead address.
+	res = RunRemote("127.0.0.1:1", Request{Command: "hostname"})
+	if res.Err == nil {
+		t.Error("dial to a dead port succeeded")
+	}
+}
+
+func TestSignalRemote(t *testing.T) {
+	srv, pair := serveNode(t, "c0")
+	pair.Node.Exec("spawn job")
+	pair.Node.Exec("spawn job")
+	killed, err := SignalRemote(srv.Addr(), "KILL", "job")
+	if err != nil || killed != 2 {
+		t.Errorf("SignalRemote = %d, %v", killed, err)
+	}
+	killed, err = SignalRemote(srv.Addr(), "USR1", "job")
+	if err != nil || killed != 0 {
+		t.Errorf("USR1 = %d, %v", killed, err)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	srv, _ := serveNode(t, "c0")
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("this is not json\n"))
+	buf := make([]byte, 1024)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "bad request") {
+		t.Errorf("response = %q", buf[:n])
+	}
+}
+
+func TestServeCloseIdempotent(t *testing.T) {
+	srv, _ := serveNode(t, "c0")
+	srv.Close()
+	srv.Close()
+	res := RunRemote(srv.Addr(), Request{Command: "hostname"})
+	if res.Err == nil {
+		t.Error("closed server still answering")
+	}
+}

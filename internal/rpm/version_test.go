@@ -1,0 +1,251 @@
+package rpm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// vercmpCases are drawn from the rpmvercmp reference test suite plus cases
+// exercised by the paper's own package set (kernel 2.4 updates, glibc, etc.).
+var vercmpCases = []struct {
+	a, b string
+	want int
+}{
+	{"1.0", "1.0", 0},
+	{"1.0", "2.0", -1},
+	{"2.0", "1.0", 1},
+	{"2.0.1", "2.0.1", 0},
+	{"2.0", "2.0.1", -1},
+	{"2.0.1", "2.0", 1},
+	{"2.0.1a", "2.0.1a", 0},
+	{"2.0.1a", "2.0.1", 1},
+	{"2.0.1", "2.0.1a", -1},
+	{"5.5p1", "5.5p1", 0},
+	{"5.5p1", "5.5p2", -1},
+	{"5.5p2", "5.5p1", 1},
+	{"5.5p10", "5.5p10", 0},
+	{"5.5p1", "5.5p10", -1},
+	{"5.5p10", "5.5p1", 1},
+	{"10xyz", "10.1xyz", -1},
+	{"10.1xyz", "10xyz", 1},
+	{"xyz10", "xyz10", 0},
+	{"xyz10", "xyz10.1", -1},
+	{"xyz10.1", "xyz10", 1},
+	{"xyz.4", "xyz.4", 0},
+	{"xyz.4", "8", -1},
+	{"8", "xyz.4", 1},
+	{"xyz.4", "2", -1},
+	{"2", "xyz.4", 1},
+	{"5.5p2", "5.6p1", -1},
+	{"5.6p1", "5.5p2", 1},
+	{"5.6p1", "6.5p1", -1},
+	{"6.5p1", "5.6p1", 1},
+	{"6.0.rc1", "6.0", 1},
+	{"6.0", "6.0.rc1", -1},
+	{"10b2", "10a1", 1},
+	{"10a2", "10b2", -1},
+	{"1.0aa", "1.0aa", 0},
+	{"1.0a", "1.0aa", -1},
+	{"1.0aa", "1.0a", 1},
+	{"10.0001", "10.0001", 0},
+	{"10.0001", "10.1", 0},
+	{"10.1", "10.0001", 0},
+	{"10.0001", "10.0039", -1},
+	{"10.0039", "10.0001", 1},
+	{"4.999.9", "5.0", -1},
+	{"5.0", "4.999.9", 1},
+	{"20101121", "20101121", 0},
+	{"20101121", "20101122", -1},
+	{"20101122", "20101121", 1},
+	{"2_0", "2_0", 0},
+	{"2.0", "2_0", 0},
+	{"2_0", "2.0", 0},
+	{"a", "a", 0},
+	{"a+", "a+", 0},
+	{"a+", "a_", 0},
+	{"a_", "a+", 0},
+	{"+a", "+a", 0},
+	{"+a", "_a", 0},
+	{"_a", "+a", 0},
+	{"+_", "+_", 0},
+	{"_+", "+_", 0},
+	{"_+", "_+", 0},
+	{"+", "_", 0},
+	{"_", "+", 0},
+	// Tilde ordering.
+	{"1.0~rc1", "1.0~rc1", 0},
+	{"1.0~rc1", "1.0", -1},
+	{"1.0", "1.0~rc1", 1},
+	{"1.0~rc1", "1.0~rc2", -1},
+	{"1.0~rc2", "1.0~rc1", 1},
+	{"1.0~rc1~git123", "1.0~rc1~git123", 0},
+	{"1.0~rc1~git123", "1.0~rc1", -1},
+	{"1.0~rc1", "1.0~rc1~git123", 1},
+	// Paper-era kernel versions.
+	{"2.4.9", "2.4.18", -1},
+	{"2.4.18", "2.2.19", 1},
+	{"7.2", "6.2", 1},
+}
+
+func TestVercmp(t *testing.T) {
+	for _, c := range vercmpCases {
+		if got := Vercmp(c.a, c.b); got != c.want {
+			t.Errorf("Vercmp(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVercmpAntisymmetric(t *testing.T) {
+	for _, c := range vercmpCases {
+		if got, rev := Vercmp(c.a, c.b), Vercmp(c.b, c.a); got != -rev {
+			t.Errorf("Vercmp(%q,%q)=%d but Vercmp(%q,%q)=%d; want negation", c.a, c.b, got, c.b, c.a, rev)
+		}
+	}
+}
+
+// versionString generates random version-like strings for property tests.
+func versionString(r *rand.Rand) string {
+	const alphabet = "0123456789abcXY.~-_"
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+func TestVercmpPropertyReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		s := versionString(rand.New(rand.NewSource(seed)))
+		return Vercmp(s, s) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVercmpPropertyAntisymmetric(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a := versionString(rand.New(rand.NewSource(seed1)))
+		b := versionString(rand.New(rand.NewSource(seed2)))
+		return Vercmp(a, b) == -Vercmp(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVercmpPropertyTransitiveOnTriples(t *testing.T) {
+	// Sample random triples and check transitivity of the induced order.
+	f := func(s1, s2, s3 int64) bool {
+		a := versionString(rand.New(rand.NewSource(s1)))
+		b := versionString(rand.New(rand.NewSource(s2)))
+		c := versionString(rand.New(rand.NewSource(s3)))
+		if Vercmp(a, b) <= 0 && Vercmp(b, c) <= 0 {
+			return Vercmp(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVercmpPropertyAppendSegmentIsNewer(t *testing.T) {
+	// Appending a ".1" segment to a non-empty version that doesn't end in a
+	// tilde must produce a strictly newer version.
+	f := func(seed int64) bool {
+		s := versionString(rand.New(rand.NewSource(seed)))
+		if s == "" || s[len(s)-1] == '~' {
+			return true
+		}
+		return Vercmp(s+".1", s) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareEpochDominates(t *testing.T) {
+	a := Version{Epoch: 1, Version: "1.0", Release: "1"}
+	b := Version{Epoch: 0, Version: "99.0", Release: "99"}
+	if Compare(a, b) != 1 {
+		t.Errorf("epoch 1 should beat epoch 0 regardless of version")
+	}
+	if Compare(b, a) != -1 {
+		t.Errorf("epoch comparison should be antisymmetric")
+	}
+}
+
+func TestCompareVersionThenRelease(t *testing.T) {
+	base := Version{Version: "3.0.6", Release: "5"}
+	newer := Version{Version: "3.0.6", Release: "6"}
+	if Compare(base, newer) != -1 {
+		t.Errorf("release 6 should be newer than release 5")
+	}
+	if Compare(Version{Version: "3.0.7", Release: "1"}, newer) != 1 {
+		t.Errorf("version comparison should dominate release")
+	}
+}
+
+func TestParseEVR(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Version
+	}{
+		{"3.0.6-5", Version{Version: "3.0.6", Release: "5"}},
+		{"1:2.4.9-31", Version{Epoch: 1, Version: "2.4.9", Release: "31"}},
+		{"7.2", Version{Version: "7.2"}},
+		{"1.2.3-4.5-6", Version{Version: "1.2.3-4.5", Release: "6"}},
+	}
+	for _, c := range cases {
+		got, err := ParseEVR(c.in)
+		if err != nil {
+			t.Errorf("ParseEVR(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseEVR(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseEVRErrors(t *testing.T) {
+	for _, in := range []string{"", "x:1.0-1", ":1.0-1"} {
+		if _, err := ParseEVR(in); err == nil {
+			t.Errorf("ParseEVR(%q) should fail", in)
+		}
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version{Version: "3.0.6", Release: "5"}
+	if got := v.String(); got != "3.0.6-5" {
+		t.Errorf("String() = %q, want 3.0.6-5", got)
+	}
+	v.Epoch = 2
+	if got := v.String(); got != "2:3.0.6-5" {
+		t.Errorf("String() = %q, want 2:3.0.6-5", got)
+	}
+}
+
+func TestParseEVRRoundTrip(t *testing.T) {
+	f := func(epoch uint8, hasRelease bool) bool {
+		v := Version{Epoch: int(epoch), Version: "1.2", Release: "3"}
+		if !hasRelease {
+			v.Release = ""
+		}
+		s := v.String()
+		// Versions without a release render without a trailing dash.
+		got, err := ParseEVR(s)
+		if err != nil {
+			return false
+		}
+		return got == v || (v.Release == "" && got.Version == v.Version && got.Epoch == v.Epoch)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

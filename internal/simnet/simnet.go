@@ -1,0 +1,415 @@
+// Package simnet is a deterministic discrete-event network simulator used to
+// reproduce the paper's timing results (Table I and the §6.3 scaling claims)
+// without a 32-node testbed.
+//
+// The model is fluid-flow: a Flow moves a byte count across a Path of shared
+// Links, and at any instant the set of active flows shares link capacity
+// max-min fairly (progressive water-filling, with optional per-flow rate
+// caps modelling a client NIC or an application's limited demand). Between
+// rate changes, flows drain linearly, so the simulator only processes events
+// at flow arrivals, departures, and timer expirations — a 32-node, 10-minute
+// reinstallation replays in microseconds of wall-clock time.
+//
+// Virtual time is a float64 in seconds. All scheduling is deterministic:
+// events at equal times fire in the order they were scheduled.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// timeEpsilon guards float comparisons on the virtual clock.
+const timeEpsilon = 1e-9
+
+// Simulation owns the virtual clock, the event queue, and the set of active
+// flows. It is not safe for concurrent use; a simulation is single-threaded
+// by construction (determinism is the point).
+type Simulation struct {
+	now    float64
+	seq    int64
+	events eventQueue
+	links  []*Link
+	flows  map[*Flow]struct{}
+
+	// completionTimer is the pending earliest-flow-completion event; it is
+	// invalidated (not removed) whenever rates are reallocated.
+	completionGen int64
+}
+
+// New creates an empty simulation at virtual time zero.
+func New() *Simulation {
+	return &Simulation{flows: make(map[*Flow]struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Timer is a scheduled callback; it can be stopped before it fires.
+type Timer struct {
+	stopped bool
+}
+
+// Stop prevents the timer's callback from running. It is a no-op if the
+// timer already fired.
+func (t *Timer) Stop() { t.stopped = true }
+
+// After schedules fn to run once, delay seconds from now. A negative delay
+// fires immediately (at the current time).
+func (s *Simulation) After(delay float64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t := &Timer{}
+	s.push(s.now+delay, func() {
+		if !t.stopped {
+			fn()
+		}
+	})
+	return t
+}
+
+// Run processes events until none remain, and returns the final virtual
+// time.
+func (s *Simulation) Run() float64 {
+	for len(s.events) > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil processes events up to and including virtual time t, leaving
+// later events queued. The clock is left at t (or at the last event time if
+// that is later than any remaining event).
+func (s *Simulation) RunUntil(t float64) {
+	for len(s.events) > 0 && s.events[0].at <= t+timeEpsilon {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+func (s *Simulation) step() {
+	ev := heap.Pop(&s.events).(*event)
+	if ev.at < s.now-timeEpsilon {
+		panic(fmt.Sprintf("simnet: event at t=%g scheduled in the past (now=%g)", ev.at, s.now))
+	}
+	if ev.at > s.now {
+		s.now = ev.at
+	}
+	ev.fn()
+}
+
+func (s *Simulation) push(at float64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Link is a shared transmission resource with a fixed capacity in bytes per
+// second. All flows whose Path includes the link share it max-min fairly.
+type Link struct {
+	Name     string
+	Capacity float64 // bytes/second
+}
+
+// NewLink registers a link with the simulation.
+func (s *Simulation) NewLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic("simnet: link capacity must be positive")
+	}
+	l := &Link{Name: name, Capacity: capacity}
+	s.links = append(s.links, l)
+	return l
+}
+
+// Utilization returns the fraction of the link's capacity currently
+// allocated to active flows.
+func (s *Simulation) Utilization(l *Link) float64 {
+	var used float64
+	for f := range s.flows {
+		for _, fl := range f.path {
+			if fl == l {
+				used += f.rate
+			}
+		}
+	}
+	return used / l.Capacity
+}
+
+// Flow is an in-progress bulk transfer.
+type Flow struct {
+	Name string
+
+	sim       *Simulation
+	path      []*Link
+	cap       float64 // per-flow rate cap; 0 means uncapped
+	remaining float64 // bytes left at time `updated`
+	rate      float64 // current allocated rate
+	updated   float64 // virtual time of last remaining-bytes update
+	onDone    func()
+	done      bool
+	start     float64
+}
+
+// StartFlow begins transferring `bytes` across `path`, calling onDone (which
+// may be nil) when the last byte arrives. rateCap limits the flow's rate
+// regardless of link availability; pass 0 for no cap. A zero-byte flow
+// completes at the current time (onDone runs from the event loop, not
+// inline).
+func (s *Simulation) StartFlow(name string, bytes float64, path []*Link, rateCap float64, onDone func()) *Flow {
+	if bytes < 0 {
+		panic("simnet: negative flow size")
+	}
+	f := &Flow{Name: name, sim: s, path: path, cap: rateCap, remaining: bytes, updated: s.now, onDone: onDone, start: s.now}
+	if len(path) == 0 && rateCap <= 0 {
+		panic("simnet: flow needs at least one link or a rate cap")
+	}
+	s.flows[f] = struct{}{}
+	s.reallocate()
+	return f
+}
+
+// Cancel aborts a flow, freeing its bandwidth; onDone is not called.
+func (f *Flow) Cancel() {
+	if f.done {
+		return
+	}
+	f.sim.advance()
+	f.done = true
+	delete(f.sim.flows, f)
+	f.sim.reallocate()
+}
+
+// Remaining returns the bytes the flow still has to transfer as of the
+// current virtual time.
+func (f *Flow) Remaining() float64 {
+	if f.done {
+		return 0
+	}
+	return f.remaining - f.rate*(f.sim.now-f.updated)
+}
+
+// Rate returns the flow's currently allocated transfer rate in bytes/sec.
+func (f *Flow) Rate() float64 {
+	if f.done {
+		return 0
+	}
+	return f.rate
+}
+
+// Elapsed returns how long the flow has been active.
+func (f *Flow) Elapsed() float64 { return f.sim.now - f.start }
+
+// advance charges elapsed time against every active flow's remaining bytes.
+func (s *Simulation) advance() {
+	for f := range s.flows {
+		dt := s.now - f.updated
+		if dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+			f.updated = s.now
+		}
+	}
+}
+
+// reallocate recomputes max-min fair rates for all active flows and
+// schedules the next completion event. Callers must have advanced flows to
+// the current time first (StartFlow/advance do this).
+func (s *Simulation) reallocate() {
+	s.advance()
+
+	// Progressive water-filling. All unfrozen flows' rates rise together;
+	// a flow freezes when it hits its cap or when one of its links
+	// saturates.
+	capLeft := make(map[*Link]float64, len(s.links))
+	for _, l := range s.links {
+		capLeft[l] = l.Capacity
+	}
+	unfrozen := make(map[*Flow]struct{}, len(s.flows))
+	ordered := make([]*Flow, 0, len(s.flows))
+	for f := range s.flows {
+		f.rate = 0
+		unfrozen[f] = struct{}{}
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].start < ordered[j].start || (ordered[i].start == ordered[j].start && ordered[i].Name < ordered[j].Name)
+	})
+
+	linkUsers := func(l *Link) int {
+		n := 0
+		for f := range unfrozen {
+			for _, fl := range f.path {
+				if fl == l {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+
+	for len(unfrozen) > 0 {
+		// The common increment is limited by the tightest link share and
+		// the nearest flow cap.
+		delta := math.Inf(1)
+		for _, l := range s.links {
+			if n := linkUsers(l); n > 0 {
+				if share := capLeft[l] / float64(n); share < delta {
+					delta = share
+				}
+			}
+		}
+		for f := range unfrozen {
+			if f.cap > 0 {
+				if room := f.cap - f.rate; room < delta {
+					delta = room
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			// Flows with no links and no cap cannot happen (StartFlow
+			// rejects them), so delta is always finite here.
+			panic("simnet: unbounded allocation")
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		// Apply the increment.
+		for f := range unfrozen {
+			f.rate += delta
+		}
+		for _, l := range s.links {
+			if n := linkUsers(l); n > 0 {
+				capLeft[l] -= delta * float64(n)
+			}
+		}
+		// Freeze capped flows and flows on saturated links. Iterate over
+		// the deterministic order to keep float noise reproducible.
+		progressed := false
+		for _, f := range ordered {
+			if _, ok := unfrozen[f]; !ok {
+				continue
+			}
+			frozen := false
+			if f.cap > 0 && f.rate >= f.cap-timeEpsilon {
+				f.rate = f.cap
+				frozen = true
+			}
+			if !frozen {
+				for _, l := range f.path {
+					if capLeft[l] <= timeEpsilon {
+						frozen = true
+						break
+					}
+				}
+			}
+			if frozen {
+				delete(unfrozen, f)
+				progressed = true
+			}
+		}
+		if !progressed && delta <= timeEpsilon {
+			// Numerical stall: freeze everything at current rates.
+			for f := range unfrozen {
+				delete(unfrozen, f)
+			}
+		}
+	}
+
+	s.scheduleCompletion()
+}
+
+// scheduleCompletion finds the flow that will finish first at current rates
+// and schedules its completion; any previously scheduled completion event is
+// invalidated via the generation counter.
+func (s *Simulation) scheduleCompletion() {
+	s.completionGen++
+	gen := s.completionGen
+	best := math.Inf(1)
+	found := false
+	for f := range s.flows {
+		if f.rate <= 0 {
+			if f.remaining <= timeEpsilon {
+				// Zero-byte flow: completes now.
+				best = 0
+				found = true
+			}
+			continue
+		}
+		if t := f.remaining / f.rate; t < best {
+			best = t
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	s.push(s.now+best, func() {
+		if gen != s.completionGen {
+			return // stale: rates changed since this was scheduled
+		}
+		s.completeFinished()
+	})
+}
+
+// completeFinished retires every flow whose remaining bytes reached zero,
+// then reallocates. onDone callbacks run in deterministic (start, name)
+// order.
+func (s *Simulation) completeFinished() {
+	s.advance()
+	var finished []*Flow
+	for f := range s.flows {
+		if f.remaining <= 1e-6 { // byte-level epsilon
+			finished = append(finished, f)
+		}
+	}
+	sort.Slice(finished, func(i, j int) bool {
+		return finished[i].start < finished[j].start ||
+			(finished[i].start == finished[j].start && finished[i].Name < finished[j].Name)
+	})
+	for _, f := range finished {
+		f.done = true
+		delete(s.flows, f)
+	}
+	s.reallocate()
+	for _, f := range finished {
+		if f.onDone != nil {
+			f.onDone()
+		}
+	}
+}
+
+// ActiveFlows reports the number of in-progress flows.
+func (s *Simulation) ActiveFlows() int { return len(s.flows) }

@@ -1,0 +1,396 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTimerOrderingDeterministic(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(2, func() { got = append(got, 2) })
+	s.After(1, func() { got = append(got, 1) })
+	s.After(1, func() { got = append(got, 10) }) // same time: scheduled later, fires later
+	s.After(0, func() { got = append(got, 0) })
+	end := s.Run()
+	want := []int{0, 1, 10, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if end != 2 {
+		t.Errorf("final time = %g, want 2", end)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(1, func() { fired = true })
+	s.After(0.5, func() { tm.Stop() })
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3} {
+		d := d
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want two events", fired)
+	}
+	if s.Now() != 2 {
+		t.Errorf("Now = %g, want 2", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Errorf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestSingleFlowRate(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100) // 100 B/s
+	var doneAt float64
+	s.StartFlow("f", 500, []*Link{l}, 0, func() { doneAt = s.Now() })
+	s.Run()
+	if !almost(doneAt, 5, 1e-6) {
+		t.Errorf("500 B over 100 B/s finished at %g, want 5", doneAt)
+	}
+}
+
+func TestFlowCapLimitsRate(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	var doneAt float64
+	s.StartFlow("f", 500, []*Link{l}, 50, func() { doneAt = s.Now() })
+	s.Run()
+	if !almost(doneAt, 10, 1e-6) {
+		t.Errorf("capped flow finished at %g, want 10", doneAt)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	var at1, at2 float64
+	s.StartFlow("a", 500, []*Link{l}, 0, func() { at1 = s.Now() })
+	s.StartFlow("b", 500, []*Link{l}, 0, func() { at2 = s.Now() })
+	s.Run()
+	// Equal shares of 50 B/s each: both finish at t=10.
+	if !almost(at1, 10, 1e-6) || !almost(at2, 10, 1e-6) {
+		t.Errorf("finish times %g, %g; want 10, 10", at1, at2)
+	}
+}
+
+func TestLateArrivalSlowsExistingFlow(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	var at1, at2 float64
+	s.StartFlow("a", 500, []*Link{l}, 0, func() { at1 = s.Now() })
+	s.After(2.5, func() {
+		// At t=2.5 flow a has 250 B left. Now both share 50 B/s.
+		s.StartFlow("b", 500, []*Link{l}, 0, func() { at2 = s.Now() })
+	})
+	s.Run()
+	// a: 250 B at 50 B/s => finishes at 7.5. Then b has 500-250=250 left,
+	// alone at 100 B/s => finishes at 7.5+2.5 = 10.
+	if !almost(at1, 7.5, 1e-6) {
+		t.Errorf("flow a finished at %g, want 7.5", at1)
+	}
+	if !almost(at2, 10, 1e-6) {
+		t.Errorf("flow b finished at %g, want 10", at2)
+	}
+}
+
+func TestMaxMinWithHeterogeneousCaps(t *testing.T) {
+	// Three flows on a 100 B/s link, one capped at 10 B/s. Max-min: capped
+	// flow gets 10, the other two split the remaining 90 → 45 each.
+	s := New()
+	l := s.NewLink("eth", 100)
+	fa := s.StartFlow("a", 1e9, []*Link{l}, 10, nil)
+	fb := s.StartFlow("b", 1e9, []*Link{l}, 0, nil)
+	fc := s.StartFlow("c", 1e9, []*Link{l}, 0, nil)
+	if !almost(fa.Rate(), 10, 1e-6) || !almost(fb.Rate(), 45, 1e-6) || !almost(fc.Rate(), 45, 1e-6) {
+		t.Errorf("rates = %g %g %g, want 10 45 45", fa.Rate(), fb.Rate(), fc.Rate())
+	}
+	fa.Cancel()
+	fb.Cancel()
+	fc.Cancel()
+}
+
+func TestTwoLinkPathBottleneck(t *testing.T) {
+	// Flow crosses a fast client link and a slow server link; the slow one
+	// is the bottleneck.
+	s := New()
+	server := s.NewLink("server", 50)
+	client := s.NewLink("client", 1000)
+	var doneAt float64
+	s.StartFlow("f", 500, []*Link{server, client}, 0, func() { doneAt = s.Now() })
+	s.Run()
+	if !almost(doneAt, 10, 1e-6) {
+		t.Errorf("finished at %g, want 10", doneAt)
+	}
+}
+
+func TestParkingLotFairness(t *testing.T) {
+	// Classic parking-lot: flow X crosses links L1 and L2; flow A uses only
+	// L1; flow B uses only L2. Both links 100 B/s. Max-min: X gets 50 on
+	// both, A gets 50, B gets 50.
+	s := New()
+	l1 := s.NewLink("l1", 100)
+	l2 := s.NewLink("l2", 100)
+	fx := s.StartFlow("x", 1e9, []*Link{l1, l2}, 0, nil)
+	fa := s.StartFlow("a", 1e9, []*Link{l1}, 0, nil)
+	fb := s.StartFlow("b", 1e9, []*Link{l2}, 0, nil)
+	if !almost(fx.Rate(), 50, 1e-6) || !almost(fa.Rate(), 50, 1e-6) || !almost(fb.Rate(), 50, 1e-6) {
+		t.Errorf("rates = %g %g %g, want 50 50 50", fx.Rate(), fa.Rate(), fb.Rate())
+	}
+}
+
+func TestUnevenParkingLot(t *testing.T) {
+	// L1 = 100, L2 = 30. X crosses both, A uses L1 only.
+	// Water-filling: X freezes at 30 (L2 saturates), A then takes 70.
+	s := New()
+	l1 := s.NewLink("l1", 100)
+	l2 := s.NewLink("l2", 30)
+	fx := s.StartFlow("x", 1e9, []*Link{l1, l2}, 0, nil)
+	fa := s.StartFlow("a", 1e9, []*Link{l1}, 0, nil)
+	if !almost(fx.Rate(), 30, 1e-6) {
+		t.Errorf("x rate = %g, want 30", fx.Rate())
+	}
+	if !almost(fa.Rate(), 70, 1e-6) {
+		t.Errorf("a rate = %g, want 70", fa.Rate())
+	}
+}
+
+func TestZeroByteFlowCompletes(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	done := false
+	s.StartFlow("z", 0, []*Link{l}, 0, func() { done = true })
+	s.Run()
+	if !done {
+		t.Error("zero-byte flow never completed")
+	}
+	if s.Now() != 0 {
+		t.Errorf("zero-byte flow advanced the clock to %g", s.Now())
+	}
+}
+
+func TestCancelFreesBandwidth(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	fa := s.StartFlow("a", 1e9, []*Link{l}, 0, nil)
+	fb := s.StartFlow("b", 1e9, []*Link{l}, 0, nil)
+	if !almost(fa.Rate(), 50, 1e-6) {
+		t.Fatalf("pre-cancel rate = %g", fa.Rate())
+	}
+	fb.Cancel()
+	if !almost(fa.Rate(), 100, 1e-6) {
+		t.Errorf("post-cancel rate = %g, want 100", fa.Rate())
+	}
+	if s.ActiveFlows() != 1 {
+		t.Errorf("ActiveFlows = %d, want 1", s.ActiveFlows())
+	}
+}
+
+func TestRemainingMidFlight(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	f := s.StartFlow("f", 1000, []*Link{l}, 0, nil)
+	s.After(3, func() {
+		if !almost(f.Remaining(), 700, 1e-6) {
+			t.Errorf("Remaining at t=3 = %g, want 700", f.Remaining())
+		}
+	})
+	s.Run()
+}
+
+func TestUtilization(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 100)
+	s.StartFlow("f", 1e9, []*Link{l}, 25, nil)
+	if got := s.Utilization(l); !almost(got, 0.25, 1e-9) {
+		t.Errorf("Utilization = %g, want 0.25", got)
+	}
+}
+
+// Property: total allocated rate on any link never exceeds its capacity, and
+// every flow gets a strictly positive rate (no starvation) — the two
+// invariants max-min fairness must uphold.
+func TestPropertyConservationAndNoStarvation(t *testing.T) {
+	f := func(nFlows uint8, capSeed uint8) bool {
+		n := int(nFlows)%12 + 1
+		s := New()
+		server := s.NewLink("server", 1000)
+		flows := make([]*Flow, n)
+		for i := 0; i < n; i++ {
+			client := s.NewLink("client", 400)
+			capRate := 0.0
+			if (int(capSeed)+i)%3 == 0 {
+				capRate = float64(50 + 10*i)
+			}
+			flows[i] = s.StartFlow("f", 1e9, []*Link{server, client}, capRate, nil)
+		}
+		var total float64
+		for _, fl := range flows {
+			if fl.Rate() <= 0 {
+				return false // starvation
+			}
+			total += fl.Rate()
+		}
+		return total <= 1000+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with identical uncapped flows, completion order equals start
+// order and all rates are equal (symmetry).
+func TestPropertySymmetricFlowsFinishTogether(t *testing.T) {
+	s := New()
+	l := s.NewLink("eth", 700)
+	const n = 7
+	var finishes []float64
+	for i := 0; i < n; i++ {
+		s.StartFlow("f", 7000, []*Link{l}, 0, func() { finishes = append(finishes, s.Now()) })
+	}
+	s.Run()
+	if len(finishes) != n {
+		t.Fatalf("only %d flows completed", len(finishes))
+	}
+	sort.Float64s(finishes)
+	// n flows, each 7000 B, sharing 700 B/s → everyone at 100 B/s, done at 70.
+	if !almost(finishes[0], 70, 1e-6) || !almost(finishes[n-1], 70, 1e-6) {
+		t.Errorf("finishes = %v, want all 70", finishes)
+	}
+}
+
+func TestNestedTimersAndFlows(t *testing.T) {
+	// A small process chain: timer → flow → timer → flow; validates that
+	// callbacks can schedule further work.
+	s := New()
+	l := s.NewLink("eth", 10)
+	var trace []float64
+	s.After(1, func() {
+		s.StartFlow("f1", 20, []*Link{l}, 0, func() {
+			trace = append(trace, s.Now()) // t=3
+			s.After(2, func() {
+				s.StartFlow("f2", 10, []*Link{l}, 0, func() {
+					trace = append(trace, s.Now()) // t=6
+				})
+			})
+		})
+	})
+	s.Run()
+	if len(trace) != 2 || !almost(trace[0], 3, 1e-6) || !almost(trace[1], 6, 1e-6) {
+		t.Errorf("trace = %v, want [3 6]", trace)
+	}
+}
+
+func TestPastEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past should panic at dispatch")
+		}
+	}()
+	s := New()
+	s.push(-5, func() {})
+	s.After(1, func() {})
+	s.Run()
+}
+
+// TestPropertyRandomChurn drives the simulator with a randomized schedule
+// of flow arrivals and cancellations and checks the global invariants:
+// the simulation terminates, every surviving flow completes exactly once,
+// and sampled link allocations never exceed capacity.
+func TestPropertyRandomChurn(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		links := make([]*Link, 3)
+		for i := range links {
+			links[i] = s.NewLink(fmt.Sprintf("l%d", i), 100+float64(r.Intn(900)))
+		}
+		type tracked struct {
+			flow      *Flow
+			completed int
+			cancelled bool
+		}
+		var flows []*tracked
+		nFlows := 5 + r.Intn(20)
+		for i := 0; i < nFlows; i++ {
+			i := i
+			at := r.Float64() * 50
+			size := 10 + r.Float64()*5000
+			cap := 0.0
+			if r.Intn(3) == 0 {
+				cap = 10 + r.Float64()*200
+			}
+			path := []*Link{links[r.Intn(len(links))]}
+			if r.Intn(2) == 0 {
+				path = append(path, links[r.Intn(len(links))])
+			}
+			// Avoid duplicate links in a path (counts double otherwise).
+			if len(path) == 2 && path[0] == path[1] {
+				path = path[:1]
+			}
+			tr := &tracked{}
+			flows = append(flows, tr)
+			capCopy, pathCopy, sizeCopy := cap, path, size
+			s.After(at, func() {
+				tr.flow = s.StartFlow(fmt.Sprintf("f%d", i), sizeCopy, pathCopy, capCopy, func() {
+					tr.completed++
+				})
+			})
+			if r.Intn(4) == 0 {
+				s.After(at+r.Float64()*20, func() {
+					if tr.flow != nil {
+						tr.cancelled = true
+						tr.flow.Cancel()
+					}
+				})
+			}
+		}
+		// Sample conservation at random instants.
+		for i := 0; i < 10; i++ {
+			s.After(r.Float64()*100, func() {
+				for _, l := range links {
+					if u := s.Utilization(l); u > 1+1e-6 {
+						t.Errorf("seed %d: link %s over capacity: %.3f", seed, l.Name, u)
+					}
+				}
+			})
+		}
+		s.Run()
+		for i, tr := range flows {
+			if tr.cancelled {
+				if tr.completed > 1 {
+					t.Errorf("seed %d: flow %d completed %d times after cancel", seed, i, tr.completed)
+				}
+				continue
+			}
+			if tr.completed != 1 {
+				t.Errorf("seed %d: flow %d completed %d times, want 1", seed, i, tr.completed)
+			}
+		}
+	}
+}

@@ -32,20 +32,27 @@ func main() {
 		os.Exit(1)
 	}
 	var rows []struct {
-		Host   string `json:"host"`
-		Alive  bool   `json:"alive"`
-		State  string `json:"state"`
-		Outlet int    `json:"outlet"`
+		Host        string `json:"host"`
+		Alive       bool   `json:"alive"`
+		State       string `json:"state"`
+		Outlet      int    `json:"outlet"`
+		Quarantined bool   `json:"quarantined"`
 	}
 	if err := json.Unmarshal(body, &rows); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster-health: bad response:", err)
 		os.Exit(1)
 	}
-	dark := 0
+	dark, quarantined := 0, 0
 	fmt.Printf("%-16s %-8s %-12s %s\n", "HOST", "ALIVE", "STATE", "ACTION")
 	for _, r := range rows {
 		action := "-"
-		if !r.Alive {
+		switch {
+		case r.Quarantined:
+			// The supervisor already exhausted its retry budget here: the
+			// node is offline in PBS and waiting for hands, not a cycle.
+			quarantined++
+			action = "quarantined (offline in PBS) — repair, then unquarantine"
+		case !r.Alive:
 			dark++
 			if r.Outlet != 0 {
 				action = fmt.Sprintf("hard-cycle PDU outlet %d", r.Outlet)
@@ -58,6 +65,9 @@ func main() {
 			alive = "NO"
 		}
 		fmt.Printf("%-16s %-8s %-12s %s\n", r.Host, alive, r.State, action)
+	}
+	if quarantined > 0 {
+		fmt.Printf("%d node(s) quarantined\n", quarantined)
 	}
 	if dark > 0 {
 		fmt.Printf("%d node(s) dark\n", dark)

@@ -41,6 +41,22 @@ func (c *Cluster) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/admin/reinstall-cluster", c.adminReinstallCluster)
 	mux.HandleFunc("/admin/consistency", c.adminConsistency)
 	mux.HandleFunc("/admin/health", c.adminHealth)
+	mux.HandleFunc("/admin/supervisor", c.adminSupervisor)
+}
+
+// adminSupervisor exposes the remediation supervisor's state: whether one is
+// running, its structured event log, and the quarantine list.
+func (c *Cluster) adminSupervisor(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Running     bool              `json:"running"`
+		Events      []SupervisorEvent `json:"events"`
+		Quarantined []string          `json:"quarantined"`
+	}{Quarantined: c.Quarantined()}
+	if s := c.Supervisor(); s != nil {
+		resp.Running = true
+		resp.Events = s.Events()
+	}
+	writeJSON(w, resp)
 }
 
 // adminSQL runs a read-only query (q=...) and returns the formatted table.

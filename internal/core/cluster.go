@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"rocks/internal/clusterdb"
 	"rocks/internal/dhcp"
 	"rocks/internal/dist"
+	"rocks/internal/faults"
 	"rocks/internal/hardware"
 	"rocks/internal/installer"
 	"rocks/internal/kickstart"
@@ -55,6 +58,18 @@ type Config struct {
 	// an ephemeral loopback port (tests) — cluster-sim sets a fixed port
 	// so the CLI tools can find it.
 	ListenAddr string
+	// Faults, when set, injects deterministic failures at the cluster's
+	// service seams: DHCP offers dropped on the bus, installer HTTP
+	// traffic corrupted per-node, PDU cycle commands vetoed, and installs
+	// wedged at stage boundaries. Nil means no injection (production).
+	Faults *faults.Injector
+	// InstallRetries bounds the installer's automatic, non-interactive
+	// retries per fetch before the install crashes. Zero means the
+	// default (2); negative disables automatic retries.
+	InstallRetries int
+	// InstallRetryBackoff is the initial wait between those retries
+	// (doubling per attempt); zero means the installer default.
+	InstallRetryBackoff time.Duration
 }
 
 // Cluster is a running Rocks cluster.
@@ -79,10 +94,12 @@ type Cluster struct {
 	httpSrv *http.Server
 	baseURL string
 
-	mu      sync.Mutex
-	nodes   map[string]*node.Node // by MAC
-	byName  map[string]*node.Node
-	outlets int
+	mu          sync.Mutex
+	nodes       map[string]*node.Node // by MAC
+	byName      map[string]*node.Node
+	outlets     int
+	quarantined map[string]bool
+	supervisor  *Supervisor
 
 	wg     sync.WaitGroup
 	closed bool
@@ -107,24 +124,28 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	if cfg.ParentURL != "" {
-		mirror, err := dist.Mirror(http.DefaultClient, cfg.ParentURL, "parent-mirror")
+		// A bounded client: a wedged parent must not hang frontend
+		// construction forever.
+		mirrorClient := &http.Client{Timeout: 60 * time.Second}
+		mirror, err := dist.Mirror(mirrorClient, cfg.ParentURL, "parent-mirror")
 		if err != nil {
 			return nil, fmt.Errorf("core: replicating parent distribution: %w", err)
 		}
 		cfg.Sources = append([]dist.Source{{Name: "parent-mirror", Repo: mirror}}, cfg.Sources...)
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		DB:     clusterdb.New(),
-		Syslog: syslogd.New(),
-		Bus:    dhcp.NewBus(),
-		NIS:    nis.NewDomain("rocks"),
-		NFS:    nfs.NewServer(),
-		PBS:    pbs.NewServer(),
-		PDU:    power.NewPDU("pdu-0-0"),
-		macs:   hardware.NewMACAllocator(),
-		nodes:  make(map[string]*node.Node),
-		byName: make(map[string]*node.Node),
+		cfg:         cfg,
+		DB:          clusterdb.New(),
+		Syslog:      syslogd.New(),
+		Bus:         dhcp.NewBus(),
+		NIS:         nis.NewDomain("rocks"),
+		NFS:         nfs.NewServer(),
+		PBS:         pbs.NewServer(),
+		PDU:         power.NewPDU("pdu-0-0"),
+		macs:        hardware.NewMACAllocator(),
+		nodes:       make(map[string]*node.Node),
+		byName:      make(map[string]*node.Node),
+		quarantined: make(map[string]bool),
 	}
 	if err := clusterdb.InitSchema(c.DB); err != nil {
 		return nil, err
@@ -134,7 +155,14 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Dist = dist.Build(cfg.Name, cfg.Framework, cfg.Sources...)
 	c.DHCPd = dhcp.NewServer("frontend-0", c.Syslog)
-	c.Bus.Register(c.DHCPd)
+	if cfg.Faults != nil {
+		// Every seam the injector covers is wired here, so one Config
+		// field turns the whole chaos apparatus on.
+		c.Bus.Register(faults.WrapResponder(c.DHCPd, cfg.Faults))
+		c.PDU.SetInterceptor(faults.PowerInterceptor(cfg.Faults))
+	} else {
+		c.Bus.Register(c.DHCPd)
+	}
 	c.Home = c.NFS.AddExport("/export/home")
 
 	if err := c.startHTTP(); err != nil {
@@ -198,22 +226,43 @@ func (c *Cluster) trackNode(n *node.Node) {
 	}
 }
 
-// installerConfig builds the per-install configuration.
-func (c *Cluster) installerConfig() installer.Config {
-	return installer.Config{
-		Bus:         c.Bus,
-		HTTP:        http.DefaultClient,
-		DHCPRetry:   c.cfg.DHCPRetry,
-		DHCPTimeout: c.cfg.DHCPTimeout,
-		DisableEKV:  c.cfg.DisableEKV,
+// installerConfig builds the per-node install configuration. Leaving HTTP
+// nil lets the installer use its own bounded-timeout default client; under
+// fault injection each node gets a private client whose transport knows the
+// node's identities (MAC always, name and IP once assigned — a node learns
+// its hostname mid-install, so identities are late-bound).
+func (c *Cluster) installerConfig(n *node.Node) installer.Config {
+	retries := c.cfg.InstallRetries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
 	}
+	cfg := installer.Config{
+		Bus:          c.Bus,
+		DHCPRetry:    c.cfg.DHCPRetry,
+		DHCPTimeout:  c.cfg.DHCPTimeout,
+		DisableEKV:   c.cfg.DisableEKV,
+		FetchRetries: retries,
+		FetchBackoff: c.cfg.InstallRetryBackoff,
+	}
+	if c.cfg.Faults != nil && n != c.Frontend {
+		identities := func() []string { return []string{n.MAC(), n.Name(), n.IP()} }
+		cfg.HTTP = &http.Client{
+			Timeout:   60 * time.Second,
+			Transport: faults.NewTransport(c.cfg.Faults, nil, identities),
+		}
+		cfg.FaultHook = faults.InstallHook(c.cfg.Faults, identities)
+	}
+	return cfg
 }
 
 // bootOnce takes a node through one power-on: install if needed, then come
 // up and join the cluster's services.
 func (c *Cluster) bootOnce(n *node.Node) error {
 	if n.NeedsInstall() {
-		if _, err := installer.Run(n, c.installerConfig()); err != nil {
+		if _, err := installer.Run(n, c.installerConfig(n)); err != nil {
 			return err
 		}
 	}
@@ -314,6 +363,7 @@ func (c *Cluster) WriteReports() error {
 	if err != nil {
 		return err
 	}
+	pbsNodes = c.annotateOffline(pbsNodes)
 	d := c.Frontend.Disk()
 	if err := d.WriteFile("/etc/hosts", []byte(hosts), 0o644); err != nil {
 		return err
@@ -332,6 +382,75 @@ func (c *Cluster) WriteReports() error {
 	return c.syncDHCP()
 }
 
+// annotateOffline appends the pbsnodes "offline" mark to quarantined hosts'
+// lines in the PBS nodes report, so the administrator reading the file sees
+// exactly which machines the supervisor pulled from service.
+func (c *Cluster) annotateOffline(report string) string {
+	c.mu.Lock()
+	q := make(map[string]bool, len(c.quarantined))
+	for h := range c.quarantined {
+		q[h] = true
+	}
+	c.mu.Unlock()
+	if len(q) == 0 {
+		return report
+	}
+	lines := strings.Split(report, "\n")
+	for i, line := range lines {
+		if f := strings.Fields(line); len(f) > 0 && q[f[0]] {
+			lines[i] = line + " offline"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Quarantine pulls a node out of service without removing it: the host is
+// marked offline in PBS (never scheduled again), its mom is unregistered
+// (failing any running job — the honest consequence), and the reports
+// regenerate with the offline mark. The database row, DHCP binding, and
+// PDU outlet survive so the machine can be repaired and returned with
+// Unquarantine. Host may be a hostname or, for nodes that died before
+// naming, a MAC.
+func (c *Cluster) Quarantine(host string) error {
+	c.mu.Lock()
+	c.quarantined[host] = true
+	c.mu.Unlock()
+	c.PBS.SetOffline(host, true)
+	c.PBS.UnregisterMom(host)
+	c.Syslog.Log("frontend-0", "rocks", "quarantined %s: offline in PBS, awaiting repair", host)
+	return c.WriteReports()
+}
+
+// Unquarantine returns a repaired node to service. The node rejoins the
+// batch pool on its next successful boot (its mom re-registers in comeUp).
+func (c *Cluster) Unquarantine(host string) error {
+	c.mu.Lock()
+	delete(c.quarantined, host)
+	c.mu.Unlock()
+	c.PBS.SetOffline(host, false)
+	c.Syslog.Log("frontend-0", "rocks", "unquarantined %s", host)
+	return c.WriteReports()
+}
+
+// IsQuarantined reports whether the host is quarantined.
+func (c *Cluster) IsQuarantined(host string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined[host]
+}
+
+// Quarantined lists quarantined hosts, sorted.
+func (c *Cluster) Quarantined() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.quarantined))
+	for h := range c.quarantined {
+		out = append(out, h)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // AddUser creates an account on the frontend: an NIS map entry plus a home
 // directory on the NFS export. Compute nodes see it without reinstalling.
 func (c *Cluster) AddUser(name string, uid int) error {
@@ -342,7 +461,8 @@ func (c *Cluster) AddUser(name string, uid int) error {
 	return m.WriteFile("/home/"+name+"/.profile", []byte("# "+name+"\n"))
 }
 
-// Close shuts the cluster down: HTTP stops, node goroutines drain.
+// Close shuts the cluster down: the supervisor stops issuing power cycles,
+// HTTP stops, node goroutines drain.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -350,7 +470,11 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	sup := c.supervisor
 	c.mu.Unlock()
+	if sup != nil {
+		sup.Stop()
+	}
 	if c.httpLn != nil {
 		c.httpLn.Close()
 	}

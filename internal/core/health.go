@@ -15,9 +15,20 @@ import (
 func (c *Cluster) Ping(host string) (bool, string) {
 	n, ok := c.NodeByName(host)
 	if !ok {
-		// Fall back to MAC addressing for nodes that never got a hostname.
+		// Fall back to MAC addressing, then to the name the node itself
+		// carries: a node that crashed mid-install has a hostname (DHCP
+		// assigned it) but never reached comeUp, which is what populates
+		// the byName index.
 		c.mu.Lock()
 		n, ok = c.nodes[host]
+		if !ok {
+			for _, cand := range c.nodes {
+				if cand.Name() == host {
+					n, ok = cand, true
+					break
+				}
+			}
+		}
 		c.mu.Unlock()
 		if !ok {
 			return false, "unknown host"
@@ -49,10 +60,11 @@ func (c *Cluster) NewMonitor(patience, interval time.Duration) *monitor.Monitor 
 // nodes flagged, with the PDU outlet to cycle.
 func (c *Cluster) adminHealth(w http.ResponseWriter, r *http.Request) {
 	type row struct {
-		Host   string `json:"host"`
-		Alive  bool   `json:"alive"`
-		State  string `json:"state"`
-		Outlet int    `json:"outlet,omitempty"`
+		Host        string `json:"host"`
+		Alive       bool   `json:"alive"`
+		State       string `json:"state"`
+		Outlet      int    `json:"outlet,omitempty"`
+		Quarantined bool   `json:"quarantined,omitempty"`
 	}
 	var rows []row
 	for _, s := range c.Status() {
@@ -61,12 +73,11 @@ func (c *Cluster) adminHealth(w http.ResponseWriter, r *http.Request) {
 			name = s.MAC
 		}
 		alive, state := c.Ping(name)
-		rr := row{Host: name, Alive: alive, State: state}
+		rr := row{Host: name, Alive: alive, State: state,
+			Quarantined: c.IsQuarantined(name) || c.IsQuarantined(s.MAC)}
 		if !alive {
-			if n, ok := c.NodeByName(name); ok {
-				if outlet, wired := c.PDU.OutletFor(n.MAC()); wired {
-					rr.Outlet = outlet
-				}
+			if outlet, wired := c.PDU.OutletFor(s.MAC); wired {
+				rr.Outlet = outlet
 			}
 		}
 		rows = append(rows, rr)

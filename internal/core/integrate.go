@@ -143,25 +143,65 @@ func (c *Cluster) ShootNodeWatch(name string, timeout time.Duration) (*ekv.Clien
 	return nil, fmt.Errorf("core: %s never exposed an eKV port", name)
 }
 
+// StuckJob identifies one reinstall job that had not finished when
+// ReinstallCluster gave up, and the host it was pinned to.
+type StuckJob struct {
+	JobID int
+	Host  string
+	State string // PBS job state at timeout ("Q" or "R")
+}
+
+// ReinstallTimeoutError is returned when ReinstallCluster's deadline passes
+// with jobs outstanding. It names the stuck hosts so the administrator (or
+// the supervisor) knows exactly which machines to chase instead of just
+// how many.
+type ReinstallTimeoutError struct {
+	Stuck []StuckJob
+}
+
+// Error lists every stuck host and its job.
+func (e *ReinstallTimeoutError) Error() string {
+	parts := make([]string, len(e.Stuck))
+	for i, s := range e.Stuck {
+		parts[i] = fmt.Sprintf("%s (job %d, state %s)", s.Host, s.JobID, s.State)
+	}
+	return fmt.Sprintf("core: reinstall cluster: %d jobs still pending: %s",
+		len(e.Stuck), strings.Join(parts, ", "))
+}
+
+// StuckHosts returns just the hostnames, in job order.
+func (e *ReinstallTimeoutError) StuckHosts() []string {
+	out := make([]string, len(e.Stuck))
+	for i, s := range e.Stuck {
+		out[i] = s.Host
+	}
+	return out
+}
+
 // ReinstallCluster submits per-node reinstall jobs through PBS/Maui so
 // running applications drain first (§5), then runs scheduling passes until
-// every job has completed or failed, or the timeout expires.
+// every job has completed or failed, or the timeout expires. On timeout the
+// error is a *ReinstallTimeoutError naming each stuck node and job.
 func (c *Cluster) ReinstallCluster(timeout time.Duration) error {
 	ids := c.PBS.SubmitReinstallCluster()
 	deadline := time.Now().Add(timeout)
 	for {
 		c.PBS.Schedule()
-		pending := 0
+		var stuck []StuckJob
 		for _, id := range ids {
 			if j, ok := c.PBS.Job(id); ok && (j.State == "Q" || j.State == "R") {
-				pending++
+				host := strings.TrimPrefix(j.Name, "reinstall-")
+				if len(j.Assigned) > 0 {
+					host = j.Assigned[0]
+				}
+				stuck = append(stuck, StuckJob{JobID: id, Host: host, State: string(j.State)})
 			}
 		}
-		if pending == 0 {
+		if len(stuck) == 0 {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("core: reinstall cluster: %d jobs still pending", pending)
+			return &ReinstallTimeoutError{Stuck: stuck}
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

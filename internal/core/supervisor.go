@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"rocks/internal/clusterdb"
+	"rocks/internal/monitor"
+	"rocks/internal/node"
+)
+
+// The supervisor closes the remediation loop the paper leaves open. §4's
+// monitor ends at a human — it tells the administrator "which outlets to
+// cycle" — and §6.3's installer waits for a user to type "retry". The
+// large-cluster experience reports (CERN, Brookhaven; PAPERS.md) are
+// unanimous that at thousand-node scale transient install failures are
+// constant and the human in that loop is the bottleneck. The supervisor
+// consumes the monitor's classifications plus each node's state machine and
+// applies the paper's own remedies mechanically: a hard power cycle for
+// dark nodes (which forces reinstallation, §4), a re-shoot for crashed
+// installs, capped exponential backoff with jitter between attempts, and —
+// when a node exhausts its retry budget — quarantine: the node is marked
+// offline in PBS and the reports, so the cluster keeps scheduling at
+// reduced capacity instead of wedging on one bad machine. Every action is
+// recorded in a structured event log that chaos tests reconcile against the
+// fault injector's ledger.
+
+// SupervisorConfig tunes the remediation loop.
+type SupervisorConfig struct {
+	// Patience is how long a node may be dark (off, stuck booting) before
+	// remediation starts; it is also the monitor's patience. Crashed nodes
+	// skip the wait — their state is definitive. Default 5s.
+	Patience time.Duration
+	// Interval is the supervision tick. Default 500ms.
+	Interval time.Duration
+	// MaxRetries is the remediation budget per failure episode; a node
+	// still failing after that many power cycles is quarantined. A
+	// recovery (node reaches Up) refunds the budget. Default 3.
+	MaxRetries int
+	// BaseBackoff is the wait after the first remediation attempt; it
+	// doubles per attempt up to MaxBackoff, plus up to 50% seeded jitter
+	// so a rack of simultaneous casualties does not thundering-herd the
+	// install server. Defaults 1s and 30s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter PRNG; fixed seeds give reproducible runs.
+	Seed int64
+}
+
+func (cfg SupervisorConfig) withDefaults() SupervisorConfig {
+	if cfg.Patience <= 0 {
+		cfg.Patience = 5 * time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	return cfg
+}
+
+// EventType classifies a supervisor action.
+type EventType string
+
+// The supervisor's vocabulary of actions.
+const (
+	// EventPowerCycle: a hard cycle was issued and the PDU obeyed; the
+	// node is reinstalling itself.
+	EventPowerCycle EventType = "power-cycle"
+	// EventPowerCycleFailed: the cycle command failed (PDU fault, unwired
+	// outlet); the attempt still burned budget and backoff applies.
+	EventPowerCycleFailed EventType = "power-cycle-failed"
+	// EventQuarantine: retry budget exhausted; node marked offline.
+	EventQuarantine EventType = "quarantine"
+	// EventRecovered: a previously failing node reached Up; budget
+	// refunded.
+	EventRecovered EventType = "recovered"
+)
+
+// SupervisorEvent is one structured log entry.
+type SupervisorEvent struct {
+	Seq     int       `json:"seq"`
+	Time    time.Time `json:"time"`
+	Host    string    `json:"host"`
+	MAC     string    `json:"mac"`
+	Type    EventType `json:"type"`
+	Attempt int       `json:"attempt,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// String renders the event for logs.
+func (e SupervisorEvent) String() string {
+	s := fmt.Sprintf("#%d %s %s", e.Seq, e.Host, e.Type)
+	if e.Attempt > 0 {
+		s += fmt.Sprintf(" (attempt %d)", e.Attempt)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// remedRecord is the supervisor's per-node bookkeeping, keyed by MAC (the
+// only identity a node is guaranteed to have).
+type remedRecord struct {
+	watchedAs   string // identity registered with the monitor
+	attempts    int
+	next        time.Time // backoff gate for the next attempt
+	failing     bool
+	quarantined bool
+}
+
+// Supervisor is the closed-loop remediation daemon.
+type Supervisor struct {
+	c   *Cluster
+	cfg SupervisorConfig
+	mon *monitor.Monitor
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	recs    map[string]*remedRecord
+	events  []SupervisorEvent
+	stopped bool
+
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+// StartSupervisor launches the remediation loop over the cluster's nodes.
+// The caller owns Stop; Close stops a still-running supervisor as part of
+// cluster shutdown.
+func (c *Cluster) StartSupervisor(cfg SupervisorConfig) *Supervisor {
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		c:      c,
+		cfg:    cfg,
+		mon:    monitor.New(monitor.PingerFunc(c.Ping), cfg.Patience, 0),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		recs:   make(map[string]*remedRecord),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.supervisor = s
+	c.mu.Unlock()
+	go s.loop()
+	return s
+}
+
+// Supervisor returns the running supervisor, if any.
+func (c *Cluster) Supervisor() *Supervisor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.supervisor
+}
+
+func (s *Supervisor) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.tick()
+		}
+	}
+}
+
+// Stop halts the loop and the embedded monitor; idempotent.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	<-s.done
+	s.mon.Stop()
+}
+
+// Monitor exposes the supervisor's embedded health monitor.
+func (s *Supervisor) Monitor() *monitor.Monitor { return s.mon }
+
+// tick is one pass: refresh the watch set, probe, classify, remediate.
+func (s *Supervisor) tick() {
+	nodes := s.c.Nodes()
+	frontendMAC := s.c.Frontend.MAC()
+
+	// Keep the monitor watching every node under its best-known identity.
+	// A node's name arrives mid-install, so identities are late-bound.
+	s.mu.Lock()
+	for mac, n := range nodes {
+		if mac == frontendMAC {
+			continue
+		}
+		identity := n.Name()
+		if identity == "" {
+			identity = mac
+		}
+		rec := s.recs[mac]
+		if rec == nil {
+			rec = &remedRecord{}
+			s.recs[mac] = rec
+		}
+		if rec.watchedAs != identity {
+			if rec.watchedAs != "" {
+				s.mon.Unwatch(rec.watchedAs)
+			}
+			s.mon.Watch(identity)
+			rec.watchedAs = identity
+		}
+	}
+	s.mu.Unlock()
+
+	s.mon.Probe()
+	health := make(map[string]monitor.HostStatus)
+	for _, st := range s.mon.Status() {
+		health[st.Host] = st
+	}
+
+	now := time.Now()
+	for mac, n := range nodes {
+		if mac == frontendMAC {
+			continue
+		}
+		s.superviseNode(now, mac, n, health)
+	}
+}
+
+// superviseNode applies the remediation policy to one node.
+func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node, health map[string]monitor.HostStatus) {
+	s.mu.Lock()
+	rec := s.recs[mac]
+	if rec == nil || rec.quarantined {
+		s.mu.Unlock()
+		return
+	}
+	st := n.State()
+	switch st {
+	case node.StateUp:
+		if rec.failing {
+			rec.failing = false
+			rec.attempts = 0
+			rec.next = time.Time{}
+			s.recordLocked(rec.watchedAs, mac, EventRecovered, 0, "node reached up; retry budget refunded")
+		}
+		s.mu.Unlock()
+		return
+	case node.StateInstalling:
+		// Alive: the install is visible on eKV. Progress stalls surface as
+		// a crash (wedge) or as darkness after the install dies.
+		s.mu.Unlock()
+		return
+	case node.StateCrashed:
+		// Definitive: no patience needed.
+	default: // off, booting
+		hs, ok := health[rec.watchedAs]
+		if !ok || hs.Health != monitor.HealthDark {
+			s.mu.Unlock()
+			return
+		}
+	}
+	rec.failing = true
+	if now.Before(rec.next) {
+		s.mu.Unlock()
+		return
+	}
+	if rec.attempts >= s.cfg.MaxRetries {
+		rec.quarantined = true
+		host := s.displayName(mac, n)
+		s.recordLocked(host, mac, EventQuarantine, rec.attempts,
+			fmt.Sprintf("retry budget (%d) exhausted in state %s; marking offline", s.cfg.MaxRetries, st))
+		s.mu.Unlock()
+		if err := s.c.Quarantine(host); err != nil {
+			s.c.Syslog.Log("frontend-0", "supervisor", "quarantining %s: %v", host, err)
+		}
+		return
+	}
+	rec.attempts++
+	attempt := rec.attempts
+	rec.next = now.Add(s.backoffLocked(attempt))
+	host := s.displayName(mac, n)
+	s.mu.Unlock()
+
+	// The paper's remedy, issued mechanically: a hard power cycle forces
+	// the node to reinstall itself (§4).
+	outlet, wired := s.c.PDU.OutletFor(mac)
+	if !wired {
+		s.record(host, mac, EventPowerCycleFailed, attempt, "no PDU outlet wired")
+		return
+	}
+	if err := s.c.PDU.HardCycle(outlet); err != nil {
+		s.record(host, mac, EventPowerCycleFailed, attempt, err.Error())
+		return
+	}
+	s.record(host, mac, EventPowerCycle, attempt,
+		fmt.Sprintf("outlet %d cycled; node reinstalling (was %s)", outlet, st))
+}
+
+// backoffLocked computes the capped exponential backoff plus jitter for the
+// given attempt number. Caller holds s.mu (the PRNG is not goroutine-safe).
+func (s *Supervisor) backoffLocked(attempt int) time.Duration {
+	d := s.cfg.BaseBackoff << uint(attempt-1)
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	return d + time.Duration(s.rng.Float64()*float64(d)/2)
+}
+
+// displayName resolves the best human name for a node: its hostname, the
+// database row bound to its MAC (insert-ethers names nodes before their
+// first successful boot), or the MAC itself. Caller may hold s.mu; only
+// cluster-level lookups happen here.
+func (s *Supervisor) displayName(mac string, n *node.Node) string {
+	if name := n.Name(); name != "" {
+		return name
+	}
+	if row, ok, err := clusterdb.NodeByMAC(s.c.DB, mac); err == nil && ok && row.Name != "" {
+		return row.Name
+	}
+	return mac
+}
+
+func (s *Supervisor) record(host, mac string, t EventType, attempt int, detail string) {
+	s.mu.Lock()
+	s.recordLocked(host, mac, t, attempt, detail)
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) recordLocked(host, mac string, t EventType, attempt int, detail string) {
+	e := SupervisorEvent{
+		Seq: len(s.events) + 1, Time: time.Now(),
+		Host: host, MAC: mac, Type: t, Attempt: attempt, Detail: detail,
+	}
+	s.events = append(s.events, e)
+	s.c.Syslog.Log("frontend-0", "supervisor", "%s", e.String())
+}
+
+// Events returns the structured action log in order.
+func (s *Supervisor) Events() []SupervisorEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SupervisorEvent(nil), s.events...)
+}
+
+// EventsFor filters the log by host or MAC.
+func (s *Supervisor) EventsFor(hostOrMAC string) []SupervisorEvent {
+	var out []SupervisorEvent
+	for _, e := range s.Events() {
+		if e.Host == hostOrMAC || e.MAC == hostOrMAC {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventLog renders the action log as text, one event per line.
+func (s *Supervisor) EventLog() string {
+	var b strings.Builder
+	for _, e := range s.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -9,6 +9,7 @@
 package installer
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -50,11 +51,30 @@ type Config struct {
 	// also inserted code that allows users to interact with the
 	// installation"). Zero disables interaction and fails immediately.
 	InteractiveRetryWait time.Duration
+	// FetchRetries grants every HTTP fetch (kickstart, listing, package)
+	// that many automatic retries on transient failures — connection
+	// errors, 5xx responses, truncated bodies — before the install fails.
+	// The large-cluster experience reports (CERN, Brookhaven) are blunt
+	// that at scale such failures are constant; a bounded non-interactive
+	// retry keeps a single flake from costing a whole reinstall. Zero
+	// disables automatic retries.
+	FetchRetries int
+	// FetchBackoff is the wait before the first automatic retry; it
+	// doubles on each subsequent attempt. Zero means 25ms.
+	FetchBackoff time.Duration
+	// FaultHook, when set, is consulted at install stage boundaries
+	// ("partition", "finalize"); a non-nil return aborts the install at
+	// that point. The faults package uses it to wedge nodes mid-install.
+	FaultHook func(stage string) error
 }
+
+// defaultClient bounds every fetch: http.DefaultClient has no timeout, so
+// one hung kickstart or package request could wedge an install forever.
+var defaultClient = &http.Client{Timeout: 60 * time.Second}
 
 func (c Config) withDefaults() Config {
 	if c.HTTP == nil {
-		c.HTTP = http.DefaultClient
+		c.HTTP = defaultClient
 	}
 	if c.DHCPRetry <= 0 {
 		c.DHCPRetry = 10 * time.Millisecond
@@ -62,7 +82,52 @@ func (c Config) withDefaults() Config {
 	if c.DHCPTimeout <= 0 {
 		c.DHCPTimeout = 30 * time.Second
 	}
+	if c.FetchBackoff <= 0 {
+		c.FetchBackoff = 25 * time.Millisecond
+	}
 	return c
+}
+
+// transientError marks a failure the automatic retry budget may absorb.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func transient(err error) error { return &transientError{err} }
+
+// IsTransient reports whether an installation error was classified as
+// transient (retryable): connection failures, 5xx responses, and truncated
+// or undecodable payloads.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// retryFetch runs attempt under the config's automatic retry budget with
+// exponential backoff. Non-transient errors and budget exhaustion return
+// the last error unchanged (still transient-marked, so callers can tell).
+func retryFetch(cfg Config, screen io.Writer, what string, attempt func() error) error {
+	backoff := cfg.FetchBackoff
+	var err error
+	for try := 0; ; try++ {
+		err = attempt()
+		if err == nil || !IsTransient(err) || try >= cfg.FetchRetries {
+			return err
+		}
+		fmt.Fprintf(screen, "transient failure fetching %s: %v; retry %d/%d in %s\n",
+			what, err, try+1, cfg.FetchRetries, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// faultAt consults the configured fault hook at a stage boundary.
+func faultAt(cfg Config, stage string) error {
+	if cfg.FaultHook == nil {
+		return nil
+	}
+	return cfg.FaultHook(stage)
 }
 
 // Result summarizes a completed installation.
@@ -121,7 +186,12 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 		lease.YourIP, lease.Hostname, lease.NextServer)
 
 	// Fetch the dynamically generated kickstart file (§6.1).
-	profile, err := fetchKickstart(cfg, lease, n.HW.Arch)
+	var profile *kickstart.Profile
+	err = retryFetch(cfg, screen, "kickstart", func() error {
+		var ferr error
+		profile, ferr = fetchKickstart(cfg, lease, n.HW.Arch)
+		return ferr
+	})
 	if err != nil {
 		return fail(n, ekvSrv, err)
 	}
@@ -141,6 +211,9 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 
 	// Partitioning, per the command section.
 	if err := applyPartitioning(n, profile, screen); err != nil {
+		return fail(n, ekvSrv, err)
+	}
+	if err := faultAt(cfg, "partition"); err != nil {
 		return fail(n, ekvSrv, err)
 	}
 
@@ -176,6 +249,10 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 			return fail(n, ekvSrv, err)
 		}
 		res.GMRebuilt = true
+	}
+
+	if err := faultAt(cfg, "finalize"); err != nil {
+		return fail(n, ekvSrv, err)
 	}
 
 	n.Logf("installation complete: %d packages, %d bytes", count, bytes)
@@ -236,15 +313,19 @@ func fetchKickstart(cfg Config, lease dhcp.Packet, arch string) (*kickstart.Prof
 	req.Header.Set(ClientIPHeader, lease.YourIP)
 	resp, err := cfg.HTTP.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("installer: fetching kickstart: %w", err)
+		return nil, transient(fmt.Errorf("installer: fetching kickstart: %w", err))
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("installer: reading kickstart: %w", err)
+		return nil, transient(fmt.Errorf("installer: reading kickstart: %w", err))
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("installer: kickstart CGI: HTTP %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		err = fmt.Errorf("installer: kickstart CGI: HTTP %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 500 {
+			err = transient(err)
+		}
+		return nil, err
 	}
 	profile, err := kickstart.ParseProfile(string(body))
 	if err != nil {
@@ -350,7 +431,12 @@ func applyPartitioning(n *node.Node, p *kickstart.Profile, screen io.Writer) err
 func installPackages(n *node.Node, cfg Config, p *kickstart.Profile, distURL string, screen io.Writer, ekvSrv *ekv.Server) (int, int64, error) {
 	n.ResetPackageDB()
 	listURL := distURL + "/RedHat/RPMS/"
-	best, err := fetchListing(cfg, listURL, n.HW.Arch)
+	var best map[string]rpm.Metadata
+	err := retryFetch(cfg, screen, "package listing", func() error {
+		var ferr error
+		best, ferr = fetchListing(cfg, listURL, n.HW.Arch)
+		return ferr
+	})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -367,7 +453,12 @@ func installPackages(n *node.Node, cfg Config, p *kickstart.Profile, distURL str
 	start := time.Now()
 	for i := 0; i < len(p.Packages); i++ {
 		name := p.Packages[i]
-		pkg, err := fetchPackage(cfg, listURL, best, name)
+		var pkg *rpm.Package
+		err := retryFetch(cfg, screen, name, func() error {
+			var ferr error
+			pkg, ferr = fetchPackage(cfg, listURL, best, name)
+			return ferr
+		})
 		if err != nil {
 			// The eKV keyboard gives the administrator a chance to fix
 			// the distribution and retry without restarting the install.
@@ -566,12 +657,16 @@ func fetchListing(cfg Config, listURL, arch string) (map[string]rpm.Metadata, er
 func fetchIndex(cfg Config, url string) ([]string, error) {
 	resp, err := cfg.HTTP.Get(url)
 	if err != nil {
-		return nil, fmt.Errorf("installer: listing %s: %w", url, err)
+		return nil, transient(fmt.Errorf("installer: listing %s: %w", url, err))
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("installer: listing %s: HTTP %s (%v)", url, resp.Status, err)
+		ferr := fmt.Errorf("installer: listing %s: HTTP %s (%v)", url, resp.Status, err)
+		if err != nil || resp.StatusCode >= 500 {
+			ferr = transient(ferr)
+		}
+		return nil, ferr
 	}
 	return strings.Fields(string(body)), nil
 }
@@ -585,15 +680,21 @@ func fetchPackage(cfg Config, listURL string, best map[string]rpm.Metadata, name
 	pkgURL := listURL + m.Filename()
 	pr, err := cfg.HTTP.Get(pkgURL)
 	if err != nil {
-		return nil, fmt.Errorf("installer: fetching %s: %w", pkgURL, err)
+		return nil, transient(fmt.Errorf("installer: fetching %s: %w", pkgURL, err))
 	}
 	defer pr.Body.Close()
 	if pr.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("installer: fetching %s: HTTP %s", pkgURL, pr.Status)
+		err = fmt.Errorf("installer: fetching %s: HTTP %s", pkgURL, pr.Status)
+		if pr.StatusCode >= 500 {
+			err = transient(err)
+		}
+		return nil, err
 	}
 	pkg, err := rpm.Read(pr.Body)
 	if err != nil {
-		return nil, fmt.Errorf("installer: decoding %s: %w", pkgURL, err)
+		// A decode failure on a served package is a torn transfer, not a
+		// bad distribution: the repository only hands out what it decoded.
+		return nil, transient(fmt.Errorf("installer: decoding %s: %w", pkgURL, err))
 	}
 	return pkg, nil
 }

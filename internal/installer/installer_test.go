@@ -1,6 +1,7 @@
 package installer
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"rocks/internal/dhcp"
 	"rocks/internal/dist"
 	"rocks/internal/ekv"
+	"rocks/internal/faults"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
 	"rocks/internal/node"
@@ -522,5 +524,103 @@ func TestPreScriptsRecorded(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("pre script not logged: %v", n.InstallLog())
+	}
+}
+
+// TestDefaultClientHasTimeout: satellite fix — withDefaults must never fall
+// back to http.DefaultClient (no timeout), or one hung fetch wedges an
+// install forever.
+func TestDefaultClientHasTimeout(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.HTTP == http.DefaultClient {
+		t.Fatal("withDefaults fell back to http.DefaultClient")
+	}
+	if cfg.HTTP.Timeout <= 0 {
+		t.Fatalf("default client timeout = %v, want positive", cfg.HTTP.Timeout)
+	}
+}
+
+// TestAutomaticRetryAbsorbsTransientHTTPErrors: a bounded fault storm of
+// 500s and truncations across kickstart and package fetches is absorbed by
+// the non-interactive retry budget — no eKV keyboard, no crash.
+func TestAutomaticRetryAbsorbsTransientHTTPErrors(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	inj := faults.NewInjector(17,
+		faults.Rule{Op: faults.OpHTTPKickstart, Mode: faults.ModeTruncate, Count: 1},
+		faults.Rule{Op: faults.OpHTTPPackage, Mode: faults.ModeError500, Count: 4},
+	)
+	cfg := fe.config()
+	cfg.HTTP = &http.Client{Transport: faults.NewTransport(inj, fe.srv.Client().Transport, nil)}
+	cfg.DisableEKV = true
+	cfg.FetchRetries = 3
+	cfg.FetchBackoff = time.Millisecond
+
+	res, err := Run(n, cfg)
+	if err != nil {
+		t.Fatalf("install did not survive the storm: %v", err)
+	}
+	if res.Packages != 162 {
+		t.Errorf("installed %d packages, want 162", res.Packages)
+	}
+	if !inj.Exhausted() {
+		t.Errorf("fault budget not consumed: %v", inj.Injected())
+	}
+	if n.State() != node.StateBooting {
+		t.Errorf("state = %s", n.State())
+	}
+}
+
+// TestRetryBudgetExhaustionCrashes: unlimited 500s defeat a bounded retry
+// budget; the failure is still classified transient so the supervisor knows
+// a re-shoot is worthwhile.
+func TestRetryBudgetExhaustionCrashes(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	inj := faults.NewInjector(17, faults.Rule{Op: faults.OpHTTPPackage})
+	cfg := fe.config()
+	cfg.HTTP = &http.Client{Transport: faults.NewTransport(inj, fe.srv.Client().Transport, nil)}
+	cfg.DisableEKV = true
+	cfg.FetchRetries = 2
+	cfg.FetchBackoff = time.Millisecond
+
+	_, err := Run(n, cfg)
+	if err == nil {
+		t.Fatal("install succeeded against a permanently failing server")
+	}
+	if !IsTransient(err) {
+		t.Errorf("exhausted-budget error not transient: %v", err)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+}
+
+// TestFaultHookWedgesInstall: the injection seam for mid-install wedges.
+func TestFaultHookWedgesInstall(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	inj := faults.NewInjector(3, faults.Rule{Op: faults.OpInstallWedge, Count: 1})
+	cfg := fe.config()
+	cfg.DisableEKV = true
+	cfg.FaultHook = faults.InstallHook(inj, func() []string { return []string{n.MAC()} })
+
+	_, err := Run(n, cfg)
+	if !errors.Is(err, faults.ErrWedged) {
+		t.Fatalf("err = %v, want ErrWedged", err)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+	// The budget is spent: the next run goes through.
+	n.ForceReinstall()
+	if _, err := Run(n, cfg); err != nil {
+		t.Fatalf("second run: %v", err)
 	}
 }

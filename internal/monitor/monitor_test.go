@@ -144,6 +144,94 @@ func TestReportFormat(t *testing.T) {
 	}
 }
 
+// TestFlappingHost: a host that bounces — answering, vanishing, answering
+// again — must only be reported dark when an outage outlasts the patience
+// window, and each recovery must reset the dark clock completely.
+func TestFlappingHost(t *testing.T) {
+	m, net, clock := newTestMonitor(30 * time.Second)
+	m.Watch("compute-0-5")
+
+	// Fast flapping: outages shorter than patience never show as dark.
+	for i := 0; i < 5; i++ {
+		net.set("compute-0-5", "up")
+		m.Probe()
+		clock.advance(10 * time.Second)
+		net.set("compute-0-5", "")
+		m.Probe()
+		clock.advance(10 * time.Second)
+		if st := m.Status()[0]; st.Health != HealthUp {
+			t.Fatalf("flap %d: %+v; short outages must stay within patience", i, st)
+		}
+	}
+
+	// A real outage: dark, with DarkFor measured from the last answer.
+	net.set("compute-0-5", "")
+	clock.advance(40 * time.Second)
+	m.Probe()
+	st := m.Status()[0]
+	if st.Health != HealthDark || st.DarkFor < 40*time.Second {
+		t.Fatalf("real outage: %+v", st)
+	}
+
+	// Recovery resets the clock: the next short outage is tolerated anew.
+	net.set("compute-0-5", "up")
+	m.Probe()
+	if st := m.Status()[0]; st.Health != HealthUp || st.DarkFor != 0 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	net.set("compute-0-5", "")
+	clock.advance(20 * time.Second)
+	m.Probe()
+	if st := m.Status()[0]; st.Health != HealthUp {
+		t.Errorf("dark clock did not reset after recovery: %+v", st)
+	}
+}
+
+// TestConcurrentProbeStatusWatch hammers Probe, Status, Dark, Report, and
+// Watch/Unwatch from concurrent goroutines. It asserts nothing beyond
+// termination — its value is running under -race (the supervisor probes
+// the same monitor the admin endpoints read).
+func TestConcurrentProbeStatusWatch(t *testing.T) {
+	m, net, clock := newTestMonitor(30 * time.Second)
+	for _, h := range []string{"a", "b", "c", "d"} {
+		net.set(h, "up")
+		m.Watch(h)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	worker := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	worker(m.Probe)
+	worker(func() { m.Status() })
+	worker(func() { m.Dark() })
+	worker(func() { m.Report() })
+	worker(func() { net.set("b", "installing"); net.set("b", "") })
+	worker(func() { clock.advance(time.Millisecond) })
+	worker(func() {
+		m.Watch("transient")
+		m.Unwatch("transient")
+	})
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	// The permanent hosts must all still be tracked afterwards.
+	if st := m.Status(); len(st) < 4 {
+		t.Errorf("hosts lost during concurrency: %+v", st)
+	}
+}
+
 func TestBackgroundLoop(t *testing.T) {
 	net := &fakeNet{}
 	net.set("n", "up")

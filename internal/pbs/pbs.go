@@ -53,21 +53,56 @@ const ReinstallCommand = "/boot/kickstart/cluster-kickstart"
 
 // Server is pbs_server plus the default queue.
 type Server struct {
-	mu     sync.Mutex
-	moms   map[string]Executor
-	busy   map[string]int // host → job ID occupying it
-	jobs   map[int]*Job
-	order  []int
-	nextID int
+	mu      sync.Mutex
+	moms    map[string]Executor
+	busy    map[string]int // host → job ID occupying it
+	offline map[string]bool
+	jobs    map[int]*Job
+	order   []int
+	nextID  int
 }
 
 // NewServer creates a server with an empty default queue.
 func NewServer() *Server {
 	return &Server{
-		moms: make(map[string]Executor),
-		busy: make(map[string]int),
-		jobs: make(map[int]*Job),
+		moms:    make(map[string]Executor),
+		busy:    make(map[string]int),
+		offline: make(map[string]bool),
+		jobs:    make(map[int]*Job),
 	}
+}
+
+// SetOffline marks a host offline (pbsnodes -o) or clears the mark. An
+// offline host is never scheduled — even if its mom registers — but its
+// record survives, so the cluster keeps running at reduced capacity and
+// the administrator sees exactly which nodes are quarantined.
+func (s *Server) SetOffline(host string, off bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off {
+		s.offline[host] = true
+	} else {
+		delete(s.offline, host)
+	}
+}
+
+// IsOffline reports whether a host is marked offline.
+func (s *Server) IsOffline(host string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offline[host]
+}
+
+// Offline lists hosts currently marked offline, sorted.
+func (s *Server) Offline() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.offline))
+	for h := range s.offline {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RegisterMom announces a node's mom to the server (the node came up).
@@ -120,7 +155,7 @@ func (s *Server) FreeNodes() int {
 func (s *Server) freeLocked() int {
 	n := 0
 	for h := range s.moms {
-		if _, busy := s.busy[h]; !busy {
+		if _, busy := s.busy[h]; !busy && !s.offline[h] {
 			n++
 		}
 	}
@@ -144,12 +179,16 @@ func (s *Server) Submit(j Job) int {
 }
 
 // SubmitReinstallCluster queues one single-node reinstall job per
-// registered mom — the §5 rolling upgrade. Each job waits for its node to
-// drain, shoots it, and completes.
+// registered, online mom — the §5 rolling upgrade. Each job waits for its
+// node to drain, shoots it, and completes. Offline (quarantined) hosts are
+// skipped: a reinstall job pinned to one would wait forever.
 func (s *Server) SubmitReinstallCluster() []int {
 	hosts := s.Moms()
 	ids := make([]int, 0, len(hosts))
 	for _, h := range hosts {
+		if s.IsOffline(h) {
+			continue
+		}
 		ids = append(ids, s.Submit(Job{
 			Name:      "reinstall-" + h,
 			NodeCount: 1,
@@ -223,10 +262,10 @@ func (s *Server) Schedule() int {
 		}
 		var hosts []string
 		if len(j.Assigned) > 0 {
-			// Pinned: every named host must exist and be free.
+			// Pinned: every named host must exist, be free, and be online.
 			ok := true
 			for _, h := range j.Assigned {
-				if _, reg := s.moms[h]; !reg {
+				if _, reg := s.moms[h]; !reg || s.offline[h] {
 					ok = false
 					break
 				}
@@ -242,7 +281,7 @@ func (s *Server) Schedule() int {
 		} else {
 			free := make([]string, 0)
 			for h := range s.moms {
-				if _, busy := s.busy[h]; !busy {
+				if _, busy := s.busy[h]; !busy && !s.offline[h] {
 					free = append(free, h)
 				}
 			}

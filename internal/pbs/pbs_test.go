@@ -227,3 +227,52 @@ func TestQdel(t *testing.T) {
 		t.Error("qdel of unknown job accepted")
 	}
 }
+
+func TestOfflineHostIsNeverScheduled(t *testing.T) {
+	s, _ := serverWithNodes("c0", "c1")
+	s.SetOffline("c1", true)
+	if s.FreeNodes() != 1 {
+		t.Errorf("FreeNodes = %d with one host offline", s.FreeNodes())
+	}
+	if got := s.Offline(); len(got) != 1 || got[0] != "c1" || !s.IsOffline("c1") {
+		t.Errorf("Offline = %v", got)
+	}
+	// A one-node job lands on the surviving host.
+	id := s.Submit(Job{Name: "work", NodeCount: 1, Command: "hostname"})
+	if s.Schedule() != 1 {
+		t.Fatal("job did not start on the online host")
+	}
+	j, _ := s.Job(id)
+	if len(j.Assigned) != 1 || j.Assigned[0] != "c0" {
+		t.Errorf("assigned = %v, want [c0]", j.Assigned)
+	}
+	// A job pinned to the offline host waits.
+	pinned := s.Submit(Job{Name: "pinned", Assigned: []string{"c1"}, Command: "hostname"})
+	if s.Schedule() != 0 {
+		t.Error("pinned job ran on an offline host")
+	}
+	// Clearing the mark releases it.
+	s.SetOffline("c1", false)
+	if s.Schedule() != 1 {
+		t.Error("pinned job did not start after the offline mark cleared")
+	}
+	j, _ = s.Job(pinned)
+	if j.State != StateComplete {
+		t.Errorf("pinned job state = %s", j.State)
+	}
+}
+
+func TestReinstallClusterSkipsOfflineHosts(t *testing.T) {
+	s, _ := serverWithNodes("c0", "c1", "c2")
+	s.SetOffline("c2", true)
+	ids := s.SubmitReinstallCluster()
+	if len(ids) != 2 {
+		t.Fatalf("submitted %d reinstall jobs, want 2", len(ids))
+	}
+	for _, id := range ids {
+		j, _ := s.Job(id)
+		if len(j.Assigned) == 1 && j.Assigned[0] == "c2" {
+			t.Error("reinstall job submitted for quarantined host c2")
+		}
+	}
+}

@@ -27,9 +27,10 @@ func (f TargetFunc) HardPowerCycle() { f() }
 type PDU struct {
 	name string
 
-	mu      sync.Mutex
-	outlets map[int]outlet
-	history []string
+	mu          sync.Mutex
+	outlets     map[int]outlet
+	history     []string
+	interceptor func(outlet int, label string) error
 }
 
 type outlet struct {
@@ -57,18 +58,39 @@ func (p *PDU) Disconnect(outletNum int) {
 	delete(p.outlets, outletNum)
 }
 
+// SetInterceptor installs a hook consulted before every hard cycle; a
+// non-nil return makes the cycle fail without touching the target — the
+// "relay clicked but nothing happened" PDU firmware failure that fault
+// injection manufactures and the supervisor must survive. A nil hook
+// clears it.
+func (p *PDU) SetInterceptor(hook func(outlet int, label string) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interceptor = hook
+}
+
 // HardCycle power-cycles the device on an outlet. It returns an error for
-// an unwired outlet — the administrator fat-fingered the outlet number.
+// an unwired outlet — the administrator fat-fingered the outlet number —
+// or when the interceptor vetoes the command.
 func (p *PDU) HardCycle(outletNum int) error {
 	p.mu.Lock()
 	o, ok := p.outlets[outletNum]
-	if ok {
-		p.history = append(p.history, fmt.Sprintf("hard cycle outlet %d (%s)", outletNum, o.label))
-	}
+	hook := p.interceptor
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("power: %s has nothing on outlet %d", p.name, outletNum)
 	}
+	if hook != nil {
+		if err := hook(outletNum, o.label); err != nil {
+			p.mu.Lock()
+			p.history = append(p.history, fmt.Sprintf("hard cycle outlet %d (%s) FAILED: %v", outletNum, o.label, err))
+			p.mu.Unlock()
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.history = append(p.history, fmt.Sprintf("hard cycle outlet %d (%s)", outletNum, o.label))
+	p.mu.Unlock()
 	o.target.HardPowerCycle()
 	return nil
 }

@@ -1,6 +1,7 @@
 package power
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,43 @@ func TestHardCycleUnwiredOutlet(t *testing.T) {
 	p := NewPDU("pdu-0-0")
 	if err := p.HardCycle(9); err == nil {
 		t.Error("unwired outlet should error")
+	}
+}
+
+func TestInterceptorVetoesCycle(t *testing.T) {
+	p := NewPDU("pdu-0-0")
+	cycled := 0
+	p.Connect(4, "compute-0-3", TargetFunc(func() { cycled++ }))
+	fail := true
+	p.SetInterceptor(func(outlet int, label string) error {
+		if outlet != 4 || label != "compute-0-3" {
+			t.Errorf("interceptor saw outlet %d label %q", outlet, label)
+		}
+		if fail {
+			return errors.New("relay stuck")
+		}
+		return nil
+	})
+	if err := p.HardCycle(4); err == nil {
+		t.Fatal("vetoed cycle should error")
+	}
+	if cycled != 0 {
+		t.Errorf("vetoed cycle still reached the target (%d)", cycled)
+	}
+	fail = false
+	if err := p.HardCycle(4); err != nil {
+		t.Fatal(err)
+	}
+	if cycled != 1 {
+		t.Errorf("cycled = %d", cycled)
+	}
+	hist := p.History()
+	if len(hist) != 2 || !strings.Contains(hist[0], "FAILED") || strings.Contains(hist[1], "FAILED") {
+		t.Errorf("history = %v", hist)
+	}
+	p.SetInterceptor(nil)
+	if err := p.HardCycle(4); err != nil {
+		t.Errorf("cleared interceptor: %v", err)
 	}
 }
 

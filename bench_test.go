@@ -8,7 +8,12 @@ package rocks_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +22,7 @@ import (
 	"rocks/internal/dist"
 	"rocks/internal/experiments"
 	"rocks/internal/hardware"
+	"rocks/internal/installer"
 	"rocks/internal/kickstart"
 	"rocks/internal/node"
 	"rocks/internal/rpm"
@@ -430,4 +436,142 @@ func BenchmarkAblation_DemandModel(b *testing.B) {
 	}
 	b.ReportMetric(smooth.TotalMinutes(), "smooth-min")
 	b.ReportMetric(bursty.TotalMinutes(), "bursty-min")
+}
+
+// --- Mass-reinstall load: the kickstart CGI under a 256-node storm -------
+
+// benchmarkKickstartStorm drives the frontend's kickstart.cgi with 256
+// concurrent clients cycling through 64 registered nodes — the §6.3 "every
+// node reinstalls at once" shape — and reports throughput and p99 latency.
+func benchmarkKickstartStorm(b *testing.B, disableCache bool) {
+	c, err := core.New(core.Config{
+		Name:                "storm",
+		DHCPRetry:           time.Millisecond,
+		DisableEKV:          true,
+		DisableProfileCache: disableCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const nodes = 64
+	ips := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		ips[i] = fmt.Sprintf("10.255.249.%d", i)
+		if _, err := clusterdb.InsertNode(c.DB, clusterdb.Node{
+			MAC: fmt.Sprintf("02:00:00:00:02:%02x", i), Name: fmt.Sprintf("compute-8-%d", i),
+			Membership: clusterdb.MembershipCompute, Rack: 8, Rank: i, IP: ips[i],
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Dispatch straight into the frontend's mux: the benchmark measures the
+	// CGI's serving cost (lookup, generation, render), not loopback TCP.
+	handler := c.Handler()
+	const concurrency = 256
+	durations := make([]time.Duration, b.N)
+	var next atomic.Int64
+	var failed atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				req, _ := http.NewRequest("GET", "/install/kickstart.cgi", nil)
+				req.Header.Set(installer.ClientIPHeader, ips[i%nodes])
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				handler.ServeHTTP(rec, req)
+				durations[i] = time.Since(t0)
+				if rec.Code != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d of %d requests failed", n, b.N)
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "profiles/s")
+	b.ReportMetric(float64(durations[b.N*99/100].Microseconds())/1000, "p99-ms")
+}
+
+// BenchmarkMassReinstall_KickstartCGI measures the end-to-end CGI —
+// node lookup, profile generation, render — with the memoized profile
+// cache on and off. The acceptance bar for this PR is cached ≥ 5× uncached
+// at 256 concurrent clients.
+func BenchmarkMassReinstall_KickstartCGI(b *testing.B) {
+	b.Run("cache=on", func(b *testing.B) { benchmarkKickstartStorm(b, false) })
+	b.Run("cache=off", func(b *testing.B) { benchmarkKickstartStorm(b, true) })
+}
+
+// BenchmarkProfileGeneration isolates the kickstart layer: a full graph
+// traversal plus substitution per profile (uncached) versus one traversal
+// amortized over every node of an appliance class (cached).
+func BenchmarkProfileGeneration(b *testing.B) {
+	fw := kickstart.DefaultFramework()
+	attrs := kickstart.DefaultAttrs("http://10.1.1.1/install/dist", "10.1.1.1")
+	req := kickstart.Request{Appliance: "compute", Arch: "i386", NodeName: "compute-0-0",
+		Attrs: attrs, NodeAttrs: map[string]string{"Kickstart_PublicHostname": "compute-0-0"}}
+	b.Run("uncached", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := fw.Generate(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("cached", func(b *testing.B) {
+		pc := kickstart.NewProfileCache(fw)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := pc.Generate(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkMirrorWorkers measures the parallel rocks-dist mirror pass at 1
+// and 8 workers against a parent with 2 ms of per-request latency — the
+// campus-to-department distance of Figure 6, where the worker pool's job is
+// to keep round trips in flight rather than serializing on them.
+func BenchmarkMirrorWorkers(b *testing.B) {
+	parent := dist.Build("npaci", kickstart.DefaultFramework(),
+		dist.Source{Name: "redhat", Repo: dist.SyntheticRedHat()})
+	inner := dist.Handler(parent)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				repo, err := dist.MirrorWith(srv.URL, "bench", dist.MirrorOptions{
+					Client: srv.Client(), Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = repo.Len()
+			}
+			b.ReportMetric(float64(n), "packages")
+		})
+	}
 }

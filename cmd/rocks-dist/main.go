@@ -71,11 +71,14 @@ func cmdBuild(args []string) {
 	srcs := fs.String("src", "", "comma-separated source trees, in precedence order")
 	mirrors := fs.String("mirror", "", "comma-separated parent distribution URLs to replicate first")
 	profiles := fs.String("profiles", "", "site profiles directory (nodes/*.xml, graphs/*.xml) layered over the defaults")
+	workers := fs.Int("mirror-workers", 8, "concurrent package fetches per mirrored parent")
+	retries := fs.Int("mirror-retries", 3, "fetch attempts per package before the replication pass fails")
 	fs.Parse(args)
 
 	var sources []dist.Source
 	for _, u := range splitList(*mirrors) {
-		repo, err := dist.Mirror(nil, u, "mirror:"+u)
+		repo, err := dist.MirrorWith(u, "mirror:"+u,
+			dist.MirrorOptions{Workers: *workers, Retries: *retries})
 		if err != nil {
 			die(err)
 		}

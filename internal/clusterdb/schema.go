@@ -175,6 +175,15 @@ func oneNode(db *Database, where string) (Node, bool, error) {
 	return ns[0], true, nil
 }
 
+// SetNodeArch records the architecture the installer actually detected for
+// a node — the kickstart CGI's one write path (§6.1). The value is escaped
+// before it reaches the SQL text; callers validate it against the known
+// architecture set first.
+func SetNodeArch(db *Database, id int, arch string) error {
+	_, err := db.Exec(fmt.Sprintf("UPDATE nodes SET arch = '%s' WHERE id = %d", sqlEscape(arch), id))
+	return err
+}
+
 // DeleteNode removes a node row by name.
 func DeleteNode(db *Database, name string) error {
 	_, err := db.Exec(fmt.Sprintf("DELETE FROM nodes WHERE name = '%s'", sqlEscape(name)))

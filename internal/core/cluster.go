@@ -70,6 +70,11 @@ type Config struct {
 	// InstallRetryBackoff is the initial wait between those retries
 	// (doubling per attempt); zero means the installer default.
 	InstallRetryBackoff time.Duration
+	// DisableProfileCache turns off the kickstart CGI's memoized profile
+	// cache, forcing a full graph traversal per request — the
+	// cached-vs-uncached ablation in the mass-reinstall benchmark.
+	// Production keeps the cache.
+	DisableProfileCache bool
 }
 
 // Cluster is a running Rocks cluster.
@@ -93,6 +98,9 @@ type Cluster struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 	baseURL string
+	ksAttrs   map[string]string       // shared kickstart attributes; never mutated after startHTTP
+	ksCache   *kickstart.ProfileCache // nil when Config.DisableProfileCache
+	nodeCache *nodeResolver           // nil when Config.DisableProfileCache
 
 	mu          sync.Mutex
 	nodes       map[string]*node.Node // by MAC
@@ -124,10 +132,10 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	if cfg.ParentURL != "" {
-		// A bounded client: a wedged parent must not hang frontend
-		// construction forever.
-		mirrorClient := &http.Client{Timeout: 60 * time.Second}
-		mirror, err := dist.Mirror(mirrorClient, cfg.ParentURL, "parent-mirror")
+		// Default options: a 60s-timeout client (a wedged parent must not
+		// hang frontend construction forever), 8 parallel fetch workers,
+		// and bounded per-file retries.
+		mirror, err := dist.MirrorWith(cfg.ParentURL, "parent-mirror", dist.MirrorOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: replicating parent distribution: %w", err)
 		}
@@ -154,6 +162,14 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.Dist = dist.Build(cfg.Name, cfg.Framework, cfg.Sources...)
+	if !cfg.DisableProfileCache {
+		// The CGI's memo: reinstall storms hit one (appliance, arch) class
+		// hundreds of times; one traversal serves them all (§4, §6.1). The
+		// node resolver memoizes the companion SQL behind the database's
+		// mutation counter.
+		c.ksCache = kickstart.NewProfileCache(c.Dist.Framework)
+		c.nodeCache = newNodeResolver(c.DB)
+	}
 	c.DHCPd = dhcp.NewServer("frontend-0", c.Syslog)
 	if cfg.Faults != nil {
 		// Every seam the injector covers is wired here, so one Config
@@ -197,6 +213,20 @@ func New(cfg Config) (*Cluster, error) {
 
 // BaseURL returns the frontend's HTTP root (kickstart CGI and dist).
 func (c *Cluster) BaseURL() string { return c.baseURL }
+
+// Handler exposes the frontend's HTTP mux for in-process dispatch — load
+// tests and benchmarks can drive the full CGI path without a socket.
+func (c *Cluster) Handler() http.Handler { return c.httpSrv.Handler }
+
+// KickstartCacheStats reports the CGI profile cache's traffic (all zero
+// when the cache is disabled): template hits, template builds, and
+// generation-stamp invalidations.
+func (c *Cluster) KickstartCacheStats() (hits, misses, invalidations uint64) {
+	if c.ksCache == nil {
+		return 0, 0, 0
+	}
+	return c.ksCache.Stats()
+}
 
 // MACs returns the cluster's Ethernet address allocator; all simulated
 // hardware on the private segment must draw from it so addresses are

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -34,6 +35,10 @@ func (c *Cluster) startHTTP() error {
 	}
 	c.httpLn = ln
 	c.baseURL = "http://" + ln.Addr().String()
+	// The shared attribute set every kickstart request substitutes. Built
+	// once: it is also the profile cache's key, and it must never be
+	// mutated per request (per-node values ride in Request.NodeAttrs).
+	c.ksAttrs = kickstart.DefaultAttrs(c.baseURL+"/install/dist", FrontendIP)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/install/kickstart.cgi", c.kickstartCGI)
@@ -56,7 +61,12 @@ func (c *Cluster) startHTTP() error {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		c.httpSrv.Serve(ln)
+		// Serve only returns on listener failure or shutdown; anything but
+		// the expected close is worth a syslog line, not silence.
+		if err := c.httpSrv.Serve(ln); err != nil &&
+			!errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+			c.Syslog.Log("frontend-0", "httpd", "frontend HTTP serve: %v", err)
+		}
 	}()
 	return nil
 }
@@ -83,7 +93,7 @@ func (c *Cluster) kickstartCGI(w http.ResponseWriter, r *http.Request) {
 		}
 		ip = host
 	}
-	n, ok, err := clusterdb.NodeByIP(c.DB, ip)
+	n, rootNode, ok, err := c.resolveNode(ip)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -92,35 +102,68 @@ func (c *Cluster) kickstartCGI(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("no node registered at %s (run insert-ethers)", ip), http.StatusNotFound)
 		return
 	}
-	_, _, rootNode, err := clusterdb.ApplianceForMembership(c.DB, n.Membership)
-	if err != nil || rootNode == "" {
+	if rootNode == "" {
 		http.Error(w, fmt.Sprintf("membership %d has no kickstartable appliance", n.Membership), http.StatusForbidden)
 		return
 	}
 	arch := r.FormValue("arch")
-	if arch == "" {
+	switch {
+	case arch == "":
 		arch = n.Arch
-	} else if arch != n.Arch {
+	case !kickstart.KnownArch(arch):
+		// The value is client-supplied; anything outside the known set is
+		// rejected before it can reach the database or the graph.
+		http.Error(w, fmt.Sprintf("unknown architecture %q", arch), http.StatusBadRequest)
+		return
+	case arch != n.Arch:
 		// Record the architecture the installer actually detected — the
 		// database can't know it before the machine first boots.
-		c.DB.Exec(fmt.Sprintf("UPDATE nodes SET arch = '%s' WHERE id = %d", arch, n.ID))
+		if err := clusterdb.SetNodeArch(c.DB, n.ID, arch); err != nil {
+			c.Syslog.Log("frontend-0", "kickstart.cgi", "recording arch %s for %s: %v",
+				arch, n.Name, err)
+		}
 	}
-	attrs := kickstart.DefaultAttrs(c.baseURL+"/install/dist", FrontendIP)
-	attrs["Kickstart_PublicHostname"] = n.Name
-	profile, err := c.Dist.Framework.Generate(kickstart.Request{
+	req := kickstart.Request{
 		Appliance: rootNode,
 		Arch:      arch,
 		NodeName:  n.Name,
-		Attrs:     attrs,
-	})
+		Attrs:     c.ksAttrs,
+		NodeAttrs: map[string]string{"Kickstart_PublicHostname": n.Name},
+	}
+	var text string
+	if c.ksCache != nil {
+		text, err = c.ksCache.Render(req)
+	} else {
+		var profile *kickstart.Profile
+		if profile, err = c.Dist.Framework.Generate(req); err == nil {
+			text = profile.Render()
+		}
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain")
-	io.WriteString(w, profile.Render())
+	io.WriteString(w, text)
 	c.Syslog.Log("frontend-0", "kickstart.cgi", "served %s profile to %s (%s)",
-		profile.Appliance, n.Name, ip)
+		rootNode, n.Name, ip)
+}
+
+// resolveNode maps a requesting IP to its node row and appliance root,
+// through the memo when caching is enabled.
+func (c *Cluster) resolveNode(ip string) (clusterdb.Node, string, bool, error) {
+	if c.nodeCache != nil {
+		rn, ok, err := c.nodeCache.resolve(ip)
+		return rn.node, rn.root, ok, err
+	}
+	n, ok, err := clusterdb.NodeByIP(c.DB, ip)
+	if err != nil || !ok {
+		return clusterdb.Node{}, "", ok, err
+	}
+	// An appliance-lookup failure surfaces as an empty root — the CGI's
+	// "no kickstartable appliance" response — matching the memoized path.
+	_, _, root, _ := clusterdb.ApplianceForMembership(c.DB, n.Membership)
+	return n, root, true, nil
 }
 
 // NodeStatus is one row of the /status view.
@@ -137,7 +180,10 @@ type NodeStatus struct {
 
 // Status snapshots every tracked node, sorted by name.
 func (c *Cluster) Status() []NodeStatus {
+	// Unlock via defer: a panic in a node accessor must not leak the lock
+	// and freeze every other status/tracking path.
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	nodes := make([]NodeStatus, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		nodes = append(nodes, NodeStatus{
@@ -151,7 +197,6 @@ func (c *Cluster) Status() []NodeStatus {
 			EKV:      n.EKVAddr(),
 		})
 	}
-	c.mu.Unlock()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
 	return nodes
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+
+	"rocks/internal/clusterdb"
+)
+
+// resolvedNode is everything kickstart.cgi needs to know about a requester:
+// the node row and its membership's kickstart root.
+type resolvedNode struct {
+	node clusterdb.Node
+	root string
+}
+
+// nodeResolver memoizes the per-request SQL — NodeByIP plus
+// ApplianceForMembership — behind the database's mutation counter. During a
+// mass reinstall the same nodes ask for their profiles over and over while
+// the database sits still, so both queries collapse to one map lookup. Any
+// mutation (insert-ethers adding a node, an arch update, a membership edit)
+// bumps ChangeSeq and the whole memo drops on the next request, mirroring
+// the generation-stamp discipline of kickstart.ProfileCache. Lookup
+// failures are never cached.
+type nodeResolver struct {
+	db *clusterdb.Database
+
+	mu   sync.RWMutex
+	seq  int64
+	byIP map[string]resolvedNode
+}
+
+func newNodeResolver(db *clusterdb.Database) *nodeResolver {
+	return &nodeResolver{db: db, seq: db.ChangeSeq(), byIP: make(map[string]resolvedNode)}
+}
+
+// resolve maps a client IP to its node row and appliance root. ok is false
+// when no node is registered at the address; err reports query failures and
+// memberships with no kickstartable appliance.
+func (nr *nodeResolver) resolve(ip string) (rn resolvedNode, ok bool, err error) {
+	seq := nr.db.ChangeSeq()
+	nr.mu.RLock()
+	if nr.seq == seq {
+		if rn, ok = nr.byIP[ip]; ok {
+			nr.mu.RUnlock()
+			return rn, true, nil
+		}
+	}
+	nr.mu.RUnlock()
+
+	n, ok, err := clusterdb.NodeByIP(nr.db, ip)
+	if err != nil || !ok {
+		return resolvedNode{}, false, err
+	}
+	_, _, root, err := clusterdb.ApplianceForMembership(nr.db, n.Membership)
+	if err != nil {
+		// A membership without a kickstartable appliance renders as an empty
+		// root (the CGI's 403); the failed lookup is not memoized.
+		return resolvedNode{node: n}, true, nil
+	}
+	rn = resolvedNode{node: n, root: root}
+	nr.mu.Lock()
+	if nr.seq != seq {
+		nr.byIP = make(map[string]resolvedNode)
+		nr.seq = seq
+	}
+	nr.byIP[ip] = rn
+	nr.mu.Unlock()
+	return rn, true, nil
+}

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"rocks/internal/clusterdb"
 	"rocks/internal/hardware"
+	"rocks/internal/installer"
+	"rocks/internal/kickstart"
 	"rocks/internal/node"
 )
 
@@ -90,4 +96,134 @@ func TestScaleSixteenNodes(t *testing.T) {
 			t.Errorf("%s: %v", r.Host, r.Err)
 		}
 	}
+}
+
+// TestMassReinstallLoad simulates the paper's worst hour — every compute
+// node reinstalling at once — without full installer state machines: 32
+// registered nodes hammer kickstart.cgi and the dist tree concurrently,
+// then the graph is edited and the storm repeats. Every post-edit profile
+// must carry the new package (the cache may never serve stale), and the
+// storm must have been served mostly from cache.
+func TestMassReinstallLoad(t *testing.T) {
+	c, err := New(Config{
+		Name:       "load",
+		DHCPRetry:  2 * time.Millisecond,
+		DisableEKV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 32
+	names := make([]string, n)
+	ips := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("compute-9-%d", i)
+		ips[i] = fmt.Sprintf("10.255.250.%d", i)
+		if _, err := clusterdb.InsertNode(c.DB, clusterdb.Node{
+			MAC: fmt.Sprintf("02:00:00:00:01:%02x", i), Name: names[i],
+			Membership: clusterdb.MembershipCompute, Rack: 9, Rank: i, IP: ips[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	storm := func(wantPackage string) error {
+		errc := make(chan error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				req, _ := http.NewRequest("GET", c.BaseURL()+"/install/kickstart.cgi", nil)
+				req.Header.Set(installer.ClientIPHeader, ips[i])
+				resp, err := client.Do(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("%s: HTTP %d: %s", names[i], resp.StatusCode, body)
+					return
+				}
+				text := string(body)
+				if !strings.Contains(text, "# Kickstart file for "+names[i]) {
+					errc <- fmt.Errorf("%s: profile not personalized", names[i])
+					return
+				}
+				profile, err := kickstart.ParseProfile(text)
+				if err != nil {
+					errc <- fmt.Errorf("%s: unparseable profile: %v", names[i], err)
+					return
+				}
+				if wantPackage != "" {
+					found := false
+					for _, pkg := range profile.Packages {
+						if pkg == wantPackage {
+							found = true
+						}
+					}
+					if !found {
+						errc <- fmt.Errorf("%s: stale profile, %s missing", names[i], wantPackage)
+						return
+					}
+				}
+				// Each node also pulls a package from the dist tree, the
+				// other half of the reinstall load.
+				p := profile.Packages[i%len(profile.Packages)]
+				pkg := c.Dist.Repo.Newest(p, "i386")
+				if pkg == nil {
+					return
+				}
+				resp2, err := client.Get(c.BaseURL() + "/install/dist/RedHat/RPMS/" + pkg.Filename())
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp2.Body)
+				resp2.Body.Close()
+				if resp2.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("dist fetch %s: HTTP %d", pkg.Filename(), resp2.StatusCode)
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			return err
+		}
+		return nil
+	}
+
+	if err := storm(""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequenced graph edit between storms: add a module under compute. No
+	// request issued after this line may ever see a profile without it.
+	fw := c.Dist.Framework
+	fw.AddNode(&kickstart.NodeFile{Name: "load-extra",
+		Packages: []kickstart.PackageRef{{Name: "load-extra-pkg"}}})
+	fw.Graph.AddEdge("compute", "load-extra")
+
+	if err := storm("load-extra-pkg"); err != nil {
+		t.Fatal(err)
+	}
+
+	hits, misses, invalidations := c.KickstartCacheStats()
+	if hits == 0 {
+		t.Error("mass reinstall never hit the profile cache")
+	}
+	if invalidations == 0 {
+		t.Error("graph edit did not invalidate the cache")
+	}
+	t.Logf("cache: %d hits, %d misses, %d invalidations", hits, misses, invalidations)
 }

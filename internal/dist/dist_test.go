@@ -1,9 +1,14 @@
 package dist
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rocks/internal/kickstart"
 	"rocks/internal/rpm"
@@ -347,5 +352,115 @@ func TestPropertyBuildIdempotent(t *testing.T) {
 	}
 	if len(second.Report.Superseded) != 0 {
 		t.Errorf("rebuild superseded %v; nothing should be newer", second.Report.Superseded)
+	}
+}
+
+// TestMirrorParallelWorkers: a wide worker pool must produce exactly the
+// same repository as the serial mirror.
+func TestMirrorParallelWorkers(t *testing.T) {
+	parent := Build("npaci", kickstart.DefaultFramework(), Source{"redhat", SyntheticRedHat()})
+	srv := httptest.NewServer(Handler(parent))
+	defer srv.Close()
+
+	mirrored, err := MirrorWith(srv.URL, "wide", MirrorOptions{Client: srv.Client(), Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirrored.Len() != parent.Repo.Len() {
+		t.Fatalf("mirrored %d packages, parent has %d", mirrored.Len(), parent.Repo.Len())
+	}
+	for _, orig := range parent.Repo.All() {
+		if mirrored.Get(orig.NVRA()) == nil {
+			t.Fatalf("parallel mirror missing %s", orig.NVRA())
+		}
+	}
+}
+
+// TestMirrorRetriesTransientErrors: each package download 500s once before
+// succeeding; the retry loop must absorb that without failing the pass.
+func TestMirrorRetriesTransientErrors(t *testing.T) {
+	parent := Build("npaci", kickstart.DefaultFramework(), Source{"redhat", SyntheticRedHat()})
+	inner := Handler(parent)
+	var mu sync.Mutex
+	failedOnce := map[string]bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, ".rpm") {
+			mu.Lock()
+			first := !failedOnce[r.URL.Path]
+			failedOnce[r.URL.Path] = true
+			mu.Unlock()
+			if first {
+				http.Error(w, "transient", http.StatusInternalServerError)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	mirrored, err := MirrorWith(srv.URL, "flaky", MirrorOptions{
+		Client: srv.Client(), Workers: 4, Retries: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirrored.Len() != parent.Repo.Len() {
+		t.Fatalf("mirrored %d packages, parent has %d", mirrored.Len(), parent.Repo.Len())
+	}
+}
+
+// TestMirrorErrorNamesFile: when a package never becomes fetchable the error
+// must identify the file and the retry budget, not just say "HTTP 500".
+func TestMirrorErrorNamesFile(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/RedHat/RPMS/") {
+			io.WriteString(w, "ghost-1.0-1.i386.rpm\n")
+			return
+		}
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	_, err := MirrorWith(srv.URL, "doomed", MirrorOptions{
+		Client: srv.Client(), Retries: 2, RetryBackoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("mirror of an unfetchable package should fail")
+	}
+	if !strings.Contains(err.Error(), "ghost-1.0-1.i386.rpm") {
+		t.Errorf("error does not name the failing file: %v", err)
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Errorf("error does not mention the retry budget: %v", err)
+	}
+}
+
+// TestMirrorClientFailFastOn404: a 4xx is a permanent condition — the
+// fetcher must not burn its retry budget on it.
+func TestMirrorFailFastOn404(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/RedHat/RPMS/") {
+			io.WriteString(w, "gone-1.0-1.i386.rpm\n")
+			return
+		}
+		hits.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	_, err := MirrorWith(srv.URL, "gone", MirrorOptions{
+		Client: srv.Client(), Retries: 5, RetryBackoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("404 fetched %d times, want 1 (no retries on 4xx)", got)
+	}
+}
+
+// TestMirrorDefaultClientBounded: with no client supplied, Mirror must use
+// a timeout-bearing client, never the unbounded http.DefaultClient.
+func TestMirrorDefaultClientBounded(t *testing.T) {
+	if mirrorDefaultClient.Timeout == 0 {
+		t.Fatal("default mirror client has no timeout")
 	}
 }

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"rocks/internal/rpm"
 )
@@ -73,46 +76,175 @@ func Handler(d *Distribution) http.Handler {
 	return mux
 }
 
+// mirrorDefaultClient bounds every mirror fetch the way the installer's
+// default client does (60 s): falling back to http.DefaultClient would let
+// one hung package fetch wedge a replication pass forever.
+var mirrorDefaultClient = &http.Client{Timeout: 60 * time.Second}
+
+// MirrorOptions tunes a replication pass. The zero value is a sensible
+// production default.
+type MirrorOptions struct {
+	// Client performs the fetches; nil means a shared 60-second-timeout
+	// client (never the timeout-less http.DefaultClient).
+	Client *http.Client
+	// Workers bounds concurrent package fetches; <= 0 means 8 — enough to
+	// keep a campus→department link busy without stampeding the parent.
+	Workers int
+	// Retries is the attempt budget per file (including the first); <= 0
+	// means 3. Only transport errors and 5xx responses are retried.
+	Retries int
+	// RetryBackoff is the wait before the second attempt, doubling per
+	// attempt; <= 0 means 100ms.
+	RetryBackoff time.Duration
+}
+
 // Mirror replicates a served distribution's packages into a local
-// repository — the wget step of Figure 6. baseURL addresses the Handler
-// root (e.g. "http://10.1.1.1/dist"). The returned repository's packages
-// carry the mirror's name as provenance.
+// repository — the wget step of Figure 6 — with default options. baseURL
+// addresses the Handler root (e.g. "http://10.1.1.1/dist"). The returned
+// repository's packages carry the mirror's name as provenance.
 func Mirror(client *http.Client, baseURL, name string) (*rpm.Repository, error) {
+	return MirrorWith(baseURL, name, MirrorOptions{Client: client})
+}
+
+// MirrorWith replicates a served distribution with explicit options.
+// Packages are fetched by a bounded worker pool with per-file retries, so
+// replication scales with package count (§6.2.3) instead of serializing on
+// round trips, and a single bad file fails the pass with an error naming
+// the file.
+func MirrorWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, error) {
+	client := opts.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = mirrorDefaultClient
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	attempts := opts.Retries
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+
 	baseURL = strings.TrimSuffix(baseURL, "/")
 	listURL := baseURL + "/RedHat/RPMS/"
-	resp, err := client.Get(listURL)
+	listing, err := fetchWithRetry(client, listURL, attempts, backoff)
 	if err != nil {
 		return nil, fmt.Errorf("dist: mirroring %s: %w", listURL, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dist: mirroring %s: HTTP %s", listURL, resp.Status)
+	names := strings.Fields(string(listing))
+
+	// Fetch into a listing-indexed slice so the result is deterministic
+	// regardless of worker interleaving; the first failing file (in listing
+	// order) wins the error.
+	pkgs := make([]*rpm.Package, len(names))
+	errs := make([]error, len(names))
+	var failed atomic.Bool
+	var next atomic.Int64
+	if workers > len(names) {
+		workers = len(names)
 	}
-	listing, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("dist: reading listing: %w", err)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(names) || failed.Load() {
+					return
+				}
+				p, err := fetchPackage(client, listURL+names[i], attempts, backoff)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				p.Source = name
+				pkgs[i] = p
+			}
+		}()
 	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	// No error recorded means every index was claimed and filled.
 	repo := rpm.NewRepository(name)
-	for _, fn := range strings.Fields(string(listing)) {
-		pkgURL := listURL + fn
-		pr, err := client.Get(pkgURL)
-		if err != nil {
-			return nil, fmt.Errorf("dist: fetching %s: %w", pkgURL, err)
-		}
-		if pr.StatusCode != http.StatusOK {
-			pr.Body.Close()
-			return nil, fmt.Errorf("dist: fetching %s: HTTP %s", pkgURL, pr.Status)
-		}
-		p, err := rpm.Read(pr.Body)
-		pr.Body.Close()
-		if err != nil {
-			return nil, fmt.Errorf("dist: decoding %s: %w", pkgURL, err)
-		}
-		p.Source = name
+	for _, p := range pkgs {
 		repo.Add(p)
 	}
 	return repo, nil
+}
+
+// fetchPackage downloads and decodes one RPM with bounded retries. Errors
+// always name the file, so an administrator knows exactly which package
+// stalled a replication pass.
+func fetchPackage(client *http.Client, pkgURL string, attempts int, backoff time.Duration) (*rpm.Package, error) {
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := client.Get(pkgURL)
+		if err != nil {
+			lastErr = fmt.Errorf("dist: fetching %s: %w", pkgURL, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("dist: fetching %s: HTTP %s", pkgURL, resp.Status)
+			if resp.StatusCode < 500 {
+				return nil, lastErr // 4xx will not heal on retry
+			}
+			continue
+		}
+		p, err := rpm.Read(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("dist: decoding %s: %w", pkgURL, err)
+			continue
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("dist: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// fetchWithRetry reads one URL's body with the same retry policy as
+// package fetches (the listing itself can hit a loaded parent).
+func fetchWithRetry(client *http.Client, url string, attempts int, backoff time.Duration) ([]byte, error) {
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("HTTP %s", resp.Status)
+			if resp.StatusCode < 500 {
+				return nil, lastErr
+			}
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return data, nil
+	}
+	return nil, lastErr
 }

@@ -6,6 +6,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Framework is the complete XML configuration infrastructure of one
@@ -16,6 +17,10 @@ import (
 type Framework struct {
 	Graph *Graph
 	Nodes map[string]*NodeFile
+
+	// gen counts AddNode mutations; together with the graph's own counter
+	// it forms the Generation stamp ProfileCache keys on.
+	gen atomic.Uint64
 }
 
 // NewFramework returns an empty framework with an empty graph.
@@ -26,7 +31,19 @@ func NewFramework() *Framework {
 // AddNode registers a node file, replacing any module of the same name —
 // which is exactly how a site overrides a stock Rocks module with a local
 // copy.
-func (f *Framework) AddNode(n *NodeFile) { f.Nodes[n.Name] = n }
+func (f *Framework) AddNode(n *NodeFile) {
+	f.Nodes[n.Name] = n
+	f.gen.Add(1)
+}
+
+// Generation returns a stamp that changes whenever the framework is mutated
+// through AddNode, Graph.AddEdge, or Graph.Merge. ProfileCache compares
+// stamps so one graph or node-file edit atomically invalidates every cached
+// profile. Mutations must be sequenced (happens-before) with respect to
+// concurrent Generate calls — the maps themselves are not lock-protected —
+// and once sequenced, the next request observes the new stamp and can never
+// be served a stale profile.
+func (f *Framework) Generation() uint64 { return f.gen.Load() + f.Graph.gen.Load() }
 
 // Clone returns a deep-enough copy: the graph edges and node map are
 // copied so a child distribution can extend its framework without mutating

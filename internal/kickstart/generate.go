@@ -17,6 +17,28 @@ type Request struct {
 	// Attrs are site/node attributes available to node files as
 	// ${Kickstart_*} references, e.g. Kickstart_PrivateKickstartHost.
 	Attrs map[string]string
+	// NodeAttrs are per-node attributes layered over Attrs (NodeAttrs win
+	// on collision). References that resolve from NodeAttrs survive
+	// shared-profile memoization (ProfileCache) and are substituted per
+	// request, so a thousand nodes of one appliance share one graph
+	// traversal.
+	NodeAttrs map[string]string
+}
+
+// KnownArches lists the processor architectures one Rocks graph supports —
+// the Meteor cluster's three ISAs (§6.1).
+var KnownArches = []string{"athlon", "i386", "ia64"}
+
+// KnownArch reports whether arch is in KnownArches. The kickstart CGI uses
+// it to validate client-supplied architecture values before they reach the
+// database.
+func KnownArch(arch string) bool {
+	for _, a := range KnownArches {
+		if a == arch {
+			return true
+		}
+	}
+	return false
 }
 
 // Profile is a generated Kickstart description, the structured form of the
@@ -38,65 +60,100 @@ type Profile struct {
 // Package lists are deduplicated (first occurrence wins); command lines are
 // deduplicated exactly; scripts are concatenated in traversal order.
 // Attribute references of the form ${Name} in command lines and scripts are
-// replaced from req.Attrs; a reference to a missing attribute is an error,
-// because a kickstart with a dangling reference bricks the install.
+// replaced from req.Attrs overlaid with req.NodeAttrs; a reference to a
+// missing attribute is an error, because a kickstart with a dangling
+// reference bricks the install.
 func (f *Framework) Generate(req Request) (*Profile, error) {
 	if req.Arch == "" {
 		req.Arch = "i386"
 	}
-	nodes, err := f.Traverse(req.Appliance, req.Arch)
+	attrs := req.Attrs
+	if len(req.NodeAttrs) > 0 {
+		attrs = make(map[string]string, len(req.Attrs)+len(req.NodeAttrs))
+		for k, v := range req.Attrs {
+			attrs[k] = v
+		}
+		for k, v := range req.NodeAttrs {
+			attrs[k] = v
+		}
+	}
+	t, err := f.generateTemplate(req.Appliance, req.Arch, attrs)
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{NodeName: req.NodeName, Appliance: req.Appliance, Arch: req.Arch}
-	seenPkg := map[string]bool{}
-	seenCmd := map[string]bool{}
-	for _, nf := range nodes {
-		p.Modules = append(p.Modules, nf.Name)
-		for _, line := range nf.Main {
-			expanded, err := substitute(line, req.Attrs, nf.Name)
-			if err != nil {
-				return nil, err
-			}
-			if !seenCmd[expanded] {
-				seenCmd[expanded] = true
-				p.Commands = append(p.Commands, expanded)
-			}
-		}
-		for _, pkg := range nf.Packages {
-			if pkg.matches(req.Arch) && !seenPkg[pkg.Name] {
-				seenPkg[pkg.Name] = true
-				p.Packages = append(p.Packages, pkg.Name)
-			}
-		}
-		for _, s := range nf.Pre {
-			if !s.matches(req.Arch) {
-				continue
-			}
-			text, err := substitute(s.Text, req.Attrs, nf.Name)
-			if err != nil {
-				return nil, err
-			}
-			p.Pre = append(p.Pre, Script{Interpreter: s.Interpreter, Text: text})
-		}
-		for _, s := range nf.Post {
-			if !s.matches(req.Arch) {
-				continue
-			}
-			text, err := substitute(s.Text, req.Attrs, nf.Name)
-			if err != nil {
-				return nil, err
-			}
-			p.Post = append(p.Post, Script{Interpreter: s.Interpreter, Text: text})
-		}
-	}
-	return p, nil
+	return t.instantiate(req.NodeName, nil)
 }
 
-// substitute expands ${Name} references from attrs. $$ escapes a literal $.
-func substitute(s string, attrs map[string]string, module string) (string, error) {
+// seg is one piece of a compiled template: literal text, or a deferred
+// ${ref} attribute reference left for per-node substitution.
+type seg struct {
+	lit string
+	ref string // non-empty means a deferred reference named ref
+}
+
+// tmpl is a compiled command line or script body. Shared attributes are
+// already folded into the literals; only deferred references remain.
+type tmpl struct {
+	module string // for error attribution
+	segs   []seg
+}
+
+// isLiteral reports whether the template has no deferred references, in
+// which case instantiation is a free string share.
+func (t tmpl) isLiteral() bool { return len(t.segs) == 1 && t.segs[0].ref == "" }
+
+// canonical renders the template with deferred references in ${Name} form —
+// a stable dedup key within one shared profile.
+func (t tmpl) canonical() string {
+	if t.isLiteral() {
+		return t.segs[0].lit
+	}
+	var b strings.Builder
+	for _, s := range t.segs {
+		if s.ref != "" {
+			b.WriteString("${")
+			b.WriteString(s.ref)
+			b.WriteString("}")
+		} else {
+			b.WriteString(s.lit)
+		}
+	}
+	return b.String()
+}
+
+// instantiate resolves the remaining references from attrs. A reference
+// still missing is an error: every ${Name} must resolve somewhere before
+// the profile is served.
+func (t tmpl) instantiate(attrs map[string]string) (string, error) {
+	if t.isLiteral() {
+		return t.segs[0].lit, nil
+	}
+	var b strings.Builder
+	for _, s := range t.segs {
+		if s.ref == "" {
+			b.WriteString(s.lit)
+			continue
+		}
+		val, ok := attrs[s.ref]
+		if !ok {
+			return "", fmt.Errorf("kickstart: module %q references undefined attribute %q", t.module, s.ref)
+		}
+		b.WriteString(val)
+	}
+	return b.String(), nil
+}
+
+// compileTemplate expands ${Name} references from attrs in a single pass.
+// $$ escapes a literal $; a bare $ not followed by { passes through (shell
+// variables in post scripts). References missing from attrs are not an
+// error here: they become deferred segments resolved (or rejected) at
+// instantiation, which is what lets a memoized shared profile carry
+// per-node references like ${Kickstart_PublicHostname}.
+func compileTemplate(s string, attrs map[string]string, module string) (tmpl, error) {
+	t := tmpl{module: module}
 	if !strings.Contains(s, "$") {
-		return s, nil
+		t.segs = []seg{{lit: s}}
+		return t, nil
 	}
 	var b strings.Builder
 	for i := 0; i < len(s); {
@@ -114,23 +171,146 @@ func substitute(s string, attrs map[string]string, module string) (string, error
 		if i+1 < len(s) && s[i+1] == '{' {
 			end := strings.IndexByte(s[i+2:], '}')
 			if end < 0 {
-				return "", fmt.Errorf("kickstart: module %q: unterminated ${ reference", module)
+				return tmpl{}, fmt.Errorf("kickstart: module %q: unterminated ${ reference", module)
 			}
 			name := s[i+2 : i+2+end]
-			val, ok := attrs[name]
-			if !ok {
-				return "", fmt.Errorf("kickstart: module %q references undefined attribute %q", module, name)
+			if val, ok := attrs[name]; ok {
+				b.WriteString(val)
+			} else {
+				t.segs = append(t.segs, seg{lit: b.String()})
+				b.Reset()
+				t.segs = append(t.segs, seg{ref: name})
 			}
-			b.WriteString(val)
 			i += 2 + end + 1
 			continue
 		}
-		// A bare $ not followed by { passes through (shell variables in
-		// post scripts).
 		b.WriteByte('$')
 		i++
 	}
-	return b.String(), nil
+	t.segs = append(t.segs, seg{lit: b.String()})
+	return t, nil
+}
+
+// substitute expands ${Name} references from attrs. $$ escapes a literal $.
+func substitute(s string, attrs map[string]string, module string) (string, error) {
+	t, err := compileTemplate(s, attrs, module)
+	if err != nil {
+		return "", err
+	}
+	return t.instantiate(nil)
+}
+
+// scriptTemplate is a %pre/%post fragment with its body compiled.
+type scriptTemplate struct {
+	interpreter string
+	text        tmpl
+}
+
+// profileTemplate is the memoizable shared form of a generated profile:
+// everything identical across all nodes of one (appliance, arch,
+// shared-attrs) class, with per-node references still deferred. ProfileCache
+// stores these; instantiate stamps out the per-node Profile.
+type profileTemplate struct {
+	appliance string
+	arch      string
+	modules   []string
+	packages  []string
+	commands  []tmpl
+	pre       []scriptTemplate
+	post      []scriptTemplate
+}
+
+// generateTemplate runs the expensive, node-independent part of Generate:
+// the graph traversal, package deduplication, and substitution of the
+// shared attributes. References not covered by attrs stay deferred.
+func (f *Framework) generateTemplate(appliance, arch string, attrs map[string]string) (*profileTemplate, error) {
+	nodes, err := f.Traverse(appliance, arch)
+	if err != nil {
+		return nil, err
+	}
+	t := &profileTemplate{appliance: appliance, arch: arch}
+	seenPkg := map[string]bool{}
+	seenCmd := map[string]bool{}
+	for _, nf := range nodes {
+		t.modules = append(t.modules, nf.Name)
+		for _, line := range nf.Main {
+			ct, err := compileTemplate(line, attrs, nf.Name)
+			if err != nil {
+				return nil, err
+			}
+			if key := ct.canonical(); !seenCmd[key] {
+				seenCmd[key] = true
+				t.commands = append(t.commands, ct)
+			}
+		}
+		for _, pkg := range nf.Packages {
+			if pkg.matches(arch) && !seenPkg[pkg.Name] {
+				seenPkg[pkg.Name] = true
+				t.packages = append(t.packages, pkg.Name)
+			}
+		}
+		for _, s := range nf.Pre {
+			if !s.matches(arch) {
+				continue
+			}
+			ct, err := compileTemplate(s.Text, attrs, nf.Name)
+			if err != nil {
+				return nil, err
+			}
+			t.pre = append(t.pre, scriptTemplate{interpreter: s.Interpreter, text: ct})
+		}
+		for _, s := range nf.Post {
+			if !s.matches(arch) {
+				continue
+			}
+			ct, err := compileTemplate(s.Text, attrs, nf.Name)
+			if err != nil {
+				return nil, err
+			}
+			t.post = append(t.post, scriptTemplate{interpreter: s.Interpreter, text: ct})
+		}
+	}
+	return t, nil
+}
+
+// instantiate stamps a per-node Profile out of the shared template,
+// resolving deferred references from nodeAttrs. Command lines are
+// re-deduplicated on their final text so instantiation matches what a full
+// Generate of the merged attributes would produce.
+func (t *profileTemplate) instantiate(nodeName string, nodeAttrs map[string]string) (*Profile, error) {
+	p := &Profile{
+		NodeName:  nodeName,
+		Appliance: t.appliance,
+		Arch:      t.arch,
+		Packages:  append([]string(nil), t.packages...),
+		Modules:   append([]string(nil), t.modules...),
+	}
+	seenCmd := make(map[string]bool, len(t.commands))
+	for _, ct := range t.commands {
+		line, err := ct.instantiate(nodeAttrs)
+		if err != nil {
+			return nil, err
+		}
+		if !seenCmd[line] {
+			seenCmd[line] = true
+			p.Commands = append(p.Commands, line)
+		}
+	}
+	for _, s := range t.pre {
+		text, err := s.text.instantiate(nodeAttrs)
+		if err != nil {
+			return nil, err
+		}
+		p.Pre = append(p.Pre, Script{Interpreter: s.interpreter, Text: text})
+	}
+	for _, s := range t.post {
+		text, err := s.text.instantiate(nodeAttrs)
+		if err != nil {
+			return nil, err
+		}
+		p.Post = append(p.Post, Script{Interpreter: s.interpreter, Text: text})
+	}
+	return p, nil
 }
 
 // Render emits the Red Hat-compliant text Kickstart file: the command

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Edge is one directed relation in the graph: installing From implies
@@ -23,6 +24,10 @@ type Graph struct {
 	Name        string
 	Description string
 	Edges       []Edge
+
+	// gen counts edge mutations; Framework.Generation folds it into the
+	// stamp ProfileCache invalidates on.
+	gen atomic.Uint64
 }
 
 type xmlGraph struct {
@@ -60,6 +65,7 @@ func ParseGraph(name string, r io.Reader) (*Graph, error) {
 // rocks-dist when a child distribution extends its parent's graph (§6.2.3).
 func (g *Graph) AddEdge(from, to string, arches ...string) {
 	g.Edges = append(g.Edges, Edge{From: from, To: to, Arches: arches})
+	g.gen.Add(1)
 }
 
 // Successors returns the targets of all edges leaving `from` that apply to
@@ -112,4 +118,5 @@ func (g *Graph) NodeNames() []string {
 // parent graph rather than replacing it).
 func (g *Graph) Merge(other *Graph) {
 	g.Edges = append(g.Edges, other.Edges...)
+	g.gen.Add(1)
 }

@@ -375,3 +375,67 @@ func TestDedent(t *testing.T) {
 		t.Error("dedent of blank input should be empty")
 	}
 }
+
+// TestRenderParseRoundTripInterpreter: --interpreter sections must survive
+// Render → ParseProfile with interpreter and body intact.
+func TestRenderParseRoundTripInterpreter(t *testing.T) {
+	fw := NewFramework()
+	fw.AddNode(&NodeFile{
+		Name: "compute",
+		Main: []string{"install"},
+		Pre:  []Script{{Interpreter: "/usr/bin/python", Text: "import os\nprint(os.uname())"}},
+		Post: []Script{
+			{Text: "touch /etc/configured"},
+			{Interpreter: "/bin/bash", Text: "set -e\nldconfig"},
+		},
+	})
+	p, err := fw.Generate(Request{Appliance: "compute", Arch: "i386", NodeName: "compute-0-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseProfile(p.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Pre) != 1 || q.Pre[0].Interpreter != "/usr/bin/python" {
+		t.Fatalf("pre = %+v, want one /usr/bin/python section", q.Pre)
+	}
+	if q.Pre[0].Text != "import os\nprint(os.uname())" {
+		t.Errorf("pre text = %q", q.Pre[0].Text)
+	}
+	if len(q.Post) != 2 {
+		t.Fatalf("post sections = %d, want 2", len(q.Post))
+	}
+	if q.Post[0].Interpreter != "" || q.Post[0].Text != "touch /etc/configured" {
+		t.Errorf("post[0] = %+v", q.Post[0])
+	}
+	if q.Post[1].Interpreter != "/bin/bash" || q.Post[1].Text != "set -e\nldconfig" {
+		t.Errorf("post[1] = %+v", q.Post[1])
+	}
+}
+
+// TestRenderParseRoundTripDollarEscapes: $$ in a node file means a literal
+// $ in the generated script, and that literal must survive re-parsing.
+func TestRenderParseRoundTripDollarEscapes(t *testing.T) {
+	fw := NewFramework()
+	fw.AddNode(&NodeFile{
+		Name: "compute",
+		Main: []string{"install"},
+		Post: []Script{{Text: "price=$$5\nfor f in $FILES; do echo $f; done"}},
+	})
+	p, err := fw.Generate(Request{Appliance: "compute", Arch: "i386"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "price=$5\nfor f in $FILES; do echo $f; done"
+	if p.Post[0].Text != want {
+		t.Fatalf("generated post = %q, want %q", p.Post[0].Text, want)
+	}
+	q, err := ParseProfile(p.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Post[0].Text != want {
+		t.Errorf("round-tripped post = %q, want %q", q.Post[0].Text, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column is one column of a table schema.
@@ -16,9 +17,10 @@ type Column struct {
 // Table holds a schema and its rows. Rows are slices of Values in schema
 // order.
 type table struct {
-	name string
-	cols []Column
-	rows [][]Value
+	name    string
+	cols    []Column
+	rows    [][]Value
+	indexes []*index
 }
 
 func (t *table) colIndex(name string) int {
@@ -38,11 +40,50 @@ type Database struct {
 	// changeSeq increments on every mutation; report generators use it to
 	// decide whether regenerated configuration files are stale.
 	changeSeq int64
+
+	// The fast path: a parse memo and per-plan counters. Both toggles
+	// default on; benchmarks flip them off to measure the scan baseline.
+	plans        planCache
+	planCaching  atomic.Bool
+	indexRouting atomic.Bool
+	// indexSelects/scanSelects count how each SELECT was answered; they are
+	// atomic because SELECTs run under the read lock concurrently.
+	indexSelects atomic.Uint64
+	scanSelects  atomic.Uint64
 }
 
 // New creates an empty database.
 func New() *Database {
-	return &Database{tables: make(map[string]*table)}
+	d := &Database{tables: make(map[string]*table)}
+	d.planCaching.Store(true)
+	d.indexRouting.Store(true)
+	return d
+}
+
+// SetPlanCache enables or disables the statement-parse memo. Disabling does
+// not drop cached entries; it only bypasses them.
+func (d *Database) SetPlanCache(on bool) { d.planCaching.Store(on) }
+
+// SetIndexRouting enables or disables the planner's use of hash indexes for
+// SELECTs. Indexes are always *maintained* (uniqueness still holds); this
+// only routes reads back through the full-scan path — the ablation knob the
+// benchmarks use.
+func (d *Database) SetIndexRouting(on bool) { d.indexRouting.Store(on) }
+
+// parseSQL is parse() behind the plan cache.
+func (d *Database) parseSQL(sql string) (statement, error) {
+	if !d.planCaching.Load() {
+		return parse(sql)
+	}
+	if st, ok := d.plans.get(sql); ok {
+		return st, nil
+	}
+	st, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	d.plans.put(sql, st)
+	return st, nil
 }
 
 // Result is the outcome of a statement: for SELECT, the column names and
@@ -109,7 +150,7 @@ func (r *Result) Format() string {
 
 // Exec parses and executes any supported statement.
 func (d *Database) Exec(sql string) (*Result, error) {
-	st, err := parse(sql)
+	st, err := d.parseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +180,7 @@ func (d *Database) Exec(sql string) (*Result, error) {
 // Query is Exec restricted to SELECT; it rejects anything that would modify
 // the database, which is what tools taking a --query flag pass through.
 func (d *Database) Query(sql string) (*Result, error) {
-	st, err := parse(sql)
+	st, err := d.parseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +244,9 @@ func (d *Database) execCreate(s createTableStmt) (*Result, error) {
 		}
 		seen[c.Name] = true
 	}
-	d.tables[s.name] = &table{name: s.name, cols: s.cols}
+	t := &table{name: s.name, cols: s.cols}
+	t.attachIndexes()
+	d.tables[s.name] = t
 	return &Result{}, nil
 }
 
@@ -257,6 +300,10 @@ func (d *Database) execInsert(s insertStmt) (*Result, error) {
 			}
 			row[colIdx[i]] = cv
 		}
+		if err := t.checkInsert(row, -1); err != nil {
+			return nil, err
+		}
+		t.indexAdd(row, len(t.rows))
 		t.rows = append(t.rows, row)
 		inserted++
 	}
@@ -281,6 +328,11 @@ func (d *Database) execUpdate(s updateStmt) (*Result, error) {
 				continue
 			}
 		}
+		// Stage the new row so uniqueness is checked before anything
+		// commits; within one row later SET clauses see earlier ones, the
+		// same visibility the old in-place update gave.
+		staged := append([]Value(nil), t.rows[ri]...)
+		env.rows = [][]Value{staged}
 		for _, set := range s.sets {
 			ci := t.colIndex(set.col)
 			if ci < 0 {
@@ -294,8 +346,13 @@ func (d *Database) execUpdate(s updateStmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.rows[ri][ci] = cv
+			staged[ci] = cv
 		}
+		if err := t.checkInsert(staged, ri); err != nil {
+			return nil, err
+		}
+		t.indexUpdate(t.rows[ri], staged, ri)
+		t.rows[ri] = staged
 		affected++
 	}
 	return &Result{Affected: affected}, nil
@@ -328,5 +385,122 @@ func (d *Database) execDelete(s deleteStmt) (*Result, error) {
 		}
 	}
 	t.rows = kept
+	if deleted > 0 {
+		// Deletion shifts row positions; rebuilding is O(N) but deletes are
+		// the rarest mutation (decommissioning hardware).
+		t.rebuildIndexes()
+	}
 	return &Result{Affected: deleted}, nil
+}
+
+// IndexInfo describes one automatic index in DBStats.
+type IndexInfo struct {
+	Table   string   `json:"table"`
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Unique  bool     `json:"unique"`
+	Keys    int      `json:"keys"`
+}
+
+// DBStats is the database's fast-path instrumentation: how often the plan
+// cache saved a parse, how SELECTs were answered, and what the indexes hold.
+type DBStats struct {
+	PlanCacheHits    uint64      `json:"plan_cache_hits"`
+	PlanCacheMisses  uint64      `json:"plan_cache_misses"`
+	PlanCacheEntries int         `json:"plan_cache_entries"`
+	IndexSelects     uint64      `json:"index_selects"`
+	ScanSelects      uint64      `json:"scan_selects"`
+	Indexes          []IndexInfo `json:"indexes"`
+}
+
+// Stats snapshots the fast-path counters.
+func (d *Database) Stats() DBStats {
+	var s DBStats
+	s.PlanCacheHits, s.PlanCacheMisses, s.PlanCacheEntries = d.plans.stats()
+	s.IndexSelects = d.indexSelects.Load()
+	s.ScanSelects = d.scanSelects.Load()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, name := range d.tableNamesLocked() {
+		for _, ix := range d.tables[name].indexes {
+			s.Indexes = append(s.Indexes, IndexInfo{
+				Table:   name,
+				Name:    ix.spec.name,
+				Columns: append([]string(nil), ix.spec.cols...),
+				Unique:  ix.spec.unique,
+				Keys:    len(ix.buckets),
+			})
+		}
+	}
+	return s
+}
+
+// pointLookup answers "all rows where col = v" straight from a
+// single-column index — the prepared-statement path the schema helpers use
+// so per-value SQL texts (a different IP in every kickstart request) don't
+// defeat the plan cache by paying a fresh parse per call. Row slices are
+// safe to read after the lock drops: mutations replace a table's row
+// slices, never write into them. ok is false when routing is off or no
+// index covers col; the caller falls back to the SQL scan path.
+func (d *Database) pointLookup(tableName, col string, v Value) (rows [][]Value, ok bool) {
+	if !d.indexRouting.Load() {
+		return nil, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, found := d.tables[tableName]
+	if !found {
+		return nil, false
+	}
+	for _, ix := range t.indexes {
+		if len(ix.spec.cols) != 1 || ix.spec.cols[0] != col {
+			continue
+		}
+		part, pOK, empty := canonicalKeyPart(t.cols[ix.colIdx[0]].Type, v)
+		if empty {
+			d.indexSelects.Add(1)
+			return nil, true
+		}
+		if !pOK {
+			return nil, false // '07'=7-style coercion: only a scan is exact
+		}
+		bucket := ix.buckets[part]
+		rows = make([][]Value, len(bucket))
+		for i, ri := range bucket {
+			rows[i] = t.rows[ri]
+		}
+		d.indexSelects.Add(1)
+		return rows, true
+	}
+	return nil, false
+}
+
+// lookupKeyCount returns how many rows hold the given value in a
+// single-column indexed column — the O(1) existence probe NextFreeIP uses
+// while walking the address space. ok is false when no usable index exists
+// or routing is disabled (the caller falls back to its scan).
+func (d *Database) lookupKeyCount(tableName, col string, v Value) (int, bool) {
+	if !d.indexRouting.Load() {
+		return 0, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[tableName]
+	if !ok {
+		return 0, false
+	}
+	for _, ix := range t.indexes {
+		if len(ix.spec.cols) != 1 || ix.spec.cols[0] != col {
+			continue
+		}
+		part, pOK, empty := canonicalKeyPart(t.cols[ix.colIdx[0]].Type, v)
+		if empty {
+			return 0, true
+		}
+		if !pOK {
+			return 0, false
+		}
+		return len(ix.buckets[part]), true
+	}
+	return 0, false
 }

@@ -266,6 +266,21 @@ func (d *Database) execSelect(s selectStmt) (*Result, error) {
 
 	env := &rowEnv{tables: bound, rows: make([][]Value, len(bound))}
 
+	// The minimal planner: route a single-table equality predicate through
+	// a hash index when one covers it. cand holds the matching row
+	// positions in scan order; the full WHERE is still evaluated on each,
+	// so results are byte-identical to the scan path by construction.
+	var cand []int
+	useIndex := false
+	if d.indexRouting.Load() && len(bound) == 1 {
+		cand, useIndex = indexCandidates(bound[0], s.where)
+	}
+	if useIndex {
+		d.indexSelects.Add(1)
+	} else {
+		d.scanSelects.Add(1)
+	}
+
 	// Aggregate mode: if any select item is an aggregate, all must be, and
 	// the query yields exactly one row computed over the matching rows.
 	aggMode := false
@@ -276,10 +291,10 @@ func (d *Database) execSelect(s selectStmt) (*Result, error) {
 		}
 	}
 	if len(s.groupBy) > 0 {
-		return d.execGroupBy(s, bound, out, env)
+		return d.execGroupBy(s, bound, out, env, cand, useIndex)
 	}
 	if aggMode {
-		return d.execAggregate(s, bound, out, env)
+		return d.execAggregate(s, bound, out, env, cand, useIndex)
 	}
 
 	type sortedRow struct {
@@ -319,7 +334,7 @@ func (d *Database) execSelect(s selectStmt) (*Result, error) {
 			results = append(results, row)
 			return nil
 		}
-		for _, r := range bound[depth].t.rows {
+		for _, r := range planRows(bound[depth].t, depth, cand, useIndex) {
 			env.rows[depth] = r
 			if err := loop(depth + 1); err != nil {
 				return err
@@ -373,6 +388,20 @@ func (d *Database) execSelect(s selectStmt) (*Result, error) {
 	return res, nil
 }
 
+// planRows yields the rows the planner chose for one FROM table: the index
+// candidates at depth 0 when a plan exists, every row otherwise. Candidate
+// positions are ascending, so the visit order matches a scan exactly.
+func planRows(t *table, depth int, cand []int, useIndex bool) [][]Value {
+	if !useIndex || depth != 0 {
+		return t.rows
+	}
+	rows := make([][]Value, len(cand))
+	for i, pos := range cand {
+		rows[i] = t.rows[pos]
+	}
+	return rows
+}
+
 // aggState accumulates one aggregate column.
 type aggState struct {
 	count    int64
@@ -382,7 +411,7 @@ type aggState struct {
 }
 
 // execAggregate evaluates a select list made entirely of aggregates.
-func (d *Database) execAggregate(s selectStmt, bound []*boundTable, out []outCol, env *rowEnv) (*Result, error) {
+func (d *Database) execAggregate(s selectStmt, bound []*boundTable, out []outCol, env *rowEnv, cand []int, useIndex bool) (*Result, error) {
 	aggs := make([]aggExpr, len(out))
 	for i, oc := range out {
 		a, ok := oc.ex.(aggExpr)
@@ -433,7 +462,7 @@ func (d *Database) execAggregate(s selectStmt, bound []*boundTable, out []outCol
 			}
 			return nil
 		}
-		for _, r := range bound[depth].t.rows {
+		for _, r := range planRows(bound[depth].t, depth, cand, useIndex) {
 			env.rows[depth] = r
 			if err := loop(depth + 1); err != nil {
 				return err
@@ -493,7 +522,7 @@ func rowKey(cells []Value) string {
 // take the group's first row (classic MySQL 3.23 semantics, which the Rocks
 // frontend ran). Groups come back sorted by key; ORDER BY is not supported
 // together with GROUP BY.
-func (d *Database) execGroupBy(s selectStmt, bound []*boundTable, out []outCol, env *rowEnv) (*Result, error) {
+func (d *Database) execGroupBy(s selectStmt, bound []*boundTable, out []outCol, env *rowEnv, cand []int, useIndex bool) (*Result, error) {
 	if len(s.orderBy) > 0 {
 		return nil, fmt.Errorf("clusterdb: ORDER BY with GROUP BY is not supported (groups are returned sorted by key)")
 	}
@@ -582,7 +611,7 @@ func (d *Database) execGroupBy(s selectStmt, bound []*boundTable, out []outCol, 
 			}
 			return nil
 		}
-		for _, r := range bound[depth].t.rows {
+		for _, r := range planRows(bound[depth].t, depth, cand, useIndex) {
 			env.rows[depth] = r
 			if err := loop(depth + 1); err != nil {
 				return err

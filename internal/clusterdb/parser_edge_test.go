@@ -1,0 +1,114 @@
+package clusterdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parser edge cases the fast path leans on: the plan cache keys on raw SQL
+// text, so two statements that differ only in quoting style are distinct
+// cache entries that must still parse to equivalent plans, and the index
+// planner resolves qualified column references — ambiguity and aliasing
+// rules have to hold on both the scan and index paths.
+
+func TestQuotedStringEscapeForms(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE strs (id INT, s TEXT)`)
+	cases := []struct {
+		insert string
+		want   string // literal value the row should hold
+	}{
+		{`INSERT INTO strs VALUES (1, 'it''s')`, "it's"},
+		{`INSERT INTO strs VALUES (2, '''')`, "'"},
+		{`INSERT INTO strs VALUES (3, '''''')`, "''"},
+		{`INSERT INTO strs VALUES (4, "a""b")`, `a"b`},
+		{`INSERT INTO strs VALUES (5, "mix'd")`, "mix'd"},
+		{`INSERT INTO strs VALUES (6, '')`, ""},
+		{`INSERT INTO strs VALUES (7, 'two '' quotes '' here')`, "two ' quotes ' here"},
+	}
+	for _, c := range cases {
+		mustExec(t, db, c.insert)
+	}
+	for i, c := range cases {
+		res, err := db.Query(
+			"SELECT s FROM strs WHERE id = " + itoa(i+1))
+		if err != nil {
+			t.Fatalf("%s: %v", c.insert, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Str != c.want {
+			t.Errorf("%s stored %q, want %q", c.insert, res.Rows[0][0].Str, c.want)
+		}
+		// Round-trip: the stored value must be findable by an escaped
+		// literal in a WHERE clause (the path sqlEscape feeds).
+		res, err = db.Query(
+			`SELECT id FROM strs WHERE s = '` + strings.ReplaceAll(c.want, "'", "''") + `'`)
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", c.want, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Errorf("round-trip %q matched %d rows, want 1", c.want, len(res.Rows))
+		}
+	}
+	// An unterminated string is a parse error, not silent truncation.
+	if _, err := db.Query(`SELECT s FROM strs WHERE s = 'dangling`); err == nil {
+		t.Error("unterminated string literal should not parse")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestQualifiedColumnResolution(t *testing.T) {
+	db := newTestDB(t)
+
+	// A bare column present in both joined tables is ambiguous.
+	_, err := db.Query(`SELECT name FROM nodes, memberships`)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("bare shared column = %v, want ambiguity error", err)
+	}
+	// Qualifying either side resolves it.
+	if _, err := db.Query(`SELECT nodes.name FROM nodes, memberships`); err != nil {
+		t.Errorf("nodes.name: %v", err)
+	}
+	if _, err := db.Query(`SELECT memberships.name FROM nodes, memberships`); err != nil {
+		t.Errorf("memberships.name: %v", err)
+	}
+	// An alias replaces the table name for qualification purposes.
+	if _, err := db.Query(`SELECT n.name FROM nodes n`); err != nil {
+		t.Errorf("alias-qualified: %v", err)
+	}
+	if _, err := db.Query(`SELECT nodes.name FROM nodes n`); err == nil {
+		t.Error("original table name should not resolve once aliased")
+	}
+	// Ambiguity applies in WHERE too, and qualified refs there work on
+	// both the index and scan paths.
+	if _, err := db.Query(`SELECT nodes.id FROM nodes, memberships WHERE name = 'compute'`); err == nil {
+		t.Error("ambiguous WHERE column should error")
+	}
+	for _, routing := range []bool{true, false} {
+		db.SetIndexRouting(routing)
+		res, err := db.Query(`SELECT n.id FROM nodes n WHERE n.name = 'compute-0-0'`)
+		if err != nil {
+			t.Fatalf("routing=%v: %v", routing, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Errorf("routing=%v: got %d rows, want 1", routing, len(res.Rows))
+		}
+	}
+	db.SetIndexRouting(true)
+	// A qualifier that names no table in scope errors rather than scanning.
+	if _, err := db.Query(`SELECT ghost.name FROM nodes`); err == nil {
+		t.Error("unknown qualifier should error")
+	}
+}

@@ -106,13 +106,15 @@ const nodeCols = "id, mac, name, membership, rack, rank, ip, comment, arch, cpus
 // returns the stored node (with the allocated ID).
 func InsertNode(db *Database, n Node) (Node, error) {
 	if n.ID == 0 {
-		res, err := db.Query(`SELECT id FROM nodes ORDER BY id DESC LIMIT 1`)
+		// max(id) walks the rows once without materializing and sorting
+		// them the way ORDER BY id DESC did — the allocation is on the
+		// insert-ethers hot path.
+		res, err := db.Query(`SELECT max(id) FROM nodes`)
 		if err != nil {
 			return n, err
 		}
 		n.ID = 1
-		if len(res.Rows) > 0 {
-			last, _ := res.Rows[0][0].AsInt()
+		if last, ok := res.Rows[0][0].AsInt(); ok {
 			n.ID = int(last) + 1
 		}
 	}
@@ -153,24 +155,50 @@ func Nodes(db *Database, where string) ([]Node, error) {
 
 // NodeByMAC looks a node up by Ethernet address.
 func NodeByMAC(db *Database, mac string) (Node, bool, error) {
-	return oneNode(db, fmt.Sprintf("mac = '%s'", sqlEscape(mac)))
+	return oneNodeByCol(db, "mac", mac)
 }
 
 // NodeByIP looks a node up by IP address — the query the kickstart CGI runs
 // for every HTTP request (§6.1).
 func NodeByIP(db *Database, ip string) (Node, bool, error) {
-	return oneNode(db, fmt.Sprintf("ip = '%s'", sqlEscape(ip)))
+	return oneNodeByCol(db, "ip", ip)
 }
 
 // NodeByName looks a node up by hostname.
 func NodeByName(db *Database, name string) (Node, bool, error) {
-	return oneNode(db, fmt.Sprintf("name = '%s'", sqlEscape(name)))
+	return oneNodeByCol(db, "name", name)
+}
+
+// oneNodeByCol resolves a single-column equality lookup, probing the
+// column's index directly when one exists (skipping SQL text construction
+// and parsing entirely) and falling back to the scan-path query when not.
+// Both paths report duplicates with the same error.
+func oneNodeByCol(db *Database, col, val string) (Node, bool, error) {
+	rows, ok := db.pointLookup("nodes", col, TextValue(val))
+	if !ok {
+		return oneNode(db, fmt.Sprintf("%s = '%s'", col, sqlEscape(val)))
+	}
+	switch len(rows) {
+	case 0:
+		return Node{}, false, nil
+	case 1:
+		return nodeFromRow(rows[0]), true, nil
+	}
+	return Node{}, false, fmt.Errorf("clusterdb: %d nodes match %s = '%s'; expected at most one",
+		len(rows), col, sqlEscape(val))
 }
 
 func oneNode(db *Database, where string) (Node, bool, error) {
 	ns, err := Nodes(db, where)
 	if err != nil || len(ns) == 0 {
 		return Node{}, false, err
+	}
+	if len(ns) > 1 {
+		// Unique indexes make non-empty duplicates impossible, but rows
+		// without an identity yet (empty MAC on a replaced chassis, say) may
+		// legally collide; picking an arbitrary one would misdirect a
+		// kickstart or a replacement. Surface it.
+		return Node{}, false, fmt.Errorf("clusterdb: %d nodes match %s; expected at most one", len(ns), where)
 	}
 	return ns[0], true, nil
 }
@@ -181,6 +209,16 @@ func oneNode(db *Database, where string) (Node, bool, error) {
 // architecture set first.
 func SetNodeArch(db *Database, id int, arch string) error {
 	_, err := db.Exec(fmt.Sprintf("UPDATE nodes SET arch = '%s' WHERE id = %d", sqlEscape(arch), id))
+	return err
+}
+
+// RebindNodeMAC points an existing node row (by hostname) at a new Ethernet
+// address — the insert-ethers --replace operation. Both values are escaped
+// here so callers can pass syslog-supplied MACs and admin-typed hostnames
+// straight through.
+func RebindNodeMAC(db *Database, name, mac string) error {
+	_, err := db.Exec(fmt.Sprintf("UPDATE nodes SET mac = '%s' WHERE name = '%s'",
+		sqlEscape(mac), sqlEscape(name)))
 	return err
 }
 
@@ -241,18 +279,37 @@ func SetSiteValue(db *Database, name, value string) error {
 // and servers already hold .253 and .249); the frontend's 10.1.1.1 is
 // excluded by construction.
 func NextFreeIP(db *Database) (string, error) {
-	used := map[string]bool{}
-	ns, err := Nodes(db, "")
-	if err != nil {
-		return "", err
-	}
-	for _, n := range ns {
-		used[n.IP] = true
+	// Fast path: addresses allocate densely from the top, so probing the
+	// nodes_ip index per candidate usually answers on the first try —
+	// against the full-scan used-set build that cost O(N) per discovery.
+	var used map[string]bool
+	taken := func(s string) (bool, error) {
+		if used != nil {
+			return used[s], nil
+		}
+		if n, ok := db.lookupKeyCount("nodes", "ip", TextValue(s)); ok {
+			return n > 0, nil
+		}
+		// No index (routing disabled, foreign schema): build the scan set
+		// once and answer from it.
+		used = map[string]bool{}
+		ns, err := Nodes(db, "")
+		if err != nil {
+			return false, err
+		}
+		for _, n := range ns {
+			used[n.IP] = true
+		}
+		return used[s], nil
 	}
 	ip := net.IPv4(10, 255, 255, 254).To4()
 	for i := 0; i < 1<<24; i++ {
 		s := ip.String()
-		if !used[s] {
+		inUse, err := taken(s)
+		if err != nil {
+			return "", err
+		}
+		if !inUse {
 			return s, nil
 		}
 		// Decrement the address.
@@ -273,13 +330,19 @@ func NextFreeIP(db *Database) (string, error) {
 // membership: insert-ethers names nodes compute-<rack>-<rank> in discovery
 // order (§6.4).
 func NextRank(db *Database, membership, rack int) (int, error) {
-	ns, err := Nodes(db, fmt.Sprintf("membership = %d AND rack = %d", membership, rack))
+	// Fetch only the rank column: the (membership, rack) index narrows the
+	// rows and the discovery loop doesn't pay to materialize (and sort)
+	// every sibling node just to find a free number.
+	res, err := db.Query(fmt.Sprintf(
+		"SELECT rank FROM nodes WHERE membership = %d AND rack = %d", membership, rack))
 	if err != nil {
 		return 0, err
 	}
-	ranks := map[int]bool{}
-	for _, n := range ns {
-		ranks[n.Rank] = true
+	ranks := make(map[int]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		if n, isInt := row[0].AsInt(); isInt {
+			ranks[int(n)] = true
+		}
 	}
 	for r := 0; ; r++ {
 		if !ranks[r] {

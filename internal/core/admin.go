@@ -42,6 +42,27 @@ func (c *Cluster) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/admin/consistency", c.adminConsistency)
 	mux.HandleFunc("/admin/health", c.adminHealth)
 	mux.HandleFunc("/admin/supervisor", c.adminSupervisor)
+	mux.HandleFunc("/admin/dbstats", c.adminDBStats)
+}
+
+// adminDBStats exposes the database fast path's instrumentation: plan-cache
+// traffic, index-vs-scan SELECT counts, per-index key counts, the report
+// coalescer's write/skip counters, and the kickstart profile cache.
+func (c *Cluster) adminDBStats(w http.ResponseWriter, r *http.Request) {
+	ksHits, ksMisses, ksInvalidations := c.KickstartCacheStats()
+	resp := struct {
+		DB        clusterdb.DBStats `json:"db"`
+		Reports   ReportStats       `json:"reports"`
+		Kickstart struct {
+			Hits          uint64 `json:"hits"`
+			Misses        uint64 `json:"misses"`
+			Invalidations uint64 `json:"invalidations"`
+		} `json:"kickstart_cache"`
+	}{DB: c.DB.Stats(), Reports: c.ReportStats()}
+	resp.Kickstart.Hits = ksHits
+	resp.Kickstart.Misses = ksMisses
+	resp.Kickstart.Invalidations = ksInvalidations
+	writeJSON(w, resp)
 }
 
 // adminSupervisor exposes the remediation supervisor's state: whether one is

@@ -11,7 +11,6 @@ import (
 	"net"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -107,7 +106,10 @@ type Cluster struct {
 	byName      map[string]*node.Node
 	outlets     int
 	quarantined map[string]bool
+	quarSeq     int64 // bumps on every quarantine-set change (report guard)
 	supervisor  *Supervisor
+
+	reports reportCoalescer
 
 	wg     sync.WaitGroup
 	closed bool
@@ -375,65 +377,6 @@ func (c *Cluster) syncDHCP() error {
 	return nil
 }
 
-// WriteReports regenerates the service configuration files from the
-// database onto the frontend's disk — the dbreport step (§6.4).
-func (c *Cluster) WriteReports() error {
-	if !c.Frontend.Disk().Bootable() {
-		return nil // frontend still installing
-	}
-	hosts, err := clusterdb.HostsReport(c.DB)
-	if err != nil {
-		return err
-	}
-	dhcpConf, err := clusterdb.DHCPReport(c.DB)
-	if err != nil {
-		return err
-	}
-	pbsNodes, err := clusterdb.PBSNodesReport(c.DB)
-	if err != nil {
-		return err
-	}
-	pbsNodes = c.annotateOffline(pbsNodes)
-	d := c.Frontend.Disk()
-	if err := d.WriteFile("/etc/hosts", []byte(hosts), 0o644); err != nil {
-		return err
-	}
-	if err := d.WriteFile("/etc/dhcpd.conf", []byte(dhcpConf), 0o644); err != nil {
-		return err
-	}
-	if err := d.WriteFile("/opt/pbs/server_priv/nodes", []byte(pbsNodes), 0o644); err != nil {
-		return err
-	}
-	// Back the configuration database up alongside the reports (the
-	// mysqldump a careful Rocks site cron'd); rocksql -dump reads it.
-	if err := d.WriteFile("/var/db/cluster.sql", []byte(c.DB.Dump()), 0o600); err != nil {
-		return err
-	}
-	return c.syncDHCP()
-}
-
-// annotateOffline appends the pbsnodes "offline" mark to quarantined hosts'
-// lines in the PBS nodes report, so the administrator reading the file sees
-// exactly which machines the supervisor pulled from service.
-func (c *Cluster) annotateOffline(report string) string {
-	c.mu.Lock()
-	q := make(map[string]bool, len(c.quarantined))
-	for h := range c.quarantined {
-		q[h] = true
-	}
-	c.mu.Unlock()
-	if len(q) == 0 {
-		return report
-	}
-	lines := strings.Split(report, "\n")
-	for i, line := range lines {
-		if f := strings.Fields(line); len(f) > 0 && q[f[0]] {
-			lines[i] = line + " offline"
-		}
-	}
-	return strings.Join(lines, "\n")
-}
-
 // Quarantine pulls a node out of service without removing it: the host is
 // marked offline in PBS (never scheduled again), its mom is unregistered
 // (failing any running job — the honest consequence), and the reports
@@ -444,6 +387,7 @@ func (c *Cluster) annotateOffline(report string) string {
 func (c *Cluster) Quarantine(host string) error {
 	c.mu.Lock()
 	c.quarantined[host] = true
+	c.quarSeq++
 	c.mu.Unlock()
 	c.PBS.SetOffline(host, true)
 	c.PBS.UnregisterMom(host)
@@ -456,6 +400,7 @@ func (c *Cluster) Quarantine(host string) error {
 func (c *Cluster) Unquarantine(host string) error {
 	c.mu.Lock()
 	delete(c.quarantined, host)
+	c.quarSeq++
 	c.mu.Unlock()
 	c.PBS.SetOffline(host, false)
 	c.Syslog.Log("frontend-0", "rocks", "unquarantined %s", host)
@@ -502,6 +447,7 @@ func (c *Cluster) Close() {
 	c.closed = true
 	sup := c.supervisor
 	c.mu.Unlock()
+	c.stopReportTimer()
 	if sup != nil {
 		sup.Stop()
 	}

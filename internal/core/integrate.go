@@ -28,9 +28,9 @@ func (c *Cluster) StartInsertEthers(membership, rack int) (*insertethers.InsertE
 		Membership: membership,
 		Rack:       rack,
 		OnInsert: func(n clusterdb.Node) {
-			if err := c.WriteReports(); err != nil {
-				c.Syslog.Log("frontend-0", "insert-ethers", "report regeneration failed: %v", err)
-			}
+			// The insert already applied its own DHCP binding delta; the
+			// full dbreport pass coalesces across the discovery burst.
+			c.ScheduleReports()
 		},
 	})
 }
@@ -91,6 +91,9 @@ func (c *Cluster) IntegrateNodes(profiles []hardware.Profile, membership, rack i
 		return nil, err
 	}
 	defer ie.Stop()
+	// The batch hands control back to the administrator when it returns;
+	// the reports on disk must reflect every node it integrated.
+	defer c.FlushReports()
 	nodes := make([]*node.Node, 0, len(profiles))
 	for i, hw := range profiles {
 		n := node.New(hw)

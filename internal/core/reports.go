@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"rocks/internal/clusterdb"
+)
+
+// The dbreport step (§6.4) regenerates every service configuration file
+// from the database. The original tools ran it after each discovered node —
+// O(N) work N times to populate a cabinet. Here WriteReports is guarded by
+// the database's mutation counter so a no-op call costs two atomic reads,
+// and ScheduleReports debounces bursts so K discoveries trigger one
+// coalesced regeneration shortly after the burst quiets.
+
+// reportDebounce is how long ScheduleReports waits for more mutations
+// before regenerating. Long enough to swallow a burst of discoveries,
+// short enough that a lone insert's reports land before anyone looks.
+const reportDebounce = 2 * time.Millisecond
+
+// reportCoalescer tracks what the last written reports reflected and the
+// pending debounce timer.
+type reportCoalescer struct {
+	mu      sync.Mutex
+	written bool  // at least one successful write recorded
+	dbSeq   int64 // database ChangeSeq the written reports reflect
+	quarSeq int64 // quarantine-set generation they reflect
+	timer   *time.Timer
+	pending bool
+
+	// counters for ReportStats
+	writes, skips, scheduled uint64
+
+	// genMu serializes generate+write+record so a slow writer can't
+	// overwrite a newer writer's files with stale content.
+	genMu sync.Mutex
+}
+
+// ReportStats counts report-regeneration traffic: how many WriteReports
+// calls actually regenerated, how many were answered by the change-sequence
+// guard, and how many ScheduleReports requests were coalesced into timers.
+type ReportStats struct {
+	Writes    uint64 `json:"writes"`
+	Skips     uint64 `json:"skips"`
+	Scheduled uint64 `json:"scheduled"`
+}
+
+// ReportStats snapshots the coalescer's counters.
+func (c *Cluster) ReportStats() ReportStats {
+	c.reports.mu.Lock()
+	defer c.reports.mu.Unlock()
+	return ReportStats{Writes: c.reports.writes, Skips: c.reports.skips, Scheduled: c.reports.scheduled}
+}
+
+// WriteReports regenerates the service configuration files from the
+// database onto the frontend's disk — the dbreport step (§6.4). It is
+// change-sequence-guarded: when neither the database nor the quarantine set
+// has moved since the last successful write, nothing regenerates.
+func (c *Cluster) WriteReports() error {
+	if !c.Frontend.Disk().Bootable() {
+		return nil // frontend still installing
+	}
+	c.reports.genMu.Lock()
+	defer c.reports.genMu.Unlock()
+
+	// Snapshot the generations BEFORE generating: a mutation racing the
+	// generation below at worst marks these reports stale and costs one
+	// extra regeneration on the next call — never a silently stale file.
+	dbSeq := c.DB.ChangeSeq()
+	c.mu.Lock()
+	quarSeq := c.quarSeq
+	c.mu.Unlock()
+
+	c.reports.mu.Lock()
+	if c.reports.written && c.reports.dbSeq == dbSeq && c.reports.quarSeq == quarSeq {
+		c.reports.skips++
+		c.reports.mu.Unlock()
+		return nil
+	}
+	c.reports.mu.Unlock()
+
+	if err := c.writeReportsNow(); err != nil {
+		return err
+	}
+	c.reports.mu.Lock()
+	c.reports.written = true
+	c.reports.dbSeq = dbSeq
+	c.reports.quarSeq = quarSeq
+	c.reports.writes++
+	c.reports.mu.Unlock()
+	return nil
+}
+
+// ScheduleReports requests a report regeneration soon: the first request in
+// a burst arms a short timer, and every further request before it fires
+// rides along. The insert-ethers hot loop calls this per discovery, turning
+// K discoveries into O(K) binding deltas plus one coalesced regeneration.
+func (c *Cluster) ScheduleReports() {
+	c.reports.mu.Lock()
+	defer c.reports.mu.Unlock()
+	c.reports.scheduled++
+	if c.reports.pending {
+		return
+	}
+	c.reports.pending = true
+	c.reports.timer = time.AfterFunc(reportDebounce, func() {
+		c.reports.mu.Lock()
+		c.reports.pending = false
+		c.reports.mu.Unlock()
+		if err := c.WriteReports(); err != nil {
+			c.Syslog.Log("frontend-0", "dbreport", "coalesced report regeneration: %v", err)
+		}
+	})
+}
+
+// FlushReports cancels any pending debounce and regenerates synchronously
+// (a no-op when the reports are already current). Callers that hand control
+// back to an administrator — the end of an integration batch, a CLI exit —
+// use it so the files on disk match the database they just mutated.
+func (c *Cluster) FlushReports() error {
+	c.reports.mu.Lock()
+	if c.reports.timer != nil {
+		c.reports.timer.Stop()
+	}
+	c.reports.pending = false
+	c.reports.mu.Unlock()
+	return c.WriteReports()
+}
+
+// stopReportTimer kills a pending debounce without flushing (shutdown).
+func (c *Cluster) stopReportTimer() {
+	c.reports.mu.Lock()
+	if c.reports.timer != nil {
+		c.reports.timer.Stop()
+	}
+	c.reports.pending = false
+	c.reports.mu.Unlock()
+}
+
+// writeReportsNow unconditionally regenerates every report. Callers hold
+// reports.genMu.
+func (c *Cluster) writeReportsNow() error {
+	hosts, err := clusterdb.HostsReport(c.DB)
+	if err != nil {
+		return err
+	}
+	dhcpConf, err := clusterdb.DHCPReport(c.DB)
+	if err != nil {
+		return err
+	}
+	pbsNodes, err := clusterdb.PBSNodesReport(c.DB)
+	if err != nil {
+		return err
+	}
+	pbsNodes = c.annotateOffline(pbsNodes)
+	d := c.Frontend.Disk()
+	if err := d.WriteFile("/etc/hosts", []byte(hosts), 0o644); err != nil {
+		return err
+	}
+	if err := d.WriteFile("/etc/dhcpd.conf", []byte(dhcpConf), 0o644); err != nil {
+		return err
+	}
+	if err := d.WriteFile("/opt/pbs/server_priv/nodes", []byte(pbsNodes), 0o644); err != nil {
+		return err
+	}
+	// Back the configuration database up alongside the reports (the
+	// mysqldump a careful Rocks site cron'd); rocksql -dump reads it.
+	if err := d.WriteFile("/var/db/cluster.sql", []byte(c.DB.Dump()), 0o600); err != nil {
+		return err
+	}
+	return c.syncDHCP()
+}
+
+// annotateOffline appends the pbsnodes "offline" mark to quarantined hosts'
+// lines in the PBS nodes report, so the administrator reading the file sees
+// exactly which machines the supervisor pulled from service.
+func (c *Cluster) annotateOffline(report string) string {
+	c.mu.Lock()
+	q := make(map[string]bool, len(c.quarantined))
+	for h := range c.quarantined {
+		q[h] = true
+	}
+	c.mu.Unlock()
+	if len(q) == 0 {
+		return report
+	}
+	lines := strings.Split(report, "\n")
+	for i, line := range lines {
+		if f := strings.Fields(line); len(f) > 0 && q[f[0]] {
+			lines[i] = line + " offline"
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -46,6 +46,13 @@ type Config struct {
 	// new Ethernet address — instead of creating a new row. After one
 	// replacement the session reverts to normal insertion.
 	Replace string
+	// FullSync restores the legacy behavior of rebuilding the entire DHCP
+	// binding table from the database after every discovery — the
+	// "regenerate dhcpd.conf and restart dhcpd" cost the paper's tools
+	// paid per node. Default false: each discovery applies only its own
+	// binding delta, and the wholesale rebuild happens once per report
+	// pass instead of once per node.
+	FullSync bool
 }
 
 // InsertEthers is one running discovery session.
@@ -137,11 +144,12 @@ func (ie *InsertEthers) insert(mac string) error {
 		if !ok {
 			return fmt.Errorf("insertethers: --replace %s: no such node", replace)
 		}
-		if _, err := cfg.DB.Exec(fmt.Sprintf(
-			"UPDATE nodes SET mac = '%s' WHERE name = '%s'", mac, replace)); err != nil {
+		// The MAC arrives from a syslog line and the hostname from the
+		// administrator's flag; both go through escaping, never raw SQL.
+		if err := clusterdb.RebindNodeMAC(cfg.DB, replace, mac); err != nil {
 			return err
 		}
-		if err := SyncDHCP(cfg.DB, cfg.DHCP, cfg.NextServer); err != nil {
+		if err := ie.syncOne(old.MAC, mac, old.IP, old.Name); err != nil {
 			return err
 		}
 		cfg.Syslog.Log("frontend-0", "insert-ethers",
@@ -183,9 +191,10 @@ func (ie *InsertEthers) insert(mac string) error {
 	if err != nil {
 		return err
 	}
-	// Rebuild the DHCP server's host table from the database (the dbreport
-	// + service restart step) so the node's next DISCOVER succeeds.
-	if err := SyncDHCP(cfg.DB, cfg.DHCP, cfg.NextServer); err != nil {
+	// Hand the node its DHCP binding so its next DISCOVER succeeds. The
+	// delta path touches only this node's entry; the wholesale rebuild
+	// (dbreport + dhcpd restart) is left to the coalesced report pass.
+	if err := ie.syncOne("", n.MAC, n.IP, n.Name); err != nil {
 		return err
 	}
 	cfg.Syslog.Log("frontend-0", "insert-ethers",
@@ -195,6 +204,30 @@ func (ie *InsertEthers) insert(mac string) error {
 	ie.mu.Unlock()
 	if cfg.OnInsert != nil {
 		cfg.OnInsert(n)
+	}
+	return nil
+}
+
+// Discover runs the discovery sequence for one MAC synchronously, as if a
+// DHCPDISCOVER syslog line had just arrived — the entry point benchmarks
+// and tools use to drive insertion without racing a lossy syslog channel.
+func (ie *InsertEthers) Discover(mac string) error {
+	return ie.insert(mac)
+}
+
+// syncOne applies a single node's DHCP binding delta: drop the old MAC's
+// binding (hardware replacement) and bind the new one. Under FullSync it
+// instead rebuilds the whole table the way the original tools did.
+func (ie *InsertEthers) syncOne(oldMAC, mac, ip, hostname string) error {
+	cfg := ie.cfg
+	if cfg.FullSync {
+		return SyncDHCP(cfg.DB, cfg.DHCP, cfg.NextServer)
+	}
+	if oldMAC != "" && oldMAC != mac {
+		cfg.DHCP.RemoveBinding(oldMAC)
+	}
+	if mac != "" && ip != "" {
+		cfg.DHCP.SetBinding(mac, dhcp.Binding{IP: ip, Hostname: hostname, NextServer: cfg.NextServer})
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ import (
 	"rocks/internal/experiments"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
+	"rocks/internal/lifecycle"
 	"rocks/internal/mpirun"
 	"rocks/internal/rexec"
 	"rocks/internal/rpm"
@@ -170,6 +171,12 @@ func runDemo(c *core.Cluster) error {
 	defer mon.Stop()
 	mon.Probe()
 	fmt.Print(mon.Report())
+
+	fmt.Println("\n== node lifecycle timeline (/admin/events) ==")
+	if len(names) > 0 {
+		fmt.Printf("%s:\n", names[0])
+		fmt.Print(lifecycle.FormatTimeline(c.NodeTimeline(names[0])))
+	}
 
 	fmt.Println("\n" + c.StatusTable())
 	return nil

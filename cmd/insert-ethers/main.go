@@ -2,8 +2,13 @@
 // asks the frontend to start a discovery session, power on the requested
 // simulated hardware sequentially, and report the assigned names.
 //
+// With -timeline it follows up with each integrated node's lifecycle
+// timeline from the frontend's event bus: discovery, DHCP lease, kickstart,
+// package installation, and the moment it joined service.
+//
 //	insert-ethers -server http://127.0.0.1:8070 -count 4 -rack 0
 //	insert-ethers -server http://127.0.0.1:8070 -count 1 -membership 2 -mhz 1000
+//	insert-ethers -server http://127.0.0.1:8070 -count 1 -timeline
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"rocks/internal/lifecycle"
 )
 
 func main() {
@@ -26,6 +33,7 @@ func main() {
 		membership = flag.Int("membership", 2, "membership ID for the new nodes (2 = Compute)")
 		mhz        = flag.Int("mhz", 733, "CPU speed of the simulated machines")
 		wait       = flag.Int("wait", 120, "seconds to wait for all nodes to come up")
+		timeline   = flag.Bool("timeline", false, "print each integrated node's lifecycle timeline")
 	)
 	flag.Parse()
 
@@ -54,5 +62,16 @@ func main() {
 	}
 	for _, name := range out["integrated"] {
 		fmt.Printf("inserted %s\n", name)
+	}
+	if *timeline {
+		for _, name := range out["integrated"] {
+			tr, err := lifecycle.FetchTimeline(*server, name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "insert-ethers:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n== %s lifecycle (%d events) ==\n", name, len(tr.Events))
+			os.Stdout.WriteString(lifecycle.FormatTimeline(tr.Events))
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"rocks/internal/clusterdb"
 	"rocks/internal/hardware"
+	"rocks/internal/lifecycle"
 	"rocks/internal/node"
 )
 
@@ -43,6 +44,53 @@ func (c *Cluster) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/admin/health", c.adminHealth)
 	mux.HandleFunc("/admin/supervisor", c.adminSupervisor)
 	mux.HandleFunc("/admin/dbstats", c.adminDBStats)
+	mux.HandleFunc("/admin/events", c.adminEvents)
+}
+
+// adminEvents serves the lifecycle bus: the recent event ring, filtered by
+// node (matches hostname or MAC and merges both identities into one
+// timeline), type, phase, source, and since (sequence number); limit keeps
+// the most recent N matches. The response carries the bus's high-water
+// sequence and how many old events the bounded ring has dropped, so a
+// client polling with since= can detect gaps.
+func (c *Cluster) adminEvents(w http.ResponseWriter, r *http.Request) {
+	f := lifecycle.Filter{
+		Type:     lifecycle.EventType(r.FormValue("type")),
+		Phase:    lifecycle.Phase(r.FormValue("phase")),
+		Source:   r.FormValue("source"),
+		SinceSeq: uint64(formInt(r, "since", 0)),
+		Limit:    formInt(r, "limit", 0),
+	}
+	var events []lifecycle.Event
+	if nodeID := r.FormValue("node"); nodeID != "" {
+		// NodeTimeline merges the MAC-keyed discovery/install prefix with
+		// the hostname-keyed remainder of the node's life.
+		events = c.NodeTimeline(nodeID)
+		kept := events[:0]
+		for _, e := range events {
+			keep := (f.Type == "" || e.Type == f.Type) &&
+				(f.Phase == "" || e.Phase == f.Phase) &&
+				(f.Source == "" || e.Source == f.Source) &&
+				e.Seq > f.SinceSeq
+			if keep {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+		if f.Limit > 0 && len(events) > f.Limit {
+			events = events[len(events)-f.Limit:]
+		}
+	} else {
+		events = c.events.Recent(f)
+	}
+	if events == nil {
+		events = []lifecycle.Event{}
+	}
+	writeJSON(w, struct {
+		Events  []lifecycle.Event `json:"events"`
+		Seq     uint64            `json:"seq"`
+		Dropped uint64            `json:"dropped"`
+	}{events, c.events.Seq(), c.events.Evicted()})
 }
 
 // adminDBStats exposes the database fast path's instrumentation: plan-cache
@@ -66,13 +114,16 @@ func (c *Cluster) adminDBStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // adminSupervisor exposes the remediation supervisor's state: whether one is
-// running, its structured event log, and the quarantine list.
+// running, its structured event log (reconstructed from the bounded
+// lifecycle ring — Dropped counts events the ring has evicted), and the
+// quarantine list.
 func (c *Cluster) adminSupervisor(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
 		Running     bool              `json:"running"`
 		Events      []SupervisorEvent `json:"events"`
+		Dropped     uint64            `json:"dropped"`
 		Quarantined []string          `json:"quarantined"`
-	}{Quarantined: c.Quarantined()}
+	}{Quarantined: c.Quarantined(), Dropped: c.events.Evicted()}
 	if s := c.Supervisor(); s != nil {
 		resp.Running = true
 		resp.Events = s.Events()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"rocks/internal/clusterdb"
 	"rocks/internal/faults"
 	"rocks/internal/hardware"
+	"rocks/internal/lifecycle"
 	"rocks/internal/node"
 )
 
@@ -96,25 +98,25 @@ func TestChaosStormSelfHeals(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Zero manual intervention from here: the healthy sixteen must reach
-	// up and the lemon must end quarantined, all on the supervisor's own.
-	deadline := time.Now().Add(2 * time.Minute)
-	for {
-		up := 0
-		for _, n := range nodes {
-			if n != lemon && n.State() == node.StateUp {
-				up++
-			}
+	// Zero manual intervention from here: the lemon must end quarantined
+	// and the healthy sixteen must reach up, all on the supervisor's own.
+	// The quarantine is observed as a bus event (published after the node
+	// went offline), not by polling cluster state.
+	waitCtx, cancelWait := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelWait()
+	if _, err := c.Events().WaitFor(waitCtx, lifecycle.Filter{
+		MAC: lemon.MAC(), Type: lifecycle.EventQuarantine,
+	}); err != nil {
+		t.Fatalf("lemon never quarantined: %v\nevents:\n%s", err, sup.EventLog())
+	}
+	for i, n := range nodes {
+		if n == lemon {
+			continue
 		}
-		lemonDone := lemon.Name() != "" && c.IsQuarantined(lemon.Name())
-		if up == total-1 && lemonDone {
-			break
+		if !WaitState(n, node.StateUp, 2*time.Minute) {
+			t.Fatalf("node %d (%s) stuck in state %s\nevents:\n%s",
+				i, n.MAC(), n.State(), sup.EventLog())
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("storm did not converge: %d/%d up, lemon quarantined=%v\nevents:\n%s",
-				up, total-1, lemonDone, sup.EventLog())
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 
 	// The quarantined machine is out of the batch pool but still on the
@@ -165,19 +167,14 @@ func TestChaosStormSelfHeals(t *testing.T) {
 	}
 
 	// The nodes are up, but the supervisor notices a recovery on its next
-	// probe tick — give the log a moment to catch up before auditing it.
-	settle := time.Now().Add(5 * time.Second)
-	for time.Now().Before(settle) {
-		recovered := map[string]bool{}
-		for _, e := range sup.Events() {
-			if e.Type == EventRecovered {
-				recovered[e.MAC] = true
-			}
+	// probe tick — wait for both recovery events on the bus before
+	// auditing the log.
+	for _, mac := range []string{crasher.MAC(), flakyPower.MAC()} {
+		if _, err := c.Events().WaitFor(waitCtx, lifecycle.Filter{
+			MAC: mac, Type: lifecycle.EventRecovered,
+		}); err != nil {
+			t.Fatalf("no recovered event for %s: %v\nevents:\n%s", mac, err, sup.EventLog())
 		}
-		if recovered[crasher.MAC()] && recovered[flakyPower.MAC()] {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 
 	// Event-log accounting: every supervisor action traces to one of the

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"rocks/internal/hardware"
 	"rocks/internal/installer"
 	"rocks/internal/kickstart"
+	"rocks/internal/lifecycle"
 	"rocks/internal/nfs"
 	"rocks/internal/nis"
 	"rocks/internal/node"
@@ -74,11 +76,25 @@ type Config struct {
 	// cached-vs-uncached ablation in the mass-reinstall benchmark.
 	// Production keeps the cache.
 	DisableProfileCache bool
+	// EventRingSize bounds the lifecycle event bus's ring buffer; zero
+	// means lifecycle.DefaultRingSize.
+	EventRingSize int
 }
 
 // Cluster is a running Rocks cluster.
 type Cluster struct {
 	cfg Config
+
+	// ctx is the cluster's root context: every long-running path — node
+	// installs, the supervisor, monitors, the report coalescer — derives
+	// from it, so Close cancels all in-flight work deterministically.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// events is the lifecycle spine: installer, monitor, supervisor,
+	// insert-ethers, the PDU, and the cluster itself publish typed
+	// node-lifecycle events into one bounded ring (/admin/events).
+	events *lifecycle.Bus
 
 	DB     *clusterdb.Database
 	Syslog *syslogd.Collector
@@ -145,6 +161,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:         cfg,
+		events:      lifecycle.NewBus(cfg.EventRingSize),
 		DB:          clusterdb.New(),
 		Syslog:      syslogd.New(),
 		Bus:         dhcp.NewBus(),
@@ -157,6 +174,7 @@ func New(cfg Config) (*Cluster, error) {
 		byName:      make(map[string]*node.Node),
 		quarantined: make(map[string]bool),
 	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	if err := clusterdb.InitSchema(c.DB); err != nil {
 		return nil, err
 	}
@@ -183,6 +201,29 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Home = c.NFS.AddExport("/export/home")
 
+	// Every relay actuation — supervisor remediation, an administrator's
+	// manual cycle, a chaos test — lands on the bus as a pdu-sourced event.
+	c.PDU.SetObserver(func(outlet int, label string, err error) {
+		t := lifecycle.EventPowerCycled
+		detail := fmt.Sprintf("outlet %d", outlet)
+		if err != nil {
+			t = lifecycle.EventPowerCycleFailed
+			detail = fmt.Sprintf("outlet %d: %v", outlet, err)
+		}
+		e := lifecycle.Event{Phase: lifecycle.PhaseRemediate, Type: t, Source: "pdu", Detail: detail}
+		// Outlets are labeled by MAC; surface the hostname when one exists.
+		e.Node = label
+		c.mu.Lock()
+		if n, ok := c.nodes[label]; ok {
+			e.MAC = label
+			if name := n.Name(); name != "" {
+				e.Node = name
+			}
+		}
+		c.mu.Unlock()
+		c.events.Publish(e)
+	})
+
 	if err := c.startHTTP(); err != nil {
 		return nil, err
 	}
@@ -202,7 +243,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.trackNode(fe)
-	if err := c.bootOnce(fe); err != nil {
+	if err := c.bootOnce(c.ctx, fe); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("core: installing frontend: %w", err)
 	}
@@ -215,6 +256,45 @@ func New(cfg Config) (*Cluster, error) {
 
 // BaseURL returns the frontend's HTTP root (kickstart CGI and dist).
 func (c *Cluster) BaseURL() string { return c.baseURL }
+
+// Events returns the cluster's lifecycle event bus. Subscribe for reactive
+// consumption, or query Recent/Timeline for the bounded history that
+// /admin/events serves.
+func (c *Cluster) Events() *lifecycle.Bus { return c.events }
+
+// NodeTimeline returns every lifecycle event for a node, identified by
+// hostname or MAC, merged across its identities: events published before
+// insert-ethers bound a name carry the MAC, later ones the hostname. The
+// result is the /admin/events?node=X view — discover through install, up,
+// dark, and remediation — in publish order.
+func (c *Cluster) NodeTimeline(hostOrMAC string) []lifecycle.Event {
+	events := c.events.Timeline(hostOrMAC)
+	// Resolve the other identity and merge, deduplicating by bus sequence.
+	var other string
+	if n, ok := c.NodeByName(hostOrMAC); ok {
+		other = n.MAC()
+	} else {
+		c.mu.Lock()
+		if n, ok := c.nodes[hostOrMAC]; ok {
+			other = n.Name()
+		}
+		c.mu.Unlock()
+	}
+	if other == "" || other == hostOrMAC {
+		return events
+	}
+	seen := make(map[uint64]bool, len(events))
+	for _, e := range events {
+		seen[e.Seq] = true
+	}
+	for _, e := range c.events.Timeline(other) {
+		if !seen[e.Seq] {
+			events = append(events, e)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return events
+}
 
 // Handler exposes the frontend's HTTP mux for in-process dispatch — load
 // tests and benchmarks can drive the full CGI path without a socket.
@@ -251,7 +331,7 @@ func (c *Cluster) trackNode(n *node.Node) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			if err := c.bootOnce(n); err != nil {
+			if err := c.bootOnce(c.ctx, n); err != nil {
 				c.Syslog.Log("frontend-0", "rocks", "node %s failed to boot: %v", n.Name(), err)
 			}
 		}()
@@ -278,6 +358,7 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 		DisableEKV:   c.cfg.DisableEKV,
 		FetchRetries: retries,
 		FetchBackoff: c.cfg.InstallRetryBackoff,
+		Events:       c.events,
 	}
 	if c.cfg.Faults != nil && n != c.Frontend {
 		identities := func() []string { return []string{n.MAC(), n.Name(), n.IP()} }
@@ -291,12 +372,16 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 }
 
 // bootOnce takes a node through one power-on: install if needed, then come
-// up and join the cluster's services.
-func (c *Cluster) bootOnce(n *node.Node) error {
+// up and join the cluster's services. The context bounds the whole boot —
+// cancelling it (Cluster.Close) aborts an in-flight install promptly.
+func (c *Cluster) bootOnce(ctx context.Context, n *node.Node) error {
 	if n.NeedsInstall() {
-		if _, err := installer.Run(n, c.installerConfig(n)); err != nil {
+		if _, err := installer.Run(ctx, n, c.installerConfig(n)); err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return c.comeUp(n)
 }
@@ -331,6 +416,14 @@ func (c *Cluster) comeUp(n *node.Node) error {
 	}
 	c.Syslog.Log(name, "rocks", "node up (kernel %s, %d packages)",
 		n.KernelVersion(), n.PackageDB().Len())
+	c.events.Publish(lifecycle.Event{
+		Node:   name,
+		MAC:    n.MAC(),
+		Phase:  lifecycle.PhaseRun,
+		Type:   lifecycle.EventUp,
+		Source: "cluster",
+		Detail: fmt.Sprintf("kernel %s, %d packages", n.KernelVersion(), n.PackageDB().Len()),
+	})
 	return nil
 }
 
@@ -404,6 +497,10 @@ func (c *Cluster) Unquarantine(host string) error {
 	c.mu.Unlock()
 	c.PBS.SetOffline(host, false)
 	c.Syslog.Log("frontend-0", "rocks", "unquarantined %s", host)
+	c.events.Publish(lifecycle.Event{
+		Node: host, Phase: lifecycle.PhaseRemediate,
+		Type: lifecycle.EventUnquarantine, Source: "cluster",
+	})
 	return c.WriteReports()
 }
 
@@ -436,8 +533,11 @@ func (c *Cluster) AddUser(name string, uid int) error {
 	return m.WriteFile("/home/"+name+"/.profile", []byte("# "+name+"\n"))
 }
 
-// Close shuts the cluster down: the supervisor stops issuing power cycles,
-// HTTP stops, node goroutines drain.
+// Close shuts the cluster down deterministically: the root context is
+// cancelled first, which aborts in-flight installs at their next phase
+// boundary and reaps every context-started monitor loop; then the
+// supervisor, report timer, and HTTP listener stop, and the node goroutines
+// drain. After Close returns, no cluster goroutine is left running.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -447,6 +547,7 @@ func (c *Cluster) Close() {
 	c.closed = true
 	sup := c.supervisor
 	c.mu.Unlock()
+	c.cancel()
 	c.stopReportTimer()
 	if sup != nil {
 		sup.Stop()

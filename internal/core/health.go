@@ -43,10 +43,14 @@ func (c *Cluster) Ping(host string) (bool, string) {
 }
 
 // NewMonitor starts a health monitor over the cluster's current nodes
-// (frontend included). New nodes must be added with Watch; the caller owns
-// Stop.
+// (frontend included). New nodes must be added with Watch. The monitor
+// publishes up/dark transitions to the cluster's lifecycle bus, and its
+// background loop (when interval > 0) runs under the cluster's root
+// context, so Close reaps it; the caller may also Stop it earlier.
 func (c *Cluster) NewMonitor(patience, interval time.Duration) *monitor.Monitor {
-	m := monitor.New(monitor.PingerFunc(c.Ping), patience, interval)
+	m := monitor.New(monitor.PingerFunc(c.Ping), patience, 0)
+	m.PublishTo(c.events)
+	m.StartCtx(c.ctx, interval)
 	m.Watch("frontend-0")
 	for _, s := range c.Status() {
 		if s.Name != "" {

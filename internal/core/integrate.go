@@ -27,6 +27,7 @@ func (c *Cluster) StartInsertEthers(membership, rack int) (*insertethers.InsertE
 		NextServer: c.baseURL,
 		Membership: membership,
 		Rack:       rack,
+		Events:     c.events,
 		OnInsert: func(n clusterdb.Node) {
 			// The insert already applied its own DHCP binding delta; the
 			// full dbreport pass coalesces across the discovery burst.
@@ -55,7 +56,7 @@ func (c *Cluster) PowerOn(n *node.Node) {
 		go func() {
 			defer c.wg.Done()
 			n.SetState(node.StateBooting)
-			if err := c.bootOnce(n); err != nil {
+			if err := c.bootOnce(c.ctx, n); err != nil {
 				c.Syslog.Log("frontend-0", "rocks", "node %s failed after power cycle: %v", n.MAC(), err)
 			}
 		}()
@@ -64,7 +65,7 @@ func (c *Cluster) PowerOn(n *node.Node) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		if err := c.bootOnce(n); err != nil {
+		if err := c.bootOnce(c.ctx, n); err != nil {
 			c.Syslog.Log("frontend-0", "rocks", "node %s failed to integrate: %v", n.MAC(), err)
 		}
 	}()
@@ -296,7 +297,7 @@ func (c *Cluster) CrashCart(mac string, repair bool) (string, error) {
 		go func() {
 			defer c.wg.Done()
 			n.SetState(node.StateBooting)
-			if err := c.bootOnce(n); err != nil {
+			if err := c.bootOnce(c.ctx, n); err != nil {
 				c.Syslog.Log("frontend-0", "rocks", "crash-cart repair of %s failed: %v", mac, err)
 			}
 		}()

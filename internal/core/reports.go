@@ -104,6 +104,9 @@ func (c *Cluster) ScheduleReports() {
 	if c.reports.pending {
 		return
 	}
+	if c.ctx.Err() != nil {
+		return // shutting down: stopReportTimer already ran or will run
+	}
 	c.reports.pending = true
 	c.reports.timer = time.AfterFunc(reportDebounce, func() {
 		c.reports.mu.Lock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"rocks/internal/clusterdb"
+	"rocks/internal/lifecycle"
 	"rocks/internal/monitor"
 	"rocks/internal/node"
 )
@@ -18,15 +20,16 @@ import (
 // large-cluster experience reports (CERN, Brookhaven; PAPERS.md) are
 // unanimous that at thousand-node scale transient install failures are
 // constant and the human in that loop is the bottleneck. The supervisor
-// consumes the monitor's classifications plus each node's state machine and
-// applies the paper's own remedies mechanically: a hard power cycle for
-// dark nodes (which forces reinstallation, §4), a re-shoot for crashed
-// installs, capped exponential backoff with jitter between attempts, and —
-// when a node exhausts its retry budget — quarantine: the node is marked
-// offline in PBS and the reports, so the cluster keeps scheduling at
-// reduced capacity instead of wedging on one bad machine. Every action is
-// recorded in a structured event log that chaos tests reconcile against the
-// fault injector's ledger.
+// consumes the monitor's up/dark transitions from the lifecycle bus plus
+// each node's state machine and applies the paper's own remedies
+// mechanically: a hard power cycle for dark nodes (which forces
+// reinstallation, §4), a re-shoot for crashed installs, capped exponential
+// backoff with jitter between attempts, and — when a node exhausts its
+// retry budget — quarantine: the node is marked offline in PBS and the
+// reports, so the cluster keeps scheduling at reduced capacity instead of
+// wedging on one bad machine. Every action is published to the cluster's
+// lifecycle bus (the bounded ring that /admin/events serves), which chaos
+// tests reconcile against the fault injector's ledger.
 
 // SupervisorConfig tunes the remediation loop.
 type SupervisorConfig struct {
@@ -69,25 +72,27 @@ func (cfg SupervisorConfig) withDefaults() SupervisorConfig {
 	return cfg
 }
 
-// EventType classifies a supervisor action.
-type EventType string
+// EventType classifies a supervisor action. It is the lifecycle bus's event
+// vocabulary; the aliases below preserve the supervisor's original names.
+type EventType = lifecycle.EventType
 
 // The supervisor's vocabulary of actions.
 const (
 	// EventPowerCycle: a hard cycle was issued and the PDU obeyed; the
 	// node is reinstalling itself.
-	EventPowerCycle EventType = "power-cycle"
+	EventPowerCycle = lifecycle.EventPowerCycle
 	// EventPowerCycleFailed: the cycle command failed (PDU fault, unwired
 	// outlet); the attempt still burned budget and backoff applies.
-	EventPowerCycleFailed EventType = "power-cycle-failed"
+	EventPowerCycleFailed = lifecycle.EventPowerCycleFailed
 	// EventQuarantine: retry budget exhausted; node marked offline.
-	EventQuarantine EventType = "quarantine"
+	EventQuarantine = lifecycle.EventQuarantine
 	// EventRecovered: a previously failing node reached Up; budget
 	// refunded.
-	EventRecovered EventType = "recovered"
+	EventRecovered = lifecycle.EventRecovered
 )
 
-// SupervisorEvent is one structured log entry.
+// SupervisorEvent is one structured log entry, reconstructed from the
+// supervisor's events on the lifecycle bus.
 type SupervisorEvent struct {
 	Seq     int       `json:"seq"`
 	Time    time.Time `json:"time"`
@@ -129,31 +134,41 @@ type Supervisor struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	recs    map[string]*remedRecord
-	events  []SupervisorEvent
+	health  map[string]monitor.Health // last health class per watched identity, from bus events
 	stopped bool
 
-	stopCh chan struct{}
+	sub    <-chan lifecycle.Event
+	unsub  func()
+	cancel context.CancelFunc
 	done   chan struct{}
 }
 
 // StartSupervisor launches the remediation loop over the cluster's nodes.
-// The caller owns Stop; Close stops a still-running supervisor as part of
-// cluster shutdown.
+// Its monitor probes in the background and publishes up/dark transitions to
+// the lifecycle bus; the supervisor consumes them from a subscription. Both
+// loops run under the cluster's root context, so Close reaps them; the
+// caller may also Stop explicitly.
 func (c *Cluster) StartSupervisor(cfg SupervisorConfig) *Supervisor {
 	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(c.ctx)
+	mon := monitor.New(monitor.PingerFunc(c.Ping), cfg.Patience, 0)
+	mon.PublishTo(c.events)
 	s := &Supervisor{
 		c:      c,
 		cfg:    cfg,
-		mon:    monitor.New(monitor.PingerFunc(c.Ping), cfg.Patience, 0),
+		mon:    mon,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		recs:   make(map[string]*remedRecord),
-		stopCh: make(chan struct{}),
+		health: make(map[string]monitor.Health),
+		cancel: cancel,
 		done:   make(chan struct{}),
 	}
+	s.sub, s.unsub = c.events.Subscribe(lifecycle.DefaultRingSize)
 	c.mu.Lock()
 	c.supervisor = s
 	c.mu.Unlock()
-	go s.loop()
+	mon.StartCtx(ctx, cfg.Interval)
+	go s.run(ctx)
 	return s
 }
 
@@ -164,21 +179,56 @@ func (c *Cluster) Supervisor() *Supervisor {
 	return c.supervisor
 }
 
-func (s *Supervisor) loop() {
+// run consumes bus events between ticks; each tick drains the backlog and
+// applies the remediation policy with a current health picture.
+func (s *Supervisor) run(ctx context.Context) {
 	defer close(s.done)
 	t := time.NewTicker(s.cfg.Interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-s.stopCh:
+		case <-ctx.Done():
 			return
+		case e := <-s.sub:
+			s.observe(e)
 		case <-t.C:
+			s.drain()
 			s.tick()
 		}
 	}
 }
 
-// Stop halts the loop and the embedded monitor; idempotent.
+// observe folds one bus event into the supervisor's health picture. Only
+// the monitor's transitions matter here; the supervisor's own events and
+// the installer's phase events would be echoes.
+func (s *Supervisor) observe(e lifecycle.Event) {
+	if e.Source != "monitor" {
+		return
+	}
+	s.mu.Lock()
+	switch e.Type {
+	case lifecycle.EventDark:
+		s.health[e.Node] = monitor.HealthDark
+	case lifecycle.EventUp:
+		s.health[e.Node] = monitor.HealthUp
+	}
+	s.mu.Unlock()
+}
+
+// drain consumes every queued bus event without blocking.
+func (s *Supervisor) drain() {
+	for {
+		select {
+		case e := <-s.sub:
+			s.observe(e)
+		default:
+			return
+		}
+	}
+}
+
+// Stop halts the loop and the embedded monitor; idempotent. The cluster's
+// root context cancels the same way, so Close needs no special case.
 func (s *Supervisor) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -187,15 +237,17 @@ func (s *Supervisor) Stop() {
 	}
 	s.stopped = true
 	s.mu.Unlock()
-	close(s.stopCh)
+	s.cancel()
 	<-s.done
+	s.unsub()
 	s.mon.Stop()
 }
 
 // Monitor exposes the supervisor's embedded health monitor.
 func (s *Supervisor) Monitor() *monitor.Monitor { return s.mon }
 
-// tick is one pass: refresh the watch set, probe, classify, remediate.
+// tick is one pass: refresh the watch set, then remediate against the
+// health picture accumulated from the monitor's bus events.
 func (s *Supervisor) tick() {
 	nodes := s.c.Nodes()
 	frontendMAC := s.c.Frontend.MAC()
@@ -219,6 +271,7 @@ func (s *Supervisor) tick() {
 		if rec.watchedAs != identity {
 			if rec.watchedAs != "" {
 				s.mon.Unwatch(rec.watchedAs)
+				delete(s.health, rec.watchedAs)
 			}
 			s.mon.Watch(identity)
 			rec.watchedAs = identity
@@ -226,23 +279,17 @@ func (s *Supervisor) tick() {
 	}
 	s.mu.Unlock()
 
-	s.mon.Probe()
-	health := make(map[string]monitor.HostStatus)
-	for _, st := range s.mon.Status() {
-		health[st.Host] = st
-	}
-
 	now := time.Now()
 	for mac, n := range nodes {
 		if mac == frontendMAC {
 			continue
 		}
-		s.superviseNode(now, mac, n, health)
+		s.superviseNode(now, mac, n)
 	}
 }
 
 // superviseNode applies the remediation policy to one node.
-func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node, health map[string]monitor.HostStatus) {
+func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node) {
 	s.mu.Lock()
 	rec := s.recs[mac]
 	if rec == nil || rec.quarantined {
@@ -268,8 +315,7 @@ func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node, heal
 	case node.StateCrashed:
 		// Definitive: no patience needed.
 	default: // off, booting
-		hs, ok := health[rec.watchedAs]
-		if !ok || hs.Health != monitor.HealthDark {
+		if s.health[rec.watchedAs] != monitor.HealthDark {
 			s.mu.Unlock()
 			return
 		}
@@ -281,13 +327,16 @@ func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node, heal
 	}
 	if rec.attempts >= s.cfg.MaxRetries {
 		rec.quarantined = true
+		attempts := rec.attempts
 		host := s.displayName(mac, n)
-		s.recordLocked(host, mac, EventQuarantine, rec.attempts,
-			fmt.Sprintf("retry budget (%d) exhausted in state %s; marking offline", s.cfg.MaxRetries, st))
 		s.mu.Unlock()
 		if err := s.c.Quarantine(host); err != nil {
 			s.c.Syslog.Log("frontend-0", "supervisor", "quarantining %s: %v", host, err)
 		}
+		// Published after Quarantine took effect, so a bus waiter that
+		// wakes on this event observes the node already offline.
+		s.record(host, mac, EventQuarantine, attempts,
+			fmt.Sprintf("retry budget (%d) exhausted in state %s; marking offline", s.cfg.MaxRetries, st))
 		return
 	}
 	rec.attempts++
@@ -336,25 +385,39 @@ func (s *Supervisor) displayName(mac string, n *node.Node) string {
 }
 
 func (s *Supervisor) record(host, mac string, t EventType, attempt int, detail string) {
-	s.mu.Lock()
 	s.recordLocked(host, mac, t, attempt, detail)
-	s.mu.Unlock()
 }
 
+// recordLocked publishes one supervisor action to the lifecycle bus — the
+// bounded ring is the event log now; there is no private slice to grow
+// without limit. Safe with or without s.mu held (the bus has its own lock
+// and never calls back).
 func (s *Supervisor) recordLocked(host, mac string, t EventType, attempt int, detail string) {
-	e := SupervisorEvent{
-		Seq: len(s.events) + 1, Time: time.Now(),
-		Host: host, MAC: mac, Type: t, Attempt: attempt, Detail: detail,
-	}
-	s.events = append(s.events, e)
+	e := s.c.events.Publish(lifecycle.Event{
+		Node:    host,
+		MAC:     mac,
+		Phase:   lifecycle.PhaseRemediate,
+		Type:    t,
+		Source:  "supervisor",
+		Attempt: attempt,
+		Detail:  detail,
+	})
 	s.c.Syslog.Log("frontend-0", "supervisor", "%s", e.String())
 }
 
-// Events returns the structured action log in order.
+// Events returns the supervisor's action log in order, reconstructed from
+// the lifecycle ring (bounded: entries evicted from the ring are gone; the
+// drop count is on /admin/supervisor).
 func (s *Supervisor) Events() []SupervisorEvent {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]SupervisorEvent(nil), s.events...)
+	events := s.c.events.Recent(lifecycle.Filter{Source: "supervisor"})
+	out := make([]SupervisorEvent, len(events))
+	for i, e := range events {
+		out[i] = SupervisorEvent{
+			Seq: i + 1, Time: e.Time,
+			Host: e.Node, MAC: e.MAC, Type: e.Type, Attempt: e.Attempt, Detail: e.Detail,
+		}
+	}
+	return out
 }
 
 // EventsFor filters the log by host or MAC.

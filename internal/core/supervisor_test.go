@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
 	"time"
 
+	"rocks/internal/lifecycle"
 	"rocks/internal/node"
 	"rocks/internal/pbs"
 )
@@ -59,29 +61,27 @@ func TestSupervisorRevivesCrashedNode(t *testing.T) {
 		t.Fatalf("supervisor never revived the node; state = %s\nevents:\n%s",
 			n.State(), s.EventLog())
 	}
-	// The log accounts for the remediation: at least one cycle, then the
-	// recovery once the node reaches up.
-	deadline := time.Now().Add(integrationTimeout)
-	for {
-		evs := s.EventsFor("compute-0-0")
-		var cycled, recovered bool
-		for _, e := range evs {
-			switch e.Type {
-			case EventPowerCycle:
-				cycled = true
-			case EventRecovered:
-				recovered = true
-			case EventQuarantine:
-				t.Fatalf("healthy retry quarantined:\n%s", s.EventLog())
-			}
+	// The bus accounts for the remediation: wait on the recovery event
+	// (WaitFor sees events already in the ring, so no publish is missed),
+	// then audit the per-node log — at least one cycle, no quarantine.
+	ctx, cancelWait := context.WithTimeout(context.Background(), integrationTimeout)
+	defer cancelWait()
+	if _, err := c.Events().WaitFor(ctx, lifecycle.Filter{
+		Node: "compute-0-0", Type: EventRecovered, Source: "supervisor",
+	}); err != nil {
+		t.Fatalf("no recovered event: %v\nevents:\n%s", err, s.EventLog())
+	}
+	var cycled bool
+	for _, e := range s.EventsFor("compute-0-0") {
+		switch e.Type {
+		case EventPowerCycle:
+			cycled = true
+		case EventQuarantine:
+			t.Fatalf("healthy retry quarantined:\n%s", s.EventLog())
 		}
-		if cycled && recovered {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("incomplete event log:\n%s", s.EventLog())
-		}
-		time.Sleep(5 * time.Millisecond)
+	}
+	if !cycled {
+		t.Fatalf("recovered without a power cycle:\n%s", s.EventLog())
 	}
 	if c.IsQuarantined("compute-0-0") {
 		t.Error("recovered node left quarantined")
@@ -104,12 +104,17 @@ func TestSupervisorQuarantinesHopelessNode(t *testing.T) {
 
 	s := c.StartSupervisor(tightSupervisor(2))
 	defer s.Stop()
-	deadline := time.Now().Add(integrationTimeout)
-	for !c.IsQuarantined("compute-0-0") {
-		if time.Now().After(deadline) {
-			t.Fatalf("node never quarantined; state=%s events:\n%s", n.State(), s.EventLog())
-		}
-		time.Sleep(5 * time.Millisecond)
+	ctx, cancelWait := context.WithTimeout(context.Background(), integrationTimeout)
+	defer cancelWait()
+	if _, err := c.Events().WaitFor(ctx, lifecycle.Filter{
+		Node: "compute-0-0", Type: EventQuarantine,
+	}); err != nil {
+		t.Fatalf("node never quarantined: %v; state=%s events:\n%s", err, n.State(), s.EventLog())
+	}
+	// The event is published after Quarantine takes effect, so the node is
+	// already offline when the waiter wakes.
+	if !c.IsQuarantined("compute-0-0") {
+		t.Fatal("quarantine event published before the node went offline")
 	}
 
 	// Budget arithmetic: exactly MaxRetries cycles, then quarantine.
@@ -230,6 +235,7 @@ func TestSupervisorAdminEndpoint(t *testing.T) {
 	var resp struct {
 		Running     bool              `json:"running"`
 		Events      []SupervisorEvent `json:"events"`
+		Dropped     *uint64           `json:"dropped"`
 		Quarantined []string          `json:"quarantined"`
 	}
 	code, body := adminGet(t, c, "/admin/supervisor", nil)
@@ -244,5 +250,12 @@ func TestSupervisorAdminEndpoint(t *testing.T) {
 	}
 	if len(resp.Quarantined) != 1 || resp.Quarantined[0] != "compute-0-0" {
 		t.Errorf("quarantined = %v", resp.Quarantined)
+	}
+	// The event log is ring-backed now: the endpoint must report how many
+	// events have been evicted (zero here — nothing has wrapped).
+	if resp.Dropped == nil {
+		t.Error("supervisor endpoint missing dropped count")
+	} else if *resp.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", *resp.Dropped)
 	}
 }

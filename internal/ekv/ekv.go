@@ -13,6 +13,7 @@ package ekv
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -90,6 +91,25 @@ func (s *Server) Screen() string {
 // "keyboard" half of eKV, which lets a user interact with a wedged
 // installation.
 func (s *Server) Input() <-chan string { return s.input }
+
+// AwaitLine blocks for the next keyboard line from any attached client,
+// bounded by both the context and the timeout. ok is false when the wait
+// expired or was cancelled before a line arrived.
+func (s *Server) AwaitLine(ctx context.Context, timeout time.Duration) (line string, ok bool) {
+	if timeout <= 0 {
+		return "", false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case line = <-s.input:
+		return line, true
+	case <-t.C:
+		return "", false
+	case <-ctx.Done():
+		return "", false
+	}
+}
 
 // Close shuts the listener and all client connections.
 func (s *Server) Close() {

@@ -14,6 +14,7 @@ import (
 
 	"rocks/internal/clusterdb"
 	"rocks/internal/dhcp"
+	"rocks/internal/lifecycle"
 	"rocks/internal/syslogd"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// new Ethernet address — instead of creating a new row. After one
 	// replacement the session reverts to normal insertion.
 	Replace string
+	// Events, when non-nil, receives discovered/bound/replaced lifecycle
+	// events so timelines show a node's life from its very first
+	// DHCPDISCOVER.
+	Events *lifecycle.Bus
 	// FullSync restores the legacy behavior of rebuilding the entire DHCP
 	// binding table from the database after every discovery — the
 	// "regenerate dhcpd.conf and restart dhcpd" cost the paper's tools
@@ -125,6 +130,15 @@ func parseDiscover(m syslogd.Message) (string, bool) {
 	return fields[2], true
 }
 
+// emit publishes one lifecycle event when a bus is wired.
+func (ie *InsertEthers) emit(e lifecycle.Event) {
+	if ie.cfg.Events != nil {
+		e.Phase = lifecycle.PhaseDiscover
+		e.Source = "insert-ethers"
+		ie.cfg.Events.Publish(e)
+	}
+}
+
 // insert performs the §6.4 sequence for one new MAC.
 func (ie *InsertEthers) insert(mac string) error {
 	cfg := ie.cfg
@@ -132,6 +146,10 @@ func (ie *InsertEthers) insert(mac string) error {
 	if _, known, err := clusterdb.NodeByMAC(cfg.DB, mac); err != nil || known {
 		return err
 	}
+	// A genuinely new MAC: the node has no name yet, so the event carries
+	// its MAC as the identity (timelines merge the two later).
+	ie.emit(lifecycle.Event{Node: mac, MAC: mac, Type: lifecycle.EventDiscovered,
+		Detail: "new MAC on the private network"})
 	// Hardware replacement: bind the new MAC to the existing row.
 	ie.mu.Lock()
 	replace := ie.cfg.Replace
@@ -154,6 +172,8 @@ func (ie *InsertEthers) insert(mac string) error {
 		}
 		cfg.Syslog.Log("frontend-0", "insert-ethers",
 			"replaced %s: %s -> %s", replace, old.MAC, mac)
+		ie.emit(lifecycle.Event{Node: old.Name, MAC: mac, Type: lifecycle.EventReplaced,
+			Detail: fmt.Sprintf("hardware swap: %s -> %s, keeps %s", old.MAC, mac, old.IP)})
 		old.MAC = mac
 		ie.mu.Lock()
 		ie.cfg.Replace = "" // one-shot
@@ -199,6 +219,8 @@ func (ie *InsertEthers) insert(mac string) error {
 	}
 	cfg.Syslog.Log("frontend-0", "insert-ethers",
 		"inserted %s (%s) at %s", n.Name, n.MAC, n.IP)
+	ie.emit(lifecycle.Event{Node: n.Name, MAC: n.MAC, Type: lifecycle.EventBound,
+		Detail: fmt.Sprintf("bound to %s", n.IP)})
 	ie.mu.Lock()
 	ie.inserted = append(ie.inserted, n)
 	ie.mu.Unlock()

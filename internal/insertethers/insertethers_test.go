@@ -8,6 +8,7 @@ import (
 
 	"rocks/internal/clusterdb"
 	"rocks/internal/dhcp"
+	"rocks/internal/lifecycle"
 	"rocks/internal/syslogd"
 )
 
@@ -248,5 +249,61 @@ func TestScreenRendering(t *testing.T) {
 		if !strings.Contains(screen, want) {
 			t.Errorf("screen missing %q:\n%s", want, screen)
 		}
+	}
+}
+
+// TestDiscoveryEvents: a wired lifecycle bus sees the §6.4 sequence as
+// typed events — discovered (MAC-identified, no name yet), then bound once
+// the row and DHCP binding exist — and a hardware replacement publishes
+// replaced under the surviving hostname.
+func TestDiscoveryEvents(t *testing.T) {
+	f := newFixture(t)
+	bus := lifecycle.NewBus(0)
+	ie1, inserted := f.start(t, Config{Events: bus})
+	f.discover(t, "aa:aa:aa:aa:aa:01")
+	orig := <-inserted
+
+	events := bus.Timeline("aa:aa:aa:aa:aa:01")
+	if len(events) != 2 {
+		t.Fatalf("events = %d (%v), want discovered+bound", len(events), events)
+	}
+	d, b := events[0], events[1]
+	if d.Type != lifecycle.EventDiscovered || d.Node != "aa:aa:aa:aa:aa:01" || d.MAC != "aa:aa:aa:aa:aa:01" {
+		t.Errorf("discovered = %+v", d)
+	}
+	if b.Type != lifecycle.EventBound || b.Node != orig.Name || b.MAC != "aa:aa:aa:aa:aa:01" ||
+		!strings.Contains(b.Detail, orig.IP) {
+		t.Errorf("bound = %+v", b)
+	}
+	for _, e := range events {
+		if e.Phase != lifecycle.PhaseDiscover || e.Source != "insert-ethers" {
+			t.Errorf("wrong phase/source: %+v", e)
+		}
+	}
+	// A duplicate DISCOVER publishes nothing: the MAC is already known.
+	before := bus.Seq()
+	f.discover(t, "aa:aa:aa:aa:aa:01")
+	if bus.Seq() != before {
+		t.Errorf("duplicate DISCOVER published %d events", bus.Seq()-before)
+	}
+	ie1.Stop()
+
+	// Hardware swap: the replacement session publishes replaced under the
+	// node's (surviving) hostname with the new MAC.
+	ie2, err := Start(Config{DB: f.db, Syslog: f.log, DHCP: f.dhcpd,
+		NextServer: "http://10.1.1.1", Replace: orig.Name, Events: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ie2.Stop()
+	f.discover(t, "bb:bb:bb:bb:bb:02")
+	var replaced []lifecycle.Event
+	for _, e := range bus.Timeline(orig.Name) {
+		if e.Type == lifecycle.EventReplaced {
+			replaced = append(replaced, e)
+		}
+	}
+	if len(replaced) != 1 || replaced[0].MAC != "bb:bb:bb:bb:bb:02" {
+		t.Errorf("replaced events = %v", replaced)
 	}
 }

@@ -9,6 +9,7 @@
 package installer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"rocks/internal/ekv"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
+	"rocks/internal/lifecycle"
 	"rocks/internal/node"
 	"rocks/internal/rpm"
 )
@@ -66,6 +68,10 @@ type Config struct {
 	// ("partition", "finalize"); a non-nil return aborts the install at
 	// that point. The faults package uses it to wedge nodes mid-install.
 	FaultHook func(stage string) error
+	// Events, when set, receives a lifecycle event at every install phase
+	// boundary (lease, kickstart, partition, packages, post) plus a
+	// terminal install-complete / install-failed / install-aborted event.
+	Events *lifecycle.Bus
 }
 
 // defaultClient bounds every fetch: http.DefaultClient has no timeout, so
@@ -107,19 +113,45 @@ func IsTransient(err error) bool {
 // retryFetch runs attempt under the config's automatic retry budget with
 // exponential backoff. Non-transient errors and budget exhaustion return
 // the last error unchanged (still transient-marked, so callers can tell).
-func retryFetch(cfg Config, screen io.Writer, what string, attempt func() error) error {
+// Cancellation is honored between attempts: a done context stops the retry
+// loop instead of sleeping out the backoff.
+func retryFetch(ctx context.Context, cfg Config, screen io.Writer, what string, attempt func() error) error {
 	backoff := cfg.FetchBackoff
 	var err error
 	for try := 0; ; try++ {
 		err = attempt()
-		if err == nil || !IsTransient(err) || try >= cfg.FetchRetries {
+		if err == nil || !IsTransient(err) || try >= cfg.FetchRetries || ctx.Err() != nil {
 			return err
 		}
 		fmt.Fprintf(screen, "transient failure fetching %s: %v; retry %d/%d in %s\n",
 			what, err, try+1, cfg.FetchRetries, backoff)
-		time.Sleep(backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return fmt.Errorf("installer: retry of %s aborted: %w", what, ctx.Err())
+		}
 		backoff *= 2
 	}
+}
+
+// emit publishes an install-phase event for the node, using the hostname
+// once the lease has bound one and the MAC before that.
+func emit(cfg Config, n *node.Node, t lifecycle.EventType, detail string) {
+	if cfg.Events == nil {
+		return
+	}
+	name := n.Name()
+	if name == "" {
+		name = n.MAC()
+	}
+	cfg.Events.Publish(lifecycle.Event{
+		Node:   name,
+		MAC:    n.MAC(),
+		Phase:  lifecycle.PhaseInstall,
+		Type:   t,
+		Source: "installer",
+		Detail: detail,
+	})
 }
 
 // faultAt consults the configured fault hook at a stage boundary.
@@ -142,8 +174,11 @@ type Result struct {
 // Run installs the node. On success the node is left in StateBooting with a
 // bootable disk; the caller (the cluster orchestrator) completes the boot.
 // On failure the node is left in StateCrashed — the paper's "physical
-// intervention required" outcome.
-func Run(n *node.Node, cfg Config) (*Result, error) {
+// intervention required" outcome. Cancelling ctx aborts the install at the
+// next phase boundary, retry backoff, or package fetch; the error then
+// satisfies errors.Is(err, context.Canceled) and the terminal event is
+// install-aborted rather than install-failed.
+func Run(ctx context.Context, n *node.Node, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	n.SetState(node.StateInstalling)
 	n.ClearReinstall()
@@ -154,7 +189,7 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 		var err error
 		ekvSrv, err = ekv.NewServer()
 		if err != nil {
-			return fail(n, nil, fmt.Errorf("installer: starting eKV: %w", err))
+			return fail(cfg, n, nil, fmt.Errorf("installer: starting eKV: %w", err))
 		}
 		defer func() {
 			n.SetEKVAddr("")
@@ -167,35 +202,45 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 
 	fmt.Fprintf(screen, "Red Hat Linux (C) 2000 Red Hat, Inc.  [Rocks eKV]\n")
 
+	if err := ctx.Err(); err != nil {
+		return fail(cfg, n, ekvSrv, fmt.Errorf("installer: install aborted before start: %w", err))
+	}
+
 	// Hardware probe: autodetect the modules to load (§1, §3.3).
 	probe, err := hardware.Detect(n.HW)
 	if err != nil {
-		return fail(n, ekvSrv, fmt.Errorf("installer: hardware probe: %w", err))
+		return fail(cfg, n, ekvSrv, fmt.Errorf("installer: hardware probe: %w", err))
 	}
 	fmt.Fprintf(screen, "probing hardware: disk driver %s (%s), NIC drivers %s\n",
 		probe.DiskDriver, probe.DiskDevice, strings.Join(probe.NICDrivers, ", "))
 
 	// DHCP: the network "is configured early in the boot cycle" (§4).
-	lease, err := acquireLease(n, cfg, screen)
+	lease, err := acquireLease(ctx, n, cfg, screen)
 	if err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
 	n.SetIP(lease.YourIP)
 	n.SetName(lease.Hostname)
+	emit(cfg, n, lifecycle.EventLease, fmt.Sprintf("ip %s", lease.YourIP))
 	fmt.Fprintf(screen, "eth0: %s (%s), kickstart server %s\n",
 		lease.YourIP, lease.Hostname, lease.NextServer)
 
 	// Fetch the dynamically generated kickstart file (§6.1).
 	var profile *kickstart.Profile
-	err = retryFetch(cfg, screen, "kickstart", func() error {
+	err = retryFetch(ctx, cfg, screen, "kickstart", func() error {
 		var ferr error
-		profile, ferr = fetchKickstart(cfg, lease, n.HW.Arch)
+		profile, ferr = fetchKickstart(ctx, cfg, lease, n.HW.Arch)
 		return ferr
 	})
 	if err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
 	res.Profile = profile
+	ksDetail := fmt.Sprintf("%d packages", len(profile.Packages))
+	if profile.Appliance != "" {
+		ksDetail = fmt.Sprintf("appliance %s, %s", profile.Appliance, ksDetail)
+	}
+	emit(cfg, n, lifecycle.EventKickstart, ksDetail)
 	fmt.Fprintf(screen, "retrieved kickstart: appliance %q, %d packages\n",
 		profile.Appliance, len(profile.Packages))
 
@@ -211,48 +256,51 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 
 	// Partitioning, per the command section.
 	if err := applyPartitioning(n, profile, screen); err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
 	if err := faultAt(cfg, "partition"); err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
+	emit(cfg, n, lifecycle.EventPartition, "")
 
 	// Package installation over HTTP.
 	distURL, err := distBase(profile)
 	if err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
-	count, bytes, err := installPackages(n, cfg, profile, distURL, screen, ekvSrv)
+	count, bytes, err := installPackages(ctx, n, cfg, profile, distURL, screen, ekvSrv)
 	if err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
 	res.Packages, res.Bytes = count, bytes
+	emit(cfg, n, lifecycle.EventPackages, fmt.Sprintf("%d packages, %d bytes", count, bytes))
 
 	// The kernel payload makes the disk bootable.
 	if m, ok := n.PackageDB().Query("kernel"); ok {
 		kv := m.Version.Version + "-" + m.Version.Release
 		n.SetKernelVersion(kv)
 		if err := n.Disk().WriteFile("/boot/vmlinuz", []byte("vmlinuz-"+kv), 0o755); err != nil {
-			return fail(n, ekvSrv, err)
+			return fail(cfg, n, ekvSrv, err)
 		}
 	}
 
 	// %post scripts.
 	if err := runPostScripts(n, profile, screen); err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
+	emit(cfg, n, lifecycle.EventPost, fmt.Sprintf("%d scripts", len(profile.Post)))
 
 	// Myrinet driver: rebuilt from source so it always matches the kernel
 	// that was just installed (§6.3).
 	if probe.NeedsGMBuild {
 		if err := rebuildGMDriver(n, screen); err != nil {
-			return fail(n, ekvSrv, err)
+			return fail(cfg, n, ekvSrv, err)
 		}
 		res.GMRebuilt = true
 	}
 
 	if err := faultAt(cfg, "finalize"); err != nil {
-		return fail(n, ekvSrv, err)
+		return fail(cfg, n, ekvSrv, err)
 	}
 
 	n.Logf("installation complete: %d packages, %d bytes", count, bytes)
@@ -260,18 +308,26 @@ func Run(n *node.Node, cfg Config) (*Result, error) {
 	fmt.Fprintf(screen, "installation complete; rebooting\n")
 	n.MarkInstalled()
 	n.SetState(node.StateBooting)
+	emit(cfg, n, lifecycle.EventInstallComplete, fmt.Sprintf("%d packages", count))
 	if ekvSrv != nil {
 		res.EKVTranscript = ekvSrv.Screen()
 	}
 	return res, nil
 }
 
-func fail(n *node.Node, ekvSrv *ekv.Server, err error) (*Result, error) {
+func fail(cfg Config, n *node.Node, ekvSrv *ekv.Server, err error) (*Result, error) {
 	if ekvSrv != nil {
 		ekvSrv.Printf("INSTALL FAILED: %v\n(interactive shell available on this port)\n", err)
 	}
 	n.Logf("install failed: %v", err)
 	n.SetState(node.StateCrashed)
+	// A cancelled install is an abort commanded from above (Cluster.Close,
+	// a supervisor pre-emption), not a node-local failure.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		emit(cfg, n, lifecycle.EventInstallAborted, err.Error())
+	} else {
+		emit(cfg, n, lifecycle.EventInstallFailed, err.Error())
+	}
 	return nil, err
 }
 
@@ -279,7 +335,7 @@ func fail(n *node.Node, ekvSrv *ekv.Server, err error) (*Result, error) {
 // the node is unknown. During first integration the DHCP server stays
 // silent until insert-ethers binds the MAC, so the retry loop is what makes
 // sequential discovery work.
-func acquireLease(n *node.Node, cfg Config, screen io.Writer) (dhcp.Packet, error) {
+func acquireLease(ctx context.Context, n *node.Node, cfg Config, screen io.Writer) (dhcp.Packet, error) {
 	deadline := time.Now().Add(cfg.DHCPTimeout)
 	xid := uint32(1)
 	fmt.Fprintf(screen, "sending DHCPDISCOVER from %s\n", n.MAC())
@@ -297,16 +353,20 @@ func acquireLease(n *node.Node, cfg Config, screen io.Writer) (dhcp.Packet, erro
 			return dhcp.Packet{}, fmt.Errorf("installer: DHCP timeout for %s (node never inserted?)", n.MAC())
 		}
 		xid++
-		time.Sleep(cfg.DHCPRetry)
+		select {
+		case <-time.After(cfg.DHCPRetry):
+		case <-ctx.Done():
+			return dhcp.Packet{}, fmt.Errorf("installer: DHCP discovery for %s aborted: %w", n.MAC(), ctx.Err())
+		}
 	}
 }
 
-func fetchKickstart(cfg Config, lease dhcp.Packet, arch string) (*kickstart.Profile, error) {
+func fetchKickstart(ctx context.Context, cfg Config, lease dhcp.Packet, arch string) (*kickstart.Profile, error) {
 	// The architecture travels in the request, exactly as anaconda encodes
 	// it in the kickstart URL; the CGI uses it to prune arch-conditional
 	// graph edges and records it in the nodes table.
 	url := strings.TrimSuffix(lease.NextServer, "/") + "/install/kickstart.cgi?arch=" + arch
-	req, err := http.NewRequest("GET", url, nil)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
 	if err != nil {
 		return nil, fmt.Errorf("installer: %w", err)
 	}
@@ -428,13 +488,13 @@ func applyPartitioning(n *node.Node, p *kickstart.Profile, screen io.Writer) err
 // installPackages resolves the profile's package names against the served
 // repository listing (newest version per name, like anaconda's hdlist) and
 // downloads and unpacks each one.
-func installPackages(n *node.Node, cfg Config, p *kickstart.Profile, distURL string, screen io.Writer, ekvSrv *ekv.Server) (int, int64, error) {
+func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart.Profile, distURL string, screen io.Writer, ekvSrv *ekv.Server) (int, int64, error) {
 	n.ResetPackageDB()
 	listURL := distURL + "/RedHat/RPMS/"
 	var best map[string]rpm.Metadata
-	err := retryFetch(cfg, screen, "package listing", func() error {
+	err := retryFetch(ctx, cfg, screen, "package listing", func() error {
 		var ferr error
-		best, ferr = fetchListing(cfg, listURL, n.HW.Arch)
+		best, ferr = fetchListing(ctx, cfg, listURL, n.HW.Arch)
 		return ferr
 	})
 	if err != nil {
@@ -452,22 +512,28 @@ func installPackages(n *node.Node, cfg Config, p *kickstart.Profile, distURL str
 	}
 	start := time.Now()
 	for i := 0; i < len(p.Packages); i++ {
+		// Cancellation lands between packages: the package being written
+		// finishes (no torn files on disk), then the loop exits promptly.
+		if cerr := ctx.Err(); cerr != nil {
+			return i, total, fmt.Errorf("installer: package installation aborted after %d/%d packages: %w",
+				i, len(p.Packages), cerr)
+		}
 		name := p.Packages[i]
 		var pkg *rpm.Package
-		err := retryFetch(cfg, screen, name, func() error {
+		err := retryFetch(ctx, cfg, screen, name, func() error {
 			var ferr error
-			pkg, ferr = fetchPackage(cfg, listURL, best, name)
+			pkg, ferr = fetchPackage(ctx, cfg, listURL, best, name)
 			return ferr
 		})
 		if err != nil {
 			// The eKV keyboard gives the administrator a chance to fix
 			// the distribution and retry without restarting the install.
-			if cfg.InteractiveRetryWait > 0 && ekvSrv != nil {
+			if cfg.InteractiveRetryWait > 0 && ekvSrv != nil && ctx.Err() == nil {
 				fmt.Fprintf(screen, "FAILED: %v\ntype 'retry' to try %s again, 'abort' to give up\n", err, name)
-				if awaitRetry(ekvSrv, cfg.InteractiveRetryWait) {
+				if awaitRetry(ctx, ekvSrv, cfg.InteractiveRetryWait) {
 					fmt.Fprintf(screen, "retrying %s\n", name)
 					// Refresh the listing: the fix may be a new package.
-					if refreshed, rerr := fetchListing(cfg, listURL, n.HW.Arch); rerr == nil {
+					if refreshed, rerr := fetchListing(ctx, cfg, listURL, n.HW.Arch); rerr == nil {
 						best = refreshed
 					}
 					i--
@@ -620,10 +686,10 @@ func rebuildGMDriver(n *node.Node, screen io.Writer) error {
 // compatible version of every package (anaconda's hdlist step). It prefers
 // the hdlist endpoint, which carries sizes for progress accounting, and
 // falls back to the bare directory listing.
-func fetchListing(cfg Config, listURL, arch string) (map[string]rpm.Metadata, error) {
-	entries, err := fetchIndex(cfg, strings.TrimSuffix(listURL, "RPMS/")+"base/hdlist")
+func fetchListing(ctx context.Context, cfg Config, listURL, arch string) (map[string]rpm.Metadata, error) {
+	entries, err := fetchIndex(ctx, cfg, strings.TrimSuffix(listURL, "RPMS/")+"base/hdlist")
 	if err != nil {
-		entries, err = fetchIndex(cfg, listURL)
+		entries, err = fetchIndex(ctx, cfg, listURL)
 		if err != nil {
 			return nil, err
 		}
@@ -654,8 +720,12 @@ func fetchListing(cfg Config, listURL, arch string) (map[string]rpm.Metadata, er
 }
 
 // fetchIndex retrieves a whitespace-separated index document.
-func fetchIndex(cfg Config, url string) ([]string, error) {
-	resp, err := cfg.HTTP.Get(url)
+func fetchIndex(ctx context.Context, cfg Config, url string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("installer: %w", err)
+	}
+	resp, err := cfg.HTTP.Do(req)
 	if err != nil {
 		return nil, transient(fmt.Errorf("installer: listing %s: %w", url, err))
 	}
@@ -672,13 +742,17 @@ func fetchIndex(cfg Config, url string) ([]string, error) {
 }
 
 // fetchPackage downloads and decodes one package by name.
-func fetchPackage(cfg Config, listURL string, best map[string]rpm.Metadata, name string) (*rpm.Package, error) {
+func fetchPackage(ctx context.Context, cfg Config, listURL string, best map[string]rpm.Metadata, name string) (*rpm.Package, error) {
 	m, ok := best[name]
 	if !ok {
 		return nil, fmt.Errorf("installer: package %q not present in distribution", name)
 	}
 	pkgURL := listURL + m.Filename()
-	pr, err := cfg.HTTP.Get(pkgURL)
+	req, err := http.NewRequestWithContext(ctx, "GET", pkgURL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("installer: %w", err)
+	}
+	pr, err := cfg.HTTP.Do(req)
 	if err != nil {
 		return nil, transient(fmt.Errorf("installer: fetching %s: %w", pkgURL, err))
 	}
@@ -700,19 +774,18 @@ func fetchPackage(cfg Config, listURL string, best map[string]rpm.Metadata, name
 }
 
 // awaitRetry blocks for an eKV keyboard decision; it reports true for
-// "retry", false for "abort" or timeout.
-func awaitRetry(srv *ekv.Server, wait time.Duration) bool {
-	deadline := time.After(wait)
+// "retry", false for "abort", timeout, or cancellation.
+func awaitRetry(ctx context.Context, srv *ekv.Server, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
 	for {
-		select {
-		case line := <-srv.Input():
-			switch strings.TrimSpace(line) {
-			case "retry":
-				return true
-			case "abort":
-				return false
-			}
-		case <-deadline:
+		line, ok := srv.AwaitLine(ctx, time.Until(deadline))
+		if !ok {
+			return false
+		}
+		switch strings.TrimSpace(line) {
+		case "retry":
+			return true
+		case "abort":
 			return false
 		}
 	}

@@ -1,10 +1,12 @@
 package installer
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"rocks/internal/faults"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
+	"rocks/internal/lifecycle"
 	"rocks/internal/node"
 	"rocks/internal/rpm"
 	"rocks/internal/syslogd"
@@ -91,7 +94,7 @@ func TestFullComputeInstall(t *testing.T) {
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
 
-	res, err := Run(n, fe.config())
+	res, err := Run(context.Background(), n, fe.config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +132,7 @@ func TestPostScriptsConfigureNode(t *testing.T) {
 	fe := newTestFrontend(t)
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	if _, err := Run(n, fe.config()); err != nil {
+	if _, err := Run(context.Background(), n, fe.config()); err != nil {
 		t.Fatal(err)
 	}
 	// chkconfig effects → services.
@@ -157,7 +160,7 @@ func TestReinstallPreservesStatePartition(t *testing.T) {
 	fe := newTestFrontend(t)
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	if _, err := Run(n, fe.config()); err != nil {
+	if _, err := Run(context.Background(), n, fe.config()); err != nil {
 		t.Fatal(err)
 	}
 	// A user leaves data on the persistent partition; root gets scribbled.
@@ -167,7 +170,7 @@ func TestReinstallPreservesStatePartition(t *testing.T) {
 	n.Disk().WriteFile("/etc/broken.conf", []byte("experiment gone wrong"), 0o644)
 
 	n.ForceReinstall()
-	if _, err := Run(n, fe.config()); err != nil {
+	if _, err := Run(context.Background(), n, fe.config()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := n.Disk().ReadFile("/etc/broken.conf"); err == nil {
@@ -189,7 +192,7 @@ func TestReinstallRestoresKnownGoodState(t *testing.T) {
 	fe := newTestFrontend(t)
 	a := newComputeNode()
 	fe.admit(a, "10.255.255.254", "compute-0-0", "compute")
-	if _, err := Run(a, fe.config()); err != nil {
+	if _, err := Run(context.Background(), a, fe.config()); err != nil {
 		t.Fatal(err)
 	}
 	reference := a.PackageDB().Manifest()
@@ -201,7 +204,7 @@ func TestReinstallRestoresKnownGoodState(t *testing.T) {
 		t.Fatal("sabotage failed")
 	}
 	a.ForceReinstall()
-	if _, err := Run(a, fe.config()); err != nil {
+	if _, err := Run(context.Background(), a, fe.config()); err != nil {
 		t.Fatal(err)
 	}
 	if a.PackageDB().Manifest() != reference {
@@ -214,7 +217,7 @@ func TestFrontendInstall(t *testing.T) {
 	macs := hardware.NewMACAllocator()
 	n := node.New(hardware.Frontend(macs))
 	fe.admit(n, "10.1.1.1", "frontend-0", "frontend")
-	res, err := Run(n, fe.config())
+	res, err := Run(context.Background(), n, fe.config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +244,7 @@ func TestEKVObservableDuringInstall(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := Run(n, fe.config())
+		_, err := Run(context.Background(), n, fe.config())
 		done <- err
 	}()
 	// Wait for the eKV port to come up, then attach mid-install.
@@ -275,7 +278,7 @@ func TestInstallFailsWithoutDHCPBinding(t *testing.T) {
 	n := newComputeNode()
 	cfg := fe.config()
 	cfg.DHCPTimeout = 50 * time.Millisecond
-	_, err := Run(n, cfg)
+	_, err := Run(context.Background(), n, cfg)
 	if err == nil || !strings.Contains(err.Error(), "DHCP timeout") {
 		t.Fatalf("err = %v", err)
 	}
@@ -292,7 +295,7 @@ func TestInstallFailsOnMissingPackage(t *testing.T) {
 	}
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	_, err := Run(n, fe.config())
+	_, err := Run(context.Background(), n, fe.config())
 	if err == nil || !strings.Contains(err.Error(), "glibc") {
 		t.Fatalf("err = %v", err)
 	}
@@ -310,7 +313,7 @@ func TestInstallFailsForMyrinetWithoutSourcePackage(t *testing.T) {
 	// install fails at package fetch — which is the right diagnostic.
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	_, err := Run(n, fe.config())
+	_, err := Run(context.Background(), n, fe.config())
 	if err == nil || !strings.Contains(err.Error(), "myrinet-gm-src") {
 		t.Fatalf("err = %v", err)
 	}
@@ -321,7 +324,7 @@ func TestInstallUnknownNodeGets404(t *testing.T) {
 	n := newComputeNode()
 	// DHCP binding exists but the CGI doesn't know the IP → kickstart 404.
 	fe.dhcpd.SetBinding(n.MAC(), dhcp.Binding{IP: "10.9.9.9", Hostname: "ghost", NextServer: fe.srv.URL})
-	_, err := Run(n, fe.config())
+	_, err := Run(context.Background(), n, fe.config())
 	if err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("err = %v", err)
 	}
@@ -340,7 +343,7 @@ func TestInstallPicksNewestPackageVersion(t *testing.T) {
 
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	if _, err := Run(n, fe.config()); err != nil {
+	if _, err := Run(context.Background(), n, fe.config()); err != nil {
 		t.Fatal(err)
 	}
 	m, _ := n.PackageDB().Query("glibc")
@@ -372,7 +375,7 @@ func TestInteractiveRetryOverEKV(t *testing.T) {
 	cfg.InteractiveRetryWait = 10 * time.Second
 	done := make(chan error, 1)
 	go func() {
-		_, err := Run(n, cfg)
+		_, err := Run(context.Background(), n, cfg)
 		done <- err
 	}()
 
@@ -421,7 +424,7 @@ func TestInteractiveAbortOverEKV(t *testing.T) {
 	cfg.InteractiveRetryWait = time.Minute
 	done := make(chan error, 1)
 	go func() {
-		_, err := Run(n, cfg)
+		_, err := Run(context.Background(), n, cfg)
 		done <- err
 	}()
 	var addr string
@@ -458,7 +461,7 @@ func TestFigure7StatusPanel(t *testing.T) {
 	fe := newTestFrontend(t)
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	res, err := Run(n, fe.config())
+	res, err := Run(context.Background(), n, fe.config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +495,7 @@ func TestInstallRefusesUndersizedDisk(t *testing.T) {
 	hw.Disk.SizeMB = 2000 // compute kickstart wants a 4096 MB root
 	n := node.New(hw)
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	_, err := Run(n, fe.config())
+	_, err := Run(context.Background(), n, fe.config())
 	if err == nil || !strings.Contains(err.Error(), "MB") {
 		t.Fatalf("err = %v", err)
 	}
@@ -509,7 +512,7 @@ func TestPreScriptsRecorded(t *testing.T) {
 	compute.Pre = append(compute.Pre, kickstart.Script{Text: "dd if=/dev/zero of=/dev/sda bs=512 count=1"})
 	n := newComputeNode()
 	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
-	res, err := Run(n, fe.config())
+	res, err := Run(context.Background(), n, fe.config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,7 +561,7 @@ func TestAutomaticRetryAbsorbsTransientHTTPErrors(t *testing.T) {
 	cfg.FetchRetries = 3
 	cfg.FetchBackoff = time.Millisecond
 
-	res, err := Run(n, cfg)
+	res, err := Run(context.Background(), n, cfg)
 	if err != nil {
 		t.Fatalf("install did not survive the storm: %v", err)
 	}
@@ -588,7 +591,7 @@ func TestRetryBudgetExhaustionCrashes(t *testing.T) {
 	cfg.FetchRetries = 2
 	cfg.FetchBackoff = time.Millisecond
 
-	_, err := Run(n, cfg)
+	_, err := Run(context.Background(), n, cfg)
 	if err == nil {
 		t.Fatal("install succeeded against a permanently failing server")
 	}
@@ -611,7 +614,7 @@ func TestFaultHookWedgesInstall(t *testing.T) {
 	cfg.DisableEKV = true
 	cfg.FaultHook = faults.InstallHook(inj, func() []string { return []string{n.MAC()} })
 
-	_, err := Run(n, cfg)
+	_, err := Run(context.Background(), n, cfg)
 	if !errors.Is(err, faults.ErrWedged) {
 		t.Fatalf("err = %v, want ErrWedged", err)
 	}
@@ -620,7 +623,166 @@ func TestFaultHookWedgesInstall(t *testing.T) {
 	}
 	// The budget is spent: the next run goes through.
 	n.ForceReinstall()
-	if _, err := Run(n, cfg); err != nil {
+	if _, err := Run(context.Background(), n, cfg); err != nil {
 		t.Fatalf("second run: %v", err)
+	}
+}
+
+// roundTripperFunc adapts a function to http.RoundTripper.
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// waitAborted blocks until the node's install-aborted event is on the bus,
+// bounded by the given context.Context.
+func waitAborted(t *testing.T, ctx context.Context, bus *lifecycle.Bus, nodeName string) lifecycle.Event {
+	t.Helper()
+	e, err := bus.WaitFor(ctx, lifecycle.Filter{Node: nodeName, Type: lifecycle.EventInstallAborted})
+	if err != nil {
+		t.Fatalf("install-aborted event never published: %v", err)
+	}
+	return e
+}
+
+// TestRunCancelledMidPackageLoop is the cancellation contract: a context
+// cancelled partway through package installation makes Run return promptly
+// with context.Canceled, leaves the node crashed (well-defined failed
+// state), and publishes install-aborted — not install-failed — on the bus.
+func TestRunCancelledMidPackageLoop(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var pkgFetches int32
+	inner := fe.srv.Client().Transport
+	cfg := fe.config()
+	cfg.Events = lifecycle.NewBus(256)
+	cfg.HTTP = &http.Client{Transport: roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if strings.HasSuffix(r.URL.Path, ".rpm") && atomic.AddInt32(&pkgFetches, 1) == 3 {
+			cancel() // yank the plug mid-package-loop
+		}
+		return inner.RoundTrip(r)
+	})}
+
+	start := time.Now()
+	_, err := Run(ctx, n, cfg)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled Run took %s; cancellation should land promptly", elapsed)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer wcancel()
+	e := waitAborted(t, wctx, cfg.Events, "compute-0-0")
+	if e.Phase != lifecycle.PhaseInstall || e.Source != "installer" {
+		t.Errorf("aborted event = %+v", e)
+	}
+	if got := cfg.Events.Recent(lifecycle.Filter{Type: lifecycle.EventInstallFailed}); len(got) != 0 {
+		t.Errorf("cancellation published install-failed events: %v", got)
+	}
+	// The phases that completed before the cancel are on the timeline.
+	tl := cfg.Events.Timeline("compute-0-0")
+	var types []lifecycle.EventType
+	for _, ev := range tl {
+		types = append(types, ev.Type)
+	}
+	want := []lifecycle.EventType{lifecycle.EventLease, lifecycle.EventKickstart, lifecycle.EventPartition, lifecycle.EventInstallAborted}
+	if len(types) != len(want) {
+		t.Fatalf("timeline = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("timeline = %v, want %v", types, want)
+		}
+	}
+}
+
+// TestRunCancelledDuringDHCP proves cancellation interrupts the discovery
+// retry loop — the phase a node with no binding would otherwise sit in for
+// the full DHCPTimeout.
+func TestRunCancelledDuringDHCP(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode() // never admitted: DHCP stays silent
+	cfg := fe.config()
+	cfg.DHCPTimeout = 30 * time.Second
+	cfg.Events = lifecycle.NewBus(64)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, n, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled DHCP wait took %s", elapsed)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+	// No name was ever bound, so the aborted event carries the MAC.
+	if got := cfg.Events.Recent(lifecycle.Filter{Node: n.MAC(), Type: lifecycle.EventInstallAborted}); len(got) != 1 {
+		t.Errorf("aborted-by-MAC events = %v", got)
+	}
+}
+
+// TestInstallEventsOnFailure: a non-cancellation failure publishes
+// install-failed, keeping the two terminal event types distinct.
+func TestInstallEventsOnFailure(t *testing.T) {
+	fe := newTestFrontend(t)
+	for _, p := range fe.dist.Repo.Versions("glibc") {
+		fe.dist.Repo.Remove(p.NVRA())
+	}
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	cfg := fe.config()
+	cfg.Events = lifecycle.NewBus(64)
+	if _, err := Run(context.Background(), n, cfg); err == nil {
+		t.Fatal("install should have failed")
+	}
+	if got := cfg.Events.Recent(lifecycle.Filter{Node: "compute-0-0", Type: lifecycle.EventInstallFailed}); len(got) != 1 {
+		t.Errorf("install-failed events = %v", got)
+	}
+	if got := cfg.Events.Recent(lifecycle.Filter{Type: lifecycle.EventInstallAborted}); len(got) != 0 {
+		t.Errorf("spurious install-aborted events = %v", got)
+	}
+}
+
+// TestInstallEventTimeline: a clean install publishes the full §6.1 phase
+// sequence in order.
+func TestInstallEventTimeline(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+	cfg := fe.config()
+	cfg.Events = lifecycle.NewBus(64)
+	if _, err := Run(context.Background(), n, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := []lifecycle.EventType{
+		lifecycle.EventLease, lifecycle.EventKickstart, lifecycle.EventPartition,
+		lifecycle.EventPackages, lifecycle.EventPost, lifecycle.EventInstallComplete,
+	}
+	tl := cfg.Events.Timeline("compute-0-0")
+	if len(tl) != len(want) {
+		t.Fatalf("timeline has %d events (%v), want %d", len(tl), tl, len(want))
+	}
+	for i, ev := range tl {
+		if ev.Type != want[i] {
+			t.Fatalf("timeline[%d] = %s, want %s", i, ev.Type, want[i])
+		}
+		if ev.Phase != lifecycle.PhaseInstall || ev.Source != "installer" {
+			t.Errorf("event %d mislabeled: %+v", i, ev)
+		}
 	}
 }

@@ -1,0 +1,65 @@
+package lifecycle
+
+// The client side of /admin/events: the CLI tools (shoot-node,
+// insert-ethers) fetch a node's merged timeline from a running frontend and
+// render it for a terminal, so "what has this machine been through?" is one
+// flag away from any shell.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// TimelineResponse is the JSON shape /admin/events returns.
+type TimelineResponse struct {
+	Events  []Event `json:"events"`
+	Seq     uint64  `json:"seq"`
+	Dropped uint64  `json:"dropped"`
+}
+
+// FetchTimeline queries a frontend's /admin/events for one node's timeline
+// (hostname or MAC; the server merges both identities). server is the admin
+// base URL, e.g. http://127.0.0.1:8070.
+func FetchTimeline(server, node string) (*TimelineResponse, error) {
+	u := strings.TrimSuffix(server, "/") + "/admin/events?" +
+		url.Values{"node": {node}}.Encode()
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lifecycle: %s: %s", resp.Status, body)
+	}
+	var tr TimelineResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return nil, fmt.Errorf("lifecycle: bad /admin/events response: %w", err)
+	}
+	return &tr, nil
+}
+
+// FormatTimeline renders a timeline one event per line, aligned for a
+// terminal, with wall-clock times.
+func FormatTimeline(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "%s  %-9s %-16s %-13s", e.Time.Format("15:04:05.000"),
+			e.Phase, e.Type, e.Source)
+		if e.Attempt > 0 {
+			fmt.Fprintf(&b, " attempt=%d", e.Attempt)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " %s", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

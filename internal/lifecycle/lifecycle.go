@@ -1,0 +1,298 @@
+// Package lifecycle is the cluster's event spine: a typed, subscribable
+// node-event bus that every management layer publishes into. Rocks treats
+// full reinstallation as the basic management primitive (§1, §6.4), which
+// makes the interesting state of the system the *lifecycle* of each node —
+// discovered → leased → installing → up → dark → power-cycled → recovered —
+// rather than any single component's private log. The bus gives that
+// lifecycle one vocabulary (Event), one bounded store (the ring), and two
+// consumption styles: subscription fan-out for reactive components (the
+// supervisor) and per-node timeline queries for humans (/admin/events).
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Phase groups event types by which management layer owns that part of a
+// node's life. A node's timeline typically walks discover → install → run,
+// with remediate interleaved whenever the supervisor intervenes.
+type Phase string
+
+const (
+	PhaseDiscover  Phase = "discover"  // insert-ethers: MAC seen, name bound
+	PhaseInstall   Phase = "install"   // installer: lease through post-scripts
+	PhaseRun       Phase = "run"       // steady state: up/dark transitions
+	PhaseRemediate Phase = "remediate" // supervisor/PDU: cycles, quarantine
+)
+
+// EventType identifies what happened. The constants cover every producer:
+// insert-ethers (discover), the installer (install), the monitor and cluster
+// (run), and the supervisor/PDU (remediate).
+type EventType string
+
+const (
+	// Discovery (insert-ethers).
+	EventDiscovered EventType = "discovered" // unknown MAC appeared on the bus
+	EventBound      EventType = "bound"      // name + IP assigned, DB row inserted
+	EventReplaced   EventType = "replaced"   // existing name rebound to a new MAC
+
+	// Installation (installer), in §6.1 order.
+	EventLease           EventType = "lease"     // DHCP lease acquired
+	EventKickstart       EventType = "kickstart" // kickstart file fetched
+	EventPartition       EventType = "partition" // disk partitioned + formatted
+	EventPackages        EventType = "packages"  // package installation finished
+	EventPost            EventType = "post"      // %post scripts ran
+	EventInstallComplete EventType = "install-complete"
+	EventInstallFailed   EventType = "install-failed"
+	EventInstallAborted  EventType = "install-aborted" // cancelled via context
+
+	// Steady state (monitor, cluster).
+	EventUp   EventType = "up"   // node joined service
+	EventDark EventType = "dark" // monitor lost the node
+
+	// Remediation (supervisor, PDU).
+	EventPowerCycle       EventType = "power-cycle"        // supervisor decision
+	EventPowerCycled      EventType = "power-cycled"       // PDU relay actually fired
+	EventPowerCycleFailed EventType = "power-cycle-failed" // PDU refused/wedged
+	EventQuarantine       EventType = "quarantine"
+	EventUnquarantine     EventType = "unquarantine"
+	EventRecovered        EventType = "recovered"
+)
+
+// Event is one step in a node's lifecycle. Node is the best identity known
+// at emission time — a hostname once one is bound, the MAC before that — and
+// MAC is always the hardware address when the producer knows it, so queries
+// can follow a machine across renames.
+type Event struct {
+	Seq     uint64    `json:"seq"`  // bus-global, monotonically increasing from 1
+	Time    time.Time `json:"time"` //
+	Node    string    `json:"node"` // hostname, or MAC when no name is bound yet
+	MAC     string    `json:"mac,omitempty"`
+	Phase   Phase     `json:"phase"`
+	Type    EventType `json:"type"`
+	Source  string    `json:"source"`            // producing layer: installer, monitor, supervisor, insert-ethers, pdu, cluster
+	Attempt int       `json:"attempt,omitempty"` // remediation attempt number, when meaningful
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// String formats an event the way the supervisor log used to: terse,
+// grep-able, one line.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s/%s %s", e.Seq, e.Node, e.Phase, e.Type, e.Source)
+	if e.Attempt > 0 {
+		s += fmt.Sprintf(" attempt=%d", e.Attempt)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Filter selects events. Zero fields match everything. Node matches either
+// the event's Node or its MAC, so a timeline query follows a machine from
+// pre-name discovery through its bound hostname.
+type Filter struct {
+	Node     string
+	MAC      string
+	Type     EventType
+	Phase    Phase
+	Source   string
+	SinceSeq uint64 // only events with Seq > SinceSeq
+	Limit    int    // 0 = unlimited; otherwise the most recent N matches
+}
+
+func (f Filter) matches(e Event) bool {
+	if f.Node != "" && e.Node != f.Node && e.MAC != f.Node {
+		return false
+	}
+	if f.MAC != "" && e.MAC != f.MAC {
+		return false
+	}
+	if f.Type != "" && e.Type != f.Type {
+		return false
+	}
+	if f.Phase != "" && e.Phase != f.Phase {
+		return false
+	}
+	if f.Source != "" && e.Source != f.Source {
+		return false
+	}
+	if e.Seq <= f.SinceSeq {
+		return false
+	}
+	return true
+}
+
+// DefaultRingSize bounds the bus when the caller doesn't choose: large
+// enough to hold a full integration burst plus a chaos storm, small enough
+// that a week of steady-state up/dark flapping can't grow the heap.
+const DefaultRingSize = 4096
+
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// Bus is a bounded, fan-out event log. Publishing never blocks: the ring
+// evicts its oldest entry when full (counted in Evicted), and a subscriber
+// that falls behind loses events (counted per subscription) rather than
+// stalling the producers — the installer must not wait on a slow reader.
+type Bus struct {
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of oldest event
+	count   int
+	seq     uint64
+	evicted uint64
+
+	subs   map[int]*subscriber
+	nextID int
+
+	// bcast is closed and replaced on every publish; WaitFor sleeps on it
+	// instead of holding a subscription, so it can never miss an event
+	// between its ring scan and its wait (it re-scans after every wake).
+	bcast chan struct{}
+}
+
+// NewBus creates a bus whose ring holds at most size events
+// (DefaultRingSize when size <= 0).
+func NewBus(size int) *Bus {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Bus{
+		ring:  make([]Event, size),
+		subs:  make(map[int]*subscriber),
+		bcast: make(chan struct{}),
+	}
+}
+
+// Publish assigns the event a sequence number (and timestamp, when unset),
+// appends it to the ring, and fans it out. It returns the stamped event.
+func (b *Bus) Publish(e Event) Event {
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if b.count == len(b.ring) {
+		b.start = (b.start + 1) % len(b.ring)
+		b.evicted++
+	} else {
+		b.count++
+	}
+	b.ring[(b.start+b.count-1)%len(b.ring)] = e
+	for _, s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+	close(b.bcast)
+	b.bcast = make(chan struct{})
+	b.mu.Unlock()
+	return e
+}
+
+// Subscribe returns a channel receiving every event published after the
+// call, buffered to buf entries (minimum 1). A subscriber that falls behind
+// its buffer silently loses events — use WaitFor when a guaranteed
+// observation matters. cancel releases the subscription; the channel is
+// never closed, so a drained reader simply stops receiving.
+func (b *Bus) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	s := &subscriber{ch: make(chan Event, buf)}
+	b.subs[id] = s
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+	}
+	return s.ch, cancel
+}
+
+// Recent returns the matching events still in the ring, oldest first. With
+// f.Limit set, only the most recent matches are returned.
+func (b *Bus) Recent(f Filter) []Event {
+	b.mu.Lock()
+	out := make([]Event, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		e := b.ring[(b.start+i)%len(b.ring)]
+		if f.matches(e) {
+			out = append(out, e)
+		}
+	}
+	b.mu.Unlock()
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Timeline is a node's per-node lifecycle view: every ring event whose Node
+// or MAC matches, oldest first.
+func (b *Bus) Timeline(node string) []Event {
+	return b.Recent(Filter{Node: node})
+}
+
+// WaitFor blocks until an event matching f exists (checking the ring first,
+// so events published before the call still satisfy it as long as their Seq
+// exceeds f.SinceSeq) or ctx is done. Set f.SinceSeq from Seq() to wait for
+// a strictly future occurrence.
+func (b *Bus) WaitFor(ctx context.Context, f Filter) (Event, error) {
+	for {
+		b.mu.Lock()
+		for i := 0; i < b.count; i++ {
+			e := b.ring[(b.start+i)%len(b.ring)]
+			if f.matches(e) {
+				b.mu.Unlock()
+				return e, nil
+			}
+		}
+		wake := b.bcast
+		b.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		}
+	}
+}
+
+// Seq returns the sequence number of the most recently published event
+// (0 when none have been).
+func (b *Bus) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Evicted counts events pushed out of the ring by newer ones — the
+// /admin/supervisor "dropped" figure.
+func (b *Bus) Evicted() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evicted
+}
+
+// SubscriberDrops sums events lost across all current subscribers' buffers.
+func (b *Bus) SubscriberDrops() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n uint64
+	for _, s := range b.subs {
+		n += s.dropped
+	}
+	return n
+}

@@ -10,11 +10,14 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"rocks/internal/lifecycle"
 )
 
 // Pinger answers reachability probes — the cluster provides one backed by
@@ -62,7 +65,13 @@ type Monitor struct {
 	hosts    map[string]*hostRecord
 	stopCh   chan struct{}
 	stopped  bool
+	running  bool
 	interval time.Duration
+
+	// bus receives up/dark transition events; published remembers the last
+	// health class announced per host so steady state publishes nothing.
+	bus       *lifecycle.Bus
+	published map[string]Health
 }
 
 type hostRecord struct {
@@ -77,17 +86,48 @@ type hostRecord struct {
 // (zero disables the background loop; call Probe manually).
 func New(p Pinger, patience, interval time.Duration) *Monitor {
 	m := &Monitor{
-		pinger:   p,
-		patience: patience,
-		interval: interval,
-		now:      time.Now,
-		hosts:    make(map[string]*hostRecord),
-		stopCh:   make(chan struct{}),
+		pinger:    p,
+		patience:  patience,
+		interval:  interval,
+		now:       time.Now,
+		hosts:     make(map[string]*hostRecord),
+		stopCh:    make(chan struct{}),
+		published: make(map[string]Health),
 	}
 	if interval > 0 {
-		go m.loop()
+		m.running = true
+		go m.loop(context.Background())
 	}
 	return m
+}
+
+// PublishTo routes up/dark transitions onto the lifecycle bus. A host that
+// crosses the patience threshold produces one dark event; a dark host that
+// answers again produces one up event. Steady state is silent. Call before
+// the first probe.
+func (m *Monitor) PublishTo(bus *lifecycle.Bus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bus = bus
+}
+
+// StartCtx starts the background probe loop under a context.Context: the
+// loop exits when ctx is cancelled (or Stop is called), which is how the
+// cluster's root context reaps every monitor on Close. interval <= 0 falls
+// back to the interval given to New. Starting an already-running monitor is
+// a no-op.
+func (m *Monitor) StartCtx(ctx context.Context, interval time.Duration) {
+	m.mu.Lock()
+	if interval > 0 {
+		m.interval = interval
+	}
+	if m.running || m.stopped || m.interval <= 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	m.mu.Unlock()
+	go m.loop(ctx)
 }
 
 // SetClock injects a clock (tests).
@@ -114,6 +154,7 @@ func (m *Monitor) Unwatch(hosts ...string) {
 	defer m.mu.Unlock()
 	for _, h := range hosts {
 		delete(m.hosts, h)
+		delete(m.published, h)
 	}
 }
 
@@ -139,13 +180,60 @@ func (m *Monitor) Probe() {
 		}
 		m.mu.Unlock()
 	}
+	m.publishTransitions()
 }
 
-func (m *Monitor) loop() {
-	t := time.NewTicker(m.interval)
+// publishTransitions diffs the current classification against what was last
+// announced and publishes the deltas. A host first classified up is recorded
+// silently — the cluster's own up event is authoritative for that edge; the
+// monitor speaks when a host goes dark and when a dark host comes back.
+func (m *Monitor) publishTransitions() {
+	m.mu.Lock()
+	bus := m.bus
+	m.mu.Unlock()
+	if bus == nil {
+		return
+	}
+	for _, st := range m.Status() {
+		m.mu.Lock()
+		if _, watched := m.hosts[st.Host]; !watched {
+			m.mu.Unlock()
+			continue // unwatched between Status and here
+		}
+		prev, seen := m.published[st.Host]
+		m.published[st.Host] = st.Health
+		m.mu.Unlock()
+		switch {
+		case st.Health == HealthDark && prev != HealthDark:
+			bus.Publish(lifecycle.Event{
+				Node:   st.Host,
+				Phase:  lifecycle.PhaseRun,
+				Type:   lifecycle.EventDark,
+				Source: "monitor",
+				Detail: fmt.Sprintf("dark for %s (%s)", st.DarkFor.Round(time.Millisecond), st.Detail),
+			})
+		case st.Health == HealthUp && seen && prev == HealthDark:
+			bus.Publish(lifecycle.Event{
+				Node:   st.Host,
+				Phase:  lifecycle.PhaseRun,
+				Type:   lifecycle.EventUp,
+				Source: "monitor",
+				Detail: "answering again: " + st.Detail,
+			})
+		}
+	}
+}
+
+func (m *Monitor) loop(ctx context.Context) {
+	m.mu.Lock()
+	interval := m.interval
+	m.mu.Unlock()
+	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
+		case <-ctx.Done():
+			return
 		case <-m.stopCh:
 			return
 		case <-t.C:

@@ -1,10 +1,13 @@
 package monitor
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"rocks/internal/lifecycle"
 )
 
 // fakeNet is a controllable pinger.
@@ -248,4 +251,92 @@ func TestBackgroundLoop(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("background loop never probed")
+}
+
+// TestTransitionEvents: the monitor publishes exactly one dark event when a
+// host crosses the patience threshold and exactly one up event when it
+// answers again — steady state and initial healthy classification are
+// silent (the cluster's own up event owns that edge).
+func TestTransitionEvents(t *testing.T) {
+	m, net, clock := newTestMonitor(30 * time.Second)
+	bus := lifecycle.NewBus(64)
+	m.PublishTo(bus)
+	net.set("compute-0-0", "up")
+	m.Watch("compute-0-0")
+	m.Probe()
+	m.Probe() // steady state: still nothing
+	if got := bus.Recent(lifecycle.Filter{}); len(got) != 0 {
+		t.Fatalf("healthy host published %v", got)
+	}
+
+	net.set("compute-0-0", "")
+	clock.advance(31 * time.Second)
+	m.Probe()
+	m.Probe() // still dark: no duplicate
+	dark := bus.Recent(lifecycle.Filter{Type: lifecycle.EventDark})
+	if len(dark) != 1 || dark[0].Node != "compute-0-0" || dark[0].Source != "monitor" {
+		t.Fatalf("dark events = %v", dark)
+	}
+
+	net.set("compute-0-0", "up")
+	m.Probe()
+	m.Probe()
+	up := bus.Recent(lifecycle.Filter{Type: lifecycle.EventUp})
+	if len(up) != 1 || up[0].Node != "compute-0-0" || up[0].Phase != lifecycle.PhaseRun {
+		t.Fatalf("up events = %v", up)
+	}
+}
+
+// TestUnwatchForgetsPublishedState: re-watching a host after Unwatch starts
+// a fresh patience window and a fresh transition history.
+func TestUnwatchForgetsPublishedState(t *testing.T) {
+	m, _, clock := newTestMonitor(30 * time.Second)
+	bus := lifecycle.NewBus(64)
+	m.PublishTo(bus)
+	m.Watch("aa:bb") // watched by MAC pre-discovery, never answers
+	clock.advance(31 * time.Second)
+	m.Probe()
+	if got := bus.Recent(lifecycle.Filter{Type: lifecycle.EventDark}); len(got) != 1 {
+		t.Fatalf("dark events = %v", got)
+	}
+	// insert-ethers binds the name; the supervisor rebinds the watch.
+	m.Unwatch("aa:bb")
+	m.Watch("compute-0-0")
+	m.Probe()
+	// New identity gets its own patience window: no immediate dark event.
+	if got := bus.Recent(lifecycle.Filter{Node: "compute-0-0"}); len(got) != 0 {
+		t.Fatalf("rebound host published before its patience expired: %v", got)
+	}
+}
+
+// TestStartCtx: the background loop starts under a context.Context and is
+// reaped by cancelling it — the root-context shutdown path Cluster.Close
+// relies on.
+func TestStartCtx(t *testing.T) {
+	net := &fakeNet{}
+	net.set("n", "up")
+	m := New(net, time.Minute, 0) // no loop yet
+	ctx, cancel := context.WithCancel(context.Background())
+	m.StartCtx(ctx, 2*time.Millisecond)
+	m.StartCtx(ctx, 2*time.Millisecond) // double start: no-op
+	m.Watch("n")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := m.Status(); len(st) == 1 && st[0].Detail == "up" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := m.Status(); len(st) != 1 || st[0].Detail != "up" {
+		t.Fatalf("loop never probed: %+v", st)
+	}
+	cancel()
+	// After cancellation the loop must stop probing: flip the pinger and
+	// verify the stale detail persists.
+	time.Sleep(10 * time.Millisecond)
+	net.set("n", "rebooting")
+	time.Sleep(20 * time.Millisecond)
+	if st := m.Status(); st[0].Detail != "up" {
+		t.Errorf("monitor kept probing after ctx cancel: %+v", st)
+	}
 }

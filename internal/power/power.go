@@ -31,6 +31,7 @@ type PDU struct {
 	outlets     map[int]outlet
 	history     []string
 	interceptor func(outlet int, label string) error
+	observer    func(outlet int, label string, err error)
 }
 
 type outlet struct {
@@ -69,6 +70,16 @@ func (p *PDU) SetInterceptor(hook func(outlet int, label string) error) {
 	p.interceptor = hook
 }
 
+// SetObserver installs a hook notified after every hard-cycle attempt on a
+// wired outlet — err is nil when the relay fired, non-nil when the cycle
+// was vetoed or failed. The cluster uses it to publish pdu-sourced
+// lifecycle events. A nil hook clears it.
+func (p *PDU) SetObserver(hook func(outlet int, label string, err error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observer = hook
+}
+
 // HardCycle power-cycles the device on an outlet. It returns an error for
 // an unwired outlet — the administrator fat-fingered the outlet number —
 // or when the interceptor vetoes the command.
@@ -76,6 +87,7 @@ func (p *PDU) HardCycle(outletNum int) error {
 	p.mu.Lock()
 	o, ok := p.outlets[outletNum]
 	hook := p.interceptor
+	observer := p.observer
 	p.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("power: %s has nothing on outlet %d", p.name, outletNum)
@@ -85,12 +97,18 @@ func (p *PDU) HardCycle(outletNum int) error {
 			p.mu.Lock()
 			p.history = append(p.history, fmt.Sprintf("hard cycle outlet %d (%s) FAILED: %v", outletNum, o.label, err))
 			p.mu.Unlock()
+			if observer != nil {
+				observer(outletNum, o.label, err)
+			}
 			return err
 		}
 	}
 	p.mu.Lock()
 	p.history = append(p.history, fmt.Sprintf("hard cycle outlet %d (%s)", outletNum, o.label))
 	p.mu.Unlock()
+	if observer != nil {
+		observer(outletNum, o.label, nil)
+	}
 	o.target.HardPowerCycle()
 	return nil
 }

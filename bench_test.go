@@ -575,3 +575,60 @@ func BenchmarkMirrorWorkers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMirrorDelta compares a full replication pass against a delta
+// pass over an unchanged parent and a 20-package update: the delta pays
+// only for changed digests, so an unchanged re-mirror transfers zero
+// package bodies regardless of distribution size.
+func BenchmarkMirrorDelta(b *testing.B) {
+	base := dist.SyntheticRedHat()
+	parent := dist.Build("npaci", kickstart.DefaultFramework(),
+		dist.Source{Name: "redhat", Repo: base})
+	inner := dist.Handler(parent)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond) // per-request wire latency, as in BenchmarkMirrorWorkers
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	baseline, _, err := dist.MirrorReportWith(srv.URL, "baseline",
+		dist.MirrorOptions{Client: srv.Client()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	updated := dist.Build("npaci", kickstart.DefaultFramework(),
+		dist.Source{Name: "redhat", Repo: base},
+		dist.Source{Name: "updates", Repo: dist.GenerateUpdates(base, 20, 5)})
+	updatedInner := dist.Handler(updated)
+	updSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		updatedInner.ServeHTTP(w, r)
+	}))
+	defer updSrv.Close()
+
+	cases := []struct {
+		name     string
+		url      string
+		client   *http.Client
+		baseline *rpm.Repository
+	}{
+		{"full", srv.URL, srv.Client(), nil},
+		{"delta-unchanged", srv.URL, srv.Client(), baseline},
+		{"delta-20-updates", updSrv.URL, updSrv.Client(), baseline},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var rep dist.MirrorReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = dist.MirrorReportWith(tc.url, "bench",
+					dist.MirrorOptions{Client: tc.client, Baseline: tc.baseline})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Fetched), "fetched")
+			b.ReportMetric(float64(rep.Skipped), "skipped")
+			b.ReportMetric(float64(rep.FetchedBytes), "bytes")
+		})
+	}
+}

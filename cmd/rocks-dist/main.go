@@ -8,8 +8,10 @@
 //	rocks-dist synth -out ./mirror                 # materialize the stock mirror
 //	rocks-dist build -out ./dist -src ./mirror,./updates,./local
 //	rocks-dist build -out ./campus -mirror http://host:8080 -src ./campus-rpms
-//	rocks-dist serve -dir ./dist -addr 127.0.0.1:8080
-//	rocks-dist list  -dir ./dist
+//	rocks-dist build -out ./campus -mirror http://host:8080 -delta   # re-fetch only changed digests
+//	rocks-dist serve -dir ./dist -addr 127.0.0.1:8080 -verify
+//	rocks-dist list  -dir ./dist -verify
+//	rocks-dist verify -dir ./dist                  # audit the tree against its MANIFEST
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"rocks/internal/dist"
 	"rocks/internal/kickstart"
+	"rocks/internal/rpm"
 )
 
 func main() {
@@ -37,13 +40,15 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "list":
 		cmdList(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rocks-dist {synth|build|serve|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rocks-dist {synth|build|serve|list|verify} [flags]")
 	os.Exit(2)
 }
 
@@ -73,17 +78,29 @@ func cmdBuild(args []string) {
 	profiles := fs.String("profiles", "", "site profiles directory (nodes/*.xml, graphs/*.xml) layered over the defaults")
 	workers := fs.Int("mirror-workers", 8, "concurrent package fetches per mirrored parent")
 	retries := fs.Int("mirror-retries", 3, "fetch attempts per package before the replication pass fails")
+	delta := fs.Bool("delta", false, "delta mirror: reuse packages already materialized in -out whose manifest digest is unchanged")
 	fs.Parse(args)
 
+	// Delta mode: the previous materialize of -out is the baseline; only
+	// packages whose digest the parent's manifest says changed are fetched.
+	var baseline *rpm.Repository
+	if *delta {
+		prev, err := dist.ReadTree(*out, "baseline")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rocks-dist: no usable baseline in %s (%v); running a full mirror\n", *out, err)
+		} else {
+			baseline = prev
+		}
+	}
 	var sources []dist.Source
 	for _, u := range splitList(*mirrors) {
-		repo, err := dist.MirrorWith(u, "mirror:"+u,
-			dist.MirrorOptions{Workers: *workers, Retries: *retries})
+		repo, report, err := dist.MirrorReportWith(u, "mirror:"+u,
+			dist.MirrorOptions{Workers: *workers, Retries: *retries, Baseline: baseline})
 		if err != nil {
 			die(err)
 		}
 		sources = append(sources, dist.Source{Name: repo.Name(), Repo: repo})
-		fmt.Printf("mirrored %d packages from %s\n", repo.Len(), u)
+		fmt.Printf("mirrored %d packages from %s\n%s\n", repo.Len(), u, report.Summary())
 	}
 	for _, d := range splitList(*srcs) {
 		repo, err := dist.ReadTree(d, filepath.Base(d))
@@ -119,7 +136,11 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "dist", "distribution tree to serve")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	verify := fs.Bool("verify", false, "audit the tree against its MANIFEST digests before serving")
 	fs.Parse(args)
+	if *verify {
+		verifyOrDie(*dir)
+	}
 	repo, err := dist.ReadTree(*dir, filepath.Base(*dir))
 	if err != nil {
 		die(err)
@@ -139,7 +160,11 @@ func cmdServe(args []string) {
 func cmdList(args []string) {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	dir := fs.String("dir", "dist", "distribution tree")
+	verify := fs.Bool("verify", false, "audit the tree against its MANIFEST digests")
 	fs.Parse(args)
+	if *verify {
+		verifyOrDie(*dir)
+	}
 	repo, err := dist.ReadTree(*dir, filepath.Base(*dir))
 	if err != nil {
 		die(err)
@@ -148,6 +173,27 @@ func cmdList(args []string) {
 		fmt.Printf("%-40s %10d  %s\n", p.NVRA(), p.Size, p.Summary)
 	}
 	fmt.Printf("%d packages, %d bytes nominal\n", repo.Len(), repo.TotalSize())
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "dist", "distribution tree")
+	fs.Parse(args)
+	verifyOrDie(*dir)
+}
+
+// verifyOrDie audits a tree against its MANIFEST and exits non-zero on any
+// tampered, orphaned, or missing file — a corrupt tree must never be
+// served or composed into a build.
+func verifyOrDie(dir string) {
+	v, err := dist.VerifyTree(dir)
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(v.Summary())
+	if !v.Clean() {
+		os.Exit(1)
+	}
 }
 
 func splitList(s string) []string {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rocks/internal/clusterdb"
+	"rocks/internal/dist"
 	"rocks/internal/hardware"
 	"rocks/internal/lifecycle"
 	"rocks/internal/node"
@@ -44,7 +45,23 @@ func (c *Cluster) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/admin/health", c.adminHealth)
 	mux.HandleFunc("/admin/supervisor", c.adminSupervisor)
 	mux.HandleFunc("/admin/dbstats", c.adminDBStats)
+	mux.HandleFunc("/admin/diststats", c.adminDistStats)
 	mux.HandleFunc("/admin/events", c.adminEvents)
+}
+
+// adminDistStats exposes the distribution layer end to end: the build
+// report (what rocks-dist composed), the serving counters (manifest versus
+// package-body traffic — a delta re-mirror advances the former and not the
+// latter), and, when this frontend replicated a parent, the mirror pass's
+// skipped/fetched/verified accounting.
+func (c *Cluster) adminDistStats(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Name   string             `json:"name"`
+		Build  dist.BuildReport   `json:"build"`
+		Serve  dist.ServeStats    `json:"serve"`
+		Mirror *dist.MirrorReport `json:"mirror,omitempty"`
+	}{Name: c.Dist.Name, Build: c.Dist.Report, Serve: c.distSrv.Stats(), Mirror: c.mirrorReport}
+	writeJSON(w, resp)
 }
 
 // adminEvents serves the lifecycle bus: the recent event ring, filtered by

@@ -62,10 +62,10 @@ func TestChaosStormSelfHeals(t *testing.T) {
 	lemon := nodes[4]       // wedges on every install: the quarantine case
 	inj.AddRule(faults.Rule{Op: faults.OpDHCPOffer, Hosts: dhcpVictim.MAC(), Count: 2})
 	inj.AddRule(faults.Rule{Op: faults.OpHTTPPackage, Hosts: absorbed.MAC(), Count: 2, Mode: faults.ModeError500})
-	// The listing fetch tries hdlist then falls back to the directory —
-	// two requests per retry attempt — so exceeding a 3-attempt budget
-	// takes six consecutive 500s.
-	inj.AddRule(faults.Rule{Op: faults.OpHTTPPackage, Hosts: crasher.MAC(), Count: 6, Mode: faults.ModeError500})
+	// The listing fetch tries the digest manifest, then hdlist, then falls
+	// back to the directory — three requests per retry attempt — so
+	// exceeding a 3-attempt budget takes nine consecutive 500s.
+	inj.AddRule(faults.Rule{Op: faults.OpHTTPPackage, Hosts: crasher.MAC(), Count: 9, Mode: faults.ModeError500})
 	inj.AddRule(faults.Rule{Op: faults.OpInstallWedge, Hosts: flakyPower.MAC(), Count: 1})
 	inj.AddRule(faults.Rule{Op: faults.OpPowerCycle, Hosts: flakyPower.MAC(), Count: 1})
 	// The lemon wedges its initial install plus every supervised retry:
@@ -153,8 +153,8 @@ func TestChaosStormSelfHeals(t *testing.T) {
 			errors500++
 		}
 	}
-	if errors500 != 8 {
-		t.Errorf("HTTP 500 injections = %d, want 8 (2 absorbed + 6 crasher)", errors500)
+	if errors500 != 11 {
+		t.Errorf("HTTP 500 injections = %d, want 11 (2 absorbed + 9 crasher)", errors500)
 	}
 	if n := inj.CountOp(faults.OpInstallWedge); n != 5 {
 		t.Errorf("wedge injections = %d, want 5 (1 flaky + 4 lemon)", n)

@@ -113,6 +113,11 @@ type Cluster struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 	baseURL string
+	// distSrv serves c.Dist under /install/dist/ and counts its traffic;
+	// mirrorReport records the parent replication pass when ParentURL was
+	// set. Both feed /admin/diststats.
+	distSrv      *dist.Server
+	mirrorReport *dist.MirrorReport
 	ksAttrs   map[string]string       // shared kickstart attributes; never mutated after startHTTP
 	ksCache   *kickstart.ProfileCache // nil when Config.DisableProfileCache
 	nodeCache *nodeResolver           // nil when Config.DisableProfileCache
@@ -149,14 +154,17 @@ func New(cfg Config) (*Cluster, error) {
 			{Name: "rocks-local", Repo: dist.LocalRocksPackages()},
 		}
 	}
+	var mirrorReport *dist.MirrorReport
 	if cfg.ParentURL != "" {
 		// Default options: a 60s-timeout client (a wedged parent must not
 		// hang frontend construction forever), 8 parallel fetch workers,
-		// and bounded per-file retries.
-		mirror, err := dist.MirrorWith(cfg.ParentURL, "parent-mirror", dist.MirrorOptions{})
+		// and bounded per-file retries. Every fetched body is verified
+		// against the parent's digest manifest when it serves one.
+		mirror, report, err := dist.MirrorReportWith(cfg.ParentURL, "parent-mirror", dist.MirrorOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("core: replicating parent distribution: %w", err)
 		}
+		mirrorReport = &report
 		cfg.Sources = append([]dist.Source{{Name: "parent-mirror", Repo: mirror}}, cfg.Sources...)
 	}
 	c := &Cluster{
@@ -182,6 +190,8 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.Dist = dist.Build(cfg.Name, cfg.Framework, cfg.Sources...)
+	c.distSrv = dist.NewServer(c.Dist)
+	c.mirrorReport = mirrorReport
 	if !cfg.DisableProfileCache {
 		// The CGI's memo: reinstall storms hit one (appliance, arch) class
 		// hundreds of times; one traversal serves them all (§4, §6.1). The

@@ -11,7 +11,6 @@ import (
 	"strings"
 
 	"rocks/internal/clusterdb"
-	"rocks/internal/dist"
 	"rocks/internal/installer"
 	"rocks/internal/kickstart"
 )
@@ -42,7 +41,7 @@ func (c *Cluster) startHTTP() error {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/install/kickstart.cgi", c.kickstartCGI)
-	mux.Handle("/install/dist/", http.StripPrefix("/install/dist", dist.Handler(c.Dist)))
+	mux.Handle("/install/dist/", http.StripPrefix("/install/dist", c.distSrv))
 	mux.HandleFunc("/status", c.statusHandler)
 	mux.HandleFunc("/tables/nodes", func(w http.ResponseWriter, r *http.Request) {
 		report, err := clusterdb.NodesTableReport(c.DB)

@@ -442,7 +442,11 @@ func TestMirrorFailFastOn404(t *testing.T) {
 			io.WriteString(w, "gone-1.0-1.i386.rpm\n")
 			return
 		}
-		hits.Add(1)
+		// Count only package fetches: the manifest probe 404ing here is the
+		// legitimate fallback to the raw listing, not a retry.
+		if strings.HasSuffix(r.URL.Path, ".rpm") {
+			hits.Add(1)
+		}
 		http.NotFound(w, r)
 	}))
 	defer srv.Close()

@@ -1,9 +1,11 @@
 package dist
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -18,63 +20,132 @@ import (
 // distributions with wget over HTTP (§6.2.3). The layout mirrors a Red Hat
 // tree: packages live under RedHat/RPMS/, and RedHat/RPMS/ itself returns a
 // plain-text listing (one filename per line) that the mirror client walks
-// the way wget walks a directory index.
+// the way wget walks a directory index. RedHat/base/manifest adds the
+// digest-bearing view of the same tree (NVRA, size, SHA-256, provenance),
+// which is what makes delta mirroring and end-to-end verification possible.
 
-// Handler serves a distribution read-only over HTTP:
+// ServeStats counts what a distribution server handed out; /admin/diststats
+// exposes them. A re-mirror of an unchanged tree shows ManifestRequests
+// advancing while PackageRequests stands still — the delta pass at work.
+type ServeStats struct {
+	ListingRequests  uint64 `json:"listing_requests"`
+	ManifestRequests uint64 `json:"manifest_requests"`
+	HdlistRequests   uint64 `json:"hdlist_requests"`
+	PackageRequests  uint64 `json:"package_requests"`
+	PackageBytes     int64  `json:"package_bytes"`
+	NotFound         uint64 `json:"not_found"`
+}
+
+// Server serves a distribution read-only over HTTP and counts traffic:
 //
-//	GET {prefix}/RedHat/RPMS/            → newline-separated package listing
-//	GET {prefix}/RedHat/RPMS/<file>.rpm  → the package in its on-disk format
-//	GET {prefix}/profiles/graph.dot      → the framework's graph (diagnostic)
+//	GET {prefix}/RedHat/RPMS/             → newline-separated package listing
+//	GET {prefix}/RedHat/RPMS/<file>.rpm   → the package in its on-disk format
+//	GET {prefix}/RedHat/base/hdlist       → "filename size" per line
+//	GET {prefix}/RedHat/base/manifest     → "NVRA size digest source" per line
+//	GET {prefix}/profiles/graph.dot       → the framework's graph (diagnostic)
 //
 // Replicating an installation web server is safe precisely because this is
 // strictly read-only (§6.3 footnote).
-func Handler(d *Distribution) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/RedHat/RPMS/", func(w http.ResponseWriter, r *http.Request) {
-		rest := strings.TrimPrefix(r.URL.Path, "/RedHat/RPMS/")
-		if rest == "" {
-			var names []string
-			for _, p := range d.Repo.All() {
-				names = append(names, p.Filename())
-			}
-			sort.Strings(names)
-			w.Header().Set("Content-Type", "text/plain")
-			io.WriteString(w, strings.Join(names, "\n")+"\n")
-			return
-		}
-		meta, err := rpm.ParseFilename(rest)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		p := d.Repo.Get(meta.NVRA())
-		if p == nil {
-			http.NotFound(w, r)
-			return
-		}
-		w.Header().Set("Content-Type", "application/x-rpm")
-		if _, err := p.WriteTo(w); err != nil {
-			// Connection-level failure; nothing recoverable server-side.
-			return
-		}
-	})
-	mux.HandleFunc("/RedHat/base/hdlist", func(w http.ResponseWriter, r *http.Request) {
-		// The hdlist gives installers package sizes up front (progress
-		// accounting) without fetching payloads: "filename size" per line.
-		var lines []string
-		for _, p := range d.Repo.All() {
-			lines = append(lines, fmt.Sprintf("%s %d", p.Filename(), p.Size))
-		}
-		sort.Strings(lines)
-		w.Header().Set("Content-Type", "text/plain")
-		io.WriteString(w, strings.Join(lines, "\n")+"\n")
-	})
-	mux.HandleFunc("/profiles/graph.dot", func(w http.ResponseWriter, r *http.Request) {
+type Server struct {
+	d   *Distribution
+	mux *http.ServeMux
+
+	listing  atomic.Uint64
+	manifest atomic.Uint64
+	hdlist   atomic.Uint64
+	packages atomic.Uint64
+	bytes    atomic.Int64
+	notFound atomic.Uint64
+}
+
+// NewServer builds the read-only HTTP server for a distribution.
+func NewServer(d *Distribution) *Server {
+	s := &Server{d: d, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/RedHat/RPMS/", s.serveRPMS)
+	s.mux.HandleFunc("/RedHat/base/hdlist", s.serveHdlist)
+	s.mux.HandleFunc("/RedHat/base/manifest", s.serveManifest)
+	s.mux.HandleFunc("/profiles/graph.dot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
 		io.WriteString(w, d.Framework.DOT())
 	})
-	return mux
+	return s
 }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Server) Stats() ServeStats {
+	return ServeStats{
+		ListingRequests:  s.listing.Load(),
+		ManifestRequests: s.manifest.Load(),
+		HdlistRequests:   s.hdlist.Load(),
+		PackageRequests:  s.packages.Load(),
+		PackageBytes:     s.bytes.Load(),
+		NotFound:         s.notFound.Load(),
+	}
+}
+
+func (s *Server) serveRPMS(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/RedHat/RPMS/")
+	if rest == "" {
+		s.listing.Add(1)
+		var names []string
+		for _, p := range s.d.Repo.All() {
+			// Escape each name so the listing stays one token per line even
+			// for filenames carrying spaces or reserved URL characters, and
+			// so the client can use entries verbatim as URL path segments.
+			names = append(names, url.PathEscape(p.Filename()))
+		}
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, strings.Join(names, "\n")+"\n")
+		return
+	}
+	meta, err := rpm.ParseFilename(rest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p := s.d.Repo.Get(meta.NVRA())
+	if p == nil {
+		s.notFound.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	s.packages.Add(1)
+	w.Header().Set("Content-Type", "application/x-rpm")
+	n, err := p.WriteTo(w)
+	s.bytes.Add(n)
+	if err != nil {
+		// Connection-level failure; nothing recoverable server-side.
+		return
+	}
+}
+
+func (s *Server) serveHdlist(w http.ResponseWriter, r *http.Request) {
+	// The hdlist gives installers package sizes up front (progress
+	// accounting) without fetching payloads: "filename size" per line.
+	s.hdlist.Add(1)
+	var lines []string
+	for _, p := range s.d.Repo.All() {
+		lines = append(lines, fmt.Sprintf("%s %d", p.Filename(), p.Size))
+	}
+	sort.Strings(lines)
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, strings.Join(lines, "\n")+"\n")
+}
+
+func (s *Server) serveManifest(w http.ResponseWriter, r *http.Request) {
+	s.manifest.Add(1)
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, FormatManifest(Manifest(s.d.Repo)))
+}
+
+// Handler serves a distribution read-only over HTTP. Callers that want the
+// traffic counters use NewServer directly; Handler remains for the common
+// fire-and-forget case.
+func Handler(d *Distribution) http.Handler { return NewServer(d) }
 
 // mirrorDefaultClient bounds every mirror fetch the way the installer's
 // default client does (60 s): falling back to http.DefaultClient would let
@@ -91,11 +162,58 @@ type MirrorOptions struct {
 	// keep a campus→department link busy without stampeding the parent.
 	Workers int
 	// Retries is the attempt budget per file (including the first); <= 0
-	// means 3. Only transport errors and 5xx responses are retried.
+	// means 3. Only transport errors, 5xx responses, and digest-mismatched
+	// bodies are retried.
 	Retries int
 	// RetryBackoff is the wait before the second attempt, doubling per
 	// attempt; <= 0 means 100ms.
 	RetryBackoff time.Duration
+	// Baseline, when set, turns the pass into a delta: packages whose
+	// manifest digest matches a baseline package (a previous mirror of the
+	// same parent, or a tree loaded with ReadTree) are reused by reference
+	// and their bodies are never fetched — the paper's "pay only for what
+	// changed" update pass. Requires the parent to serve a digest manifest;
+	// without one the pass silently falls back to a full fetch.
+	Baseline *rpm.Repository
+}
+
+// MirrorReport accounts for one replication pass: what the parent
+// advertised, what the baseline already had, what was actually transferred,
+// and how many bodies were digest-verified (and how many arrived corrupt
+// and were retried).
+type MirrorReport struct {
+	// Listed counts packages the parent advertises.
+	Listed int `json:"listed"`
+	// Skipped counts packages reused from the baseline because their digest
+	// already matched — no body fetched.
+	Skipped int `json:"skipped"`
+	// Fetched counts package bodies transferred, and FetchedBytes their
+	// total serialized size.
+	Fetched      int   `json:"fetched"`
+	FetchedBytes int64 `json:"fetched_bytes"`
+	// Verified counts fetched bodies checked against a manifest digest.
+	Verified int `json:"verified"`
+	// CorruptBodies counts bodies that arrived failing their digest check
+	// and were discarded; each costs one retry from the per-file budget.
+	CorruptBodies int `json:"corrupt_bodies"`
+	// ManifestUsed reports whether the parent served a digest manifest;
+	// false means a legacy listing-only parent (no delta, no verification).
+	ManifestUsed bool `json:"manifest_used"`
+	// Duration is how long the pass took.
+	Duration time.Duration `json:"duration"`
+}
+
+// Summary renders the one-line report rocks-dist prints after a pass.
+func (r MirrorReport) Summary() string {
+	s := fmt.Sprintf("rocks-dist: mirrored %d packages: %d unchanged (skipped), %d fetched (%d bytes), %d verified",
+		r.Listed, r.Skipped, r.Fetched, r.FetchedBytes, r.Verified)
+	if r.CorruptBodies > 0 {
+		s += fmt.Sprintf(", %d corrupt bodies retried", r.CorruptBodies)
+	}
+	if !r.ManifestUsed {
+		s += " (parent serves no manifest: full fetch, unverified)"
+	}
+	return s + fmt.Sprintf(", in %v", r.Duration)
 }
 
 // Mirror replicates a served distribution's packages into a local
@@ -106,12 +224,31 @@ func Mirror(client *http.Client, baseURL, name string) (*rpm.Repository, error) 
 	return MirrorWith(baseURL, name, MirrorOptions{Client: client})
 }
 
-// MirrorWith replicates a served distribution with explicit options.
+// MirrorWith replicates a served distribution with explicit options,
+// discarding the traffic report. See MirrorReportWith.
+func MirrorWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, error) {
+	repo, _, err := MirrorReportWith(baseURL, name, opts)
+	return repo, err
+}
+
+// mirrorItem is one package body the worker pool must fetch.
+type mirrorItem struct {
+	escaped string // listing entry / escaped URL path segment
+	file    string // decoded filename, for errors and reports
+	digest  string // expected payload digest ("" = parent has no manifest)
+}
+
+// MirrorReportWith replicates a served distribution with explicit options.
 // Packages are fetched by a bounded worker pool with per-file retries, so
 // replication scales with package count (§6.2.3) instead of serializing on
 // round trips, and a single bad file fails the pass with an error naming
-// the file.
-func MirrorWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, error) {
+// the file. When the parent serves a digest manifest every fetched body is
+// verified against it — a mismatch counts as transient and is retried, then
+// fails naming the file — and a Baseline turns the pass into a delta that
+// fetches only packages whose digest is missing or changed.
+func MirrorReportWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, MirrorReport, error) {
+	start := time.Now()
+	var report MirrorReport
 	client := opts.Client
 	if client == nil {
 		client = mirrorDefaultClient
@@ -131,21 +268,61 @@ func MirrorWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, erro
 
 	baseURL = strings.TrimSuffix(baseURL, "/")
 	listURL := baseURL + "/RedHat/RPMS/"
-	listing, err := fetchWithRetry(client, listURL, attempts, backoff)
-	if err != nil {
-		return nil, fmt.Errorf("dist: mirroring %s: %w", listURL, err)
+
+	// Prefer the digest manifest; fall back to the plain listing for
+	// pre-manifest parents (full fetch, no verification, no delta).
+	var entries []ManifestEntry
+	if body, err := fetchWithRetry(client, baseURL+"/RedHat/base/manifest", attempts, backoff); err == nil {
+		if parsed, perr := ParseManifest(body); perr == nil {
+			entries, report.ManifestUsed = parsed, true
+		}
 	}
-	names := strings.Fields(string(listing))
+
+	repo := rpm.NewRepository(name)
+	var items []mirrorItem
+	if report.ManifestUsed {
+		report.Listed = len(entries)
+		for _, e := range entries {
+			file := e.NVRA + ".rpm"
+			if e.Digest != "" && opts.Baseline != nil {
+				if base := opts.Baseline.Get(e.NVRA); base != nil && base.EnsureDigest() == e.Digest {
+					// Unchanged content: inherit by reference (a shallow copy
+					// so restamping provenance cannot mutate the baseline).
+					reused := *base
+					reused.Source = name
+					repo.Add(&reused)
+					report.Skipped++
+					continue
+				}
+			}
+			items = append(items, mirrorItem{escaped: url.PathEscape(file), file: file, digest: e.Digest})
+		}
+	} else {
+		listing, err := fetchWithRetry(client, listURL, attempts, backoff)
+		if err != nil {
+			return nil, report, fmt.Errorf("dist: mirroring %s: %w", listURL, err)
+		}
+		for _, entry := range strings.Fields(string(listing)) {
+			file, err := url.PathUnescape(entry)
+			if err != nil {
+				file = entry // tolerate a raw legacy listing
+			}
+			items = append(items, mirrorItem{escaped: entry, file: file})
+		}
+		report.Listed = len(items) + report.Skipped
+	}
 
 	// Fetch into a listing-indexed slice so the result is deterministic
 	// regardless of worker interleaving; the first failing file (in listing
 	// order) wins the error.
-	pkgs := make([]*rpm.Package, len(names))
-	errs := make([]error, len(names))
+	pkgs := make([]*rpm.Package, len(items))
+	errs := make([]error, len(items))
 	var failed atomic.Bool
 	var next atomic.Int64
-	if workers > len(names) {
-		workers = len(names)
+	var fetchedBytes atomic.Int64
+	var corrupt atomic.Int64
+	if workers > len(items) {
+		workers = len(items)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -154,10 +331,11 @@ func MirrorWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, erro
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(names) || failed.Load() {
+				if i >= len(items) || failed.Load() {
 					return
 				}
-				p, err := fetchPackage(client, listURL+names[i], attempts, backoff)
+				it := items[i]
+				p, err := fetchPackage(client, listURL+it.escaped, it, attempts, backoff, &fetchedBytes, &corrupt)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -169,23 +347,30 @@ func MirrorWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository, erro
 		}()
 	}
 	wg.Wait()
+	report.CorruptBodies = int(corrupt.Load())
+	report.FetchedBytes = fetchedBytes.Load()
 	for _, e := range errs {
 		if e != nil {
-			return nil, e
+			return nil, report, e
 		}
 	}
 	// No error recorded means every index was claimed and filled.
-	repo := rpm.NewRepository(name)
-	for _, p := range pkgs {
+	for i, p := range pkgs {
 		repo.Add(p)
+		report.Fetched++
+		if items[i].digest != "" {
+			report.Verified++
+		}
 	}
-	return repo, nil
+	report.Duration = time.Since(start)
+	return repo, report, nil
 }
 
-// fetchPackage downloads and decodes one RPM with bounded retries. Errors
-// always name the file, so an administrator knows exactly which package
-// stalled a replication pass.
-func fetchPackage(client *http.Client, pkgURL string, attempts int, backoff time.Duration) (*rpm.Package, error) {
+// fetchPackage downloads and decodes one RPM with bounded retries, checking
+// its payload digest against the manifest when one is known. Errors always
+// name the file, so an administrator knows exactly which package stalled a
+// replication pass — or which one keeps arriving corrupt.
+func fetchPackage(client *http.Client, pkgURL string, it mirrorItem, attempts int, backoff time.Duration, fetchedBytes, corrupt *atomic.Int64) (*rpm.Package, error) {
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
@@ -194,23 +379,48 @@ func fetchPackage(client *http.Client, pkgURL string, attempts int, backoff time
 		}
 		resp, err := client.Get(pkgURL)
 		if err != nil {
-			lastErr = fmt.Errorf("dist: fetching %s: %w", pkgURL, err)
+			lastErr = fmt.Errorf("dist: fetching %s: %w", it.file, err)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
 			resp.Body.Close()
-			lastErr = fmt.Errorf("dist: fetching %s: HTTP %s", pkgURL, resp.Status)
+			lastErr = fmt.Errorf("dist: fetching %s: HTTP %s", it.file, resp.Status)
 			if resp.StatusCode < 500 {
 				return nil, lastErr // 4xx will not heal on retry
 			}
 			continue
 		}
-		p, err := rpm.Read(resp.Body)
+		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			lastErr = fmt.Errorf("dist: decoding %s: %w", pkgURL, err)
+			lastErr = fmt.Errorf("dist: fetching %s: %w", it.file, err)
 			continue
 		}
+		p, err := rpm.Read(bytes.NewReader(body))
+		if err != nil {
+			// A decode failure (torn tar, embedded-digest mismatch) is a
+			// corrupted transfer: transient, retried.
+			corrupt.Add(1)
+			lastErr = fmt.Errorf("dist: decoding %s: %w", it.file, err)
+			continue
+		}
+		if p.Filename() != it.file {
+			// The body decoded but identifies as a different package — a
+			// substituted file, or a bit flip in the metadata region that
+			// the payload digest cannot see.
+			corrupt.Add(1)
+			lastErr = fmt.Errorf("dist: verifying %s: fetched body identifies as %s", it.file, p.Filename())
+			continue
+		}
+		if it.digest != "" && p.EnsureDigest() != it.digest {
+			// The body is a self-consistent package but not the advertised
+			// one — a flipped bit that survived decoding, or a substituted
+			// file. The manifest is the source of truth.
+			corrupt.Add(1)
+			lastErr = fmt.Errorf("dist: verifying %s: payload digest does not match the parent manifest", it.file)
+			continue
+		}
+		fetchedBytes.Add(int64(len(body)))
 		return p, nil
 	}
 	return nil, fmt.Errorf("dist: giving up after %d attempts: %w", attempts, lastErr)

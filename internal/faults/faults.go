@@ -55,6 +55,11 @@ const (
 	ModeError500 Mode = "error500"
 	// ModeTruncate performs the request but cuts the body short.
 	ModeTruncate Mode = "truncate"
+	// ModeCorrupt performs the request but flips one bit in the middle of
+	// the body, preserving its length — the silent corruption (bad NIC, bad
+	// disk, bad switch) that only content digests can catch. Unlike
+	// ModeTruncate the transfer looks completely successful.
+	ModeCorrupt Mode = "corrupt"
 	// ModeLatency delays the request by the rule's Latency, then lets it
 	// proceed untouched. The fault still appears in the injection log.
 	ModeLatency Mode = "latency"

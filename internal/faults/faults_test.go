@@ -161,6 +161,91 @@ func TestTransportTruncate(t *testing.T) {
 	}
 }
 
+func TestFlipBit(t *testing.T) {
+	in := []byte("abcdefgh")
+	out := FlipBit(in)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d -> %d", len(in), len(out))
+	}
+	diff := 0
+	for i := range in {
+		if in[i] != out[i] {
+			diff++
+			if i != len(in)/2 {
+				t.Errorf("byte %d changed, want only the midpoint", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes changed, want exactly 1", diff)
+	}
+	if string(in) != "abcdefgh" {
+		t.Error("FlipBit mutated its input")
+	}
+	if got := FlipBit(nil); len(got) != 0 {
+		t.Errorf("FlipBit(nil) = %v", got)
+	}
+}
+
+// TestTransportAndMiddlewareCorrupt: both HTTP seams deliver a complete,
+// correct-length 200 response with exactly one bit flipped — the silent
+// corruption only an end-to-end digest check can catch — and hand back the
+// clean bytes once the rule's budget is spent.
+func TestTransportAndMiddlewareCorrupt(t *testing.T) {
+	clean := strings.Repeat("z", 800)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, clean)
+	})
+	for _, seam := range []string{"transport", "middleware"} {
+		t.Run(seam, func(t *testing.T) {
+			inj := NewInjector(9, Rule{Op: OpHTTPPackage, Mode: ModeCorrupt, Count: 1})
+			var url string
+			var client *http.Client
+			switch seam {
+			case "transport":
+				backend := httptest.NewServer(inner)
+				defer backend.Close()
+				url = backend.URL
+				client = &http.Client{Transport: NewTransport(inj, nil, nil)}
+			case "middleware":
+				srv := httptest.NewServer(Middleware(inj, "X-Client-IP", inner))
+				defer srv.Close()
+				url = srv.URL
+				client = http.DefaultClient
+			}
+			get := func() (int, []byte) {
+				resp, err := client.Get(url + "/RedHat/RPMS/pkg-1.0-1.i386.rpm")
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					t.Fatalf("corrupt body must still read to completion: %v", rerr)
+				}
+				return resp.StatusCode, body
+			}
+			code, body := get()
+			if code != http.StatusOK || len(body) != len(clean) {
+				t.Fatalf("corrupted response: status %d, %d bytes, want 200 and %d", code, len(body), len(clean))
+			}
+			diff := 0
+			for i := range body {
+				if body[i] != clean[i] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Errorf("%d bytes differ, want exactly 1", diff)
+			}
+			code, body = get()
+			if code != http.StatusOK || string(body) != clean {
+				t.Errorf("after cap: status %d, body clean=%v", code, string(body) == clean)
+			}
+		})
+	}
+}
+
 func TestTransportClassifiesKickstart(t *testing.T) {
 	inj := NewInjector(5, Rule{Op: OpHTTPKickstart, Count: 1})
 	client := &http.Client{Transport: NewTransport(inj, nil, nil)}

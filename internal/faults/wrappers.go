@@ -98,6 +98,19 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		// the unexpected-EOF a torn TCP connection produces.
 		resp.Body = &truncatedBody{r: bytes.NewReader(body[:len(body)/2])}
 		return resp, nil
+	case ModeCorrupt:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(FlipBit(body)))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
 	default: // ModeError500
 		body := "faults: injected server error\n"
 		return &http.Response{
@@ -112,6 +125,19 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			Request:       req,
 		}, nil
 	}
+}
+
+// FlipBit returns a copy of body with one bit inverted at the midpoint —
+// the canonical injected corruption. Deterministic (no PRNG draw) so a
+// test that knows the clean bytes knows the corrupt ones too; flipping a
+// payload-interior bit leaves framing intact, which is exactly the failure
+// only end-to-end digests detect. Empty bodies pass through unchanged.
+func FlipBit(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0x40
+	}
+	return out
 }
 
 // truncatedBody yields its bytes and then fails with ErrUnexpectedEOF,
@@ -162,6 +188,17 @@ func Middleware(inj *Injector, clientIPHeader string, next http.Handler) http.Ha
 			w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
 			w.WriteHeader(rec.code)
 			w.Write(rec.body.Bytes()[:rec.body.Len()/2])
+		case ModeCorrupt:
+			// Record the full response and deliver it complete — same
+			// status, same length — with one bit flipped in the middle.
+			rec := &recorder{header: http.Header{}, code: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			for k, v := range rec.header {
+				w.Header()[k] = v
+			}
+			w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
+			w.WriteHeader(rec.code)
+			w.Write(FlipBit(rec.body.Bytes()))
 		default: // ModeError500
 			http.Error(w, "faults: injected server error", http.StatusInternalServerError)
 		}

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"rocks/internal/dhcp"
+	"rocks/internal/dist"
 	"rocks/internal/ekv"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
@@ -101,6 +103,13 @@ func (e *transientError) Error() string { return e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
 
 func transient(err error) error { return &transientError{err} }
+
+// errCorruptBody marks a fetched package body that failed a digest check —
+// the package's embedded digest (the body no longer decodes) or the
+// distribution manifest's (a self-consistent body that is not the advertised
+// package). Both are transient: a retry fetches a fresh copy. The package
+// loop turns each occurrence into a package-corrupt lifecycle event.
+var errCorruptBody = errors.New("package body failed digest verification")
 
 // IsTransient reports whether an installation error was classified as
 // transient (retryable): connection failures, 5xx responses, and truncated
@@ -523,7 +532,35 @@ func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart
 		err := retryFetch(ctx, cfg, screen, name, func() error {
 			var ferr error
 			pkg, ferr = fetchPackage(ctx, cfg, listURL, best, name)
-			return ferr
+			if ferr != nil {
+				if errors.Is(ferr, errCorruptBody) {
+					file := best[name].Filename()
+					emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
+					fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+				}
+				return ferr
+			}
+			// End-to-end verification: the body must identify as the package
+			// the listing advertised and hash to the digest the distribution
+			// manifest advertised. A mismatch is a corrupted transfer (or a
+			// poisoned mirror); the body is discarded, the corruption lands
+			// on the lifecycle timeline, and the retry budget fetches a
+			// fresh copy — garbage never reaches the disk.
+			if want := best[name].NVRA(); pkg.NVRA() != want {
+				file := best[name].Filename()
+				emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
+				fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+				pkg = nil
+				return transient(fmt.Errorf("installer: verifying %s: %w (body identifies as a different package)", file, errCorruptBody))
+			}
+			if want := best[name].Digest; want != "" && pkg.EnsureDigest() != want {
+				file := best[name].Filename()
+				emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
+				fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+				pkg = nil
+				return transient(fmt.Errorf("installer: verifying %s: %w (payload digest does not match the distribution manifest)", file, errCorruptBody))
+			}
+			return nil
 		})
 		if err != nil {
 			// The eKV keyboard gives the administrator a chance to fix
@@ -684,10 +721,16 @@ func rebuildGMDriver(n *node.Node, screen io.Writer) error {
 
 // fetchListing retrieves the repository index and resolves the newest
 // compatible version of every package (anaconda's hdlist step). It prefers
-// the hdlist endpoint, which carries sizes for progress accounting, and
-// falls back to the bare directory listing.
+// the digest manifest (sizes for progress accounting plus the payload
+// digest every fetched body must match), then the hdlist, then the bare
+// directory listing — so installs against pre-manifest servers still work,
+// just without verification.
 func fetchListing(ctx context.Context, cfg Config, listURL, arch string) (map[string]rpm.Metadata, error) {
-	entries, err := fetchIndex(ctx, cfg, strings.TrimSuffix(listURL, "RPMS/")+"base/hdlist")
+	base := strings.TrimSuffix(listURL, "RPMS/") + "base/"
+	if best, err := fetchManifest(ctx, cfg, base+"manifest", arch); err == nil {
+		return best, nil
+	}
+	entries, err := fetchIndex(ctx, cfg, base+"hdlist")
 	if err != nil {
 		entries, err = fetchIndex(ctx, cfg, listURL)
 		if err != nil {
@@ -708,6 +751,50 @@ func fetchListing(ctx context.Context, cfg Config, listURL, arch string) (map[st
 				i++
 			}
 		}
+		if !rpm.ArchCompatible(arch, m.Arch) {
+			continue
+		}
+		cur, ok := best[m.Name]
+		if !ok || rpm.Compare(m.Version, cur.Version) > 0 {
+			best[m.Name] = m
+		}
+	}
+	return best, nil
+}
+
+// fetchManifest retrieves the distribution's digest manifest and resolves
+// the newest compatible version of every package, digests included.
+func fetchManifest(ctx context.Context, cfg Config, url, arch string) (map[string]rpm.Metadata, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("installer: %w", err)
+	}
+	resp, err := cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, transient(fmt.Errorf("installer: manifest %s: %w", url, err))
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		ferr := fmt.Errorf("installer: manifest %s: HTTP %s (%v)", url, resp.Status, err)
+		if err != nil || resp.StatusCode >= 500 {
+			ferr = transient(ferr)
+		}
+		return nil, ferr
+	}
+	entries, err := dist.ParseManifest(body)
+	if err != nil {
+		// A garbled manifest is a torn transfer; the caller falls back (or
+		// the listing retry budget takes another shot).
+		return nil, transient(fmt.Errorf("installer: manifest %s: %w", url, err))
+	}
+	best := map[string]rpm.Metadata{}
+	for _, e := range entries {
+		m, err := rpm.ParseFilename(e.NVRA + ".rpm")
+		if err != nil {
+			continue
+		}
+		m.Size, m.Digest, m.Source = e.Size, e.Digest, e.Source
 		if !rpm.ArchCompatible(arch, m.Arch) {
 			continue
 		}
@@ -747,7 +834,7 @@ func fetchPackage(ctx context.Context, cfg Config, listURL string, best map[stri
 	if !ok {
 		return nil, fmt.Errorf("installer: package %q not present in distribution", name)
 	}
-	pkgURL := listURL + m.Filename()
+	pkgURL := listURL + url.PathEscape(m.Filename())
 	req, err := http.NewRequestWithContext(ctx, "GET", pkgURL, nil)
 	if err != nil {
 		return nil, fmt.Errorf("installer: %w", err)
@@ -766,9 +853,11 @@ func fetchPackage(ctx context.Context, cfg Config, listURL string, best map[stri
 	}
 	pkg, err := rpm.Read(pr.Body)
 	if err != nil {
-		// A decode failure on a served package is a torn transfer, not a
-		// bad distribution: the repository only hands out what it decoded.
-		return nil, transient(fmt.Errorf("installer: decoding %s: %w", pkgURL, err))
+		// A decode failure on a served package is a torn or corrupted
+		// transfer, not a bad distribution: the repository only hands out
+		// what it decoded. The embedded digest caught this one; the caller
+		// records the corruption and the retry budget fetches a fresh copy.
+		return nil, transient(fmt.Errorf("installer: decoding %s: %w (%v)", pkgURL, errCorruptBody, err))
 	}
 	return pkg, nil
 }

@@ -633,6 +633,110 @@ type roundTripperFunc func(*http.Request) (*http.Response, error)
 
 func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
 
+// corruptPackagesClient returns a client that routes package-body fetches
+// through the bit-flipping fault transport and everything else (manifest,
+// hdlist, kickstart) through the clean one — corruption lands only on RPM
+// payloads, which is what isolates the digest check under test.
+func corruptPackagesClient(fe *testFrontend, inj *faults.Injector) *http.Client {
+	clean := fe.srv.Client().Transport
+	faulty := faults.NewTransport(inj, clean, nil)
+	return &http.Client{Transport: roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if strings.HasSuffix(r.URL.Path, ".rpm") {
+			return faulty.RoundTrip(r)
+		}
+		return clean.RoundTrip(r)
+	})}
+}
+
+// TestInstallDetectsAndRetriesCorruptPackages: a bounded storm of bit-flipped
+// package bodies is caught by digest verification, surfaced as
+// package-corrupt lifecycle events, and absorbed by the retry budget — the
+// install completes and no corrupt byte reaches the disk.
+func TestInstallDetectsAndRetriesCorruptPackages(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	inj := faults.NewInjector(23, faults.Rule{
+		Op: faults.OpHTTPPackage, Mode: faults.ModeCorrupt, Count: 2})
+	cfg := fe.config()
+	cfg.HTTP = corruptPackagesClient(fe, inj)
+	cfg.DisableEKV = true
+	cfg.FetchRetries = 4
+	cfg.FetchBackoff = time.Millisecond
+	cfg.Events = lifecycle.NewBus(256)
+
+	res, err := Run(context.Background(), n, cfg)
+	if err != nil {
+		t.Fatalf("install did not survive bounded corruption: %v", err)
+	}
+	if res.Packages != 162 {
+		t.Errorf("installed %d packages, want 162", res.Packages)
+	}
+	if !inj.Exhausted() {
+		t.Errorf("corruption budget not consumed: %v", inj.Injected())
+	}
+	corrupt := cfg.Events.Recent(lifecycle.Filter{Type: lifecycle.EventPackageCorrupt})
+	if len(corrupt) != 2 {
+		t.Fatalf("package-corrupt events = %d, want 2:\n%v", len(corrupt), corrupt)
+	}
+	for _, e := range corrupt {
+		if !strings.Contains(e.Detail, ".rpm") {
+			t.Errorf("corrupt event does not name the file: %q", e.Detail)
+		}
+		if e.Phase != lifecycle.PhaseInstall {
+			t.Errorf("corrupt event phase = %s", e.Phase)
+		}
+	}
+	if got := cfg.Events.Recent(lifecycle.Filter{Type: lifecycle.EventInstallComplete}); len(got) != 1 {
+		t.Errorf("install-complete events = %d, want 1", len(got))
+	}
+	// Every installed payload byte survived the storm intact: the package DB
+	// was filled from verified bodies only.
+	if n.PackageDB().Len() != 162 {
+		t.Errorf("package db has %d entries", n.PackageDB().Len())
+	}
+}
+
+// TestPersistentCorruptionFailsInstallNamingFile: when every package body
+// arrives flipped, the retry budget runs out and the install fails —
+// transiently (a re-shoot against a healed mirror is worthwhile), naming
+// the corrupt file, with the corruption on the lifecycle timeline.
+func TestPersistentCorruptionFailsInstallNamingFile(t *testing.T) {
+	fe := newTestFrontend(t)
+	n := newComputeNode()
+	fe.admit(n, "10.255.255.254", "compute-0-0", "compute")
+
+	inj := faults.NewInjector(23, faults.Rule{Op: faults.OpHTTPPackage, Mode: faults.ModeCorrupt})
+	cfg := fe.config()
+	cfg.HTTP = corruptPackagesClient(fe, inj)
+	cfg.DisableEKV = true
+	cfg.FetchRetries = 2
+	cfg.FetchBackoff = time.Millisecond
+	cfg.Events = lifecycle.NewBus(256)
+
+	_, err := Run(context.Background(), n, cfg)
+	if err == nil {
+		t.Fatal("install succeeded against a persistently corrupting server")
+	}
+	if !IsTransient(err) {
+		t.Errorf("corruption-exhausted error not transient: %v", err)
+	}
+	if !strings.Contains(err.Error(), ".rpm") {
+		t.Errorf("error does not name the corrupt file: %v", err)
+	}
+	if n.State() != node.StateCrashed {
+		t.Errorf("state = %s, want crashed", n.State())
+	}
+	corrupt := cfg.Events.Recent(lifecycle.Filter{Type: lifecycle.EventPackageCorrupt})
+	if len(corrupt) < 2 {
+		t.Errorf("package-corrupt events = %d, want one per failed attempt", len(corrupt))
+	}
+	if got := cfg.Events.Recent(lifecycle.Filter{Type: lifecycle.EventInstallComplete}); len(got) != 0 {
+		t.Error("install-complete published despite corruption failure")
+	}
+}
+
 // waitAborted blocks until the node's install-aborted event is on the bus,
 // bounded by the given context.Context.
 func waitAborted(t *testing.T, ctx context.Context, bus *lifecycle.Bus, nodeName string) lifecycle.Event {

@@ -45,6 +45,11 @@ const (
 	EventPartition       EventType = "partition" // disk partitioned + formatted
 	EventPackages        EventType = "packages"  // package installation finished
 	EventPost            EventType = "post"      // %post scripts ran
+	// EventPackageCorrupt reports a fetched package body that failed digest
+	// verification against the distribution manifest; the installer
+	// discards the body and retries, so a corrupt package never lands on
+	// the node's disk.
+	EventPackageCorrupt  EventType = "package-corrupt"
 	EventInstallComplete EventType = "install-complete"
 	EventInstallFailed   EventType = "install-failed"
 	EventInstallAborted  EventType = "install-aborted" // cancelled via context

@@ -209,6 +209,18 @@ func PayloadDigest(files []FileEntry) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// EnsureDigest returns the package's payload digest, computing and stamping
+// it when the package was built in memory and never serialized. Packages
+// that came through WriteTo/Read already carry it. The digest is the
+// package's content identity across the distribution pipeline: manifests,
+// delta mirroring, and install-time verification all key on it.
+func (p *Package) EnsureDigest() string {
+	if p.Digest == "" {
+		p.Digest = PayloadDigest(p.Files)
+	}
+	return p.Digest
+}
+
 // Bytes serializes the package to a byte slice.
 func (p *Package) Bytes() []byte {
 	var buf bytes.Buffer

@@ -48,6 +48,8 @@ func main() {
 		name       = flag.String("name", "Meteor", "cluster name")
 		experiment = flag.String("experiment", "", "run an experiment instead of live mode: table1|microbench|gige|servers|myrinet|updates|all")
 		demo       = flag.Bool("demo", false, "run the scripted management demo and exit")
+		dbdir      = flag.String("dbdir", "", "durable cluster database directory (WAL + snapshots); empty keeps the database in memory")
+		dbfsync    = flag.Bool("dbfsync", false, "fsync every WAL record before its statement applies (requires -dbdir)")
 	)
 	flag.Parse()
 
@@ -56,13 +58,17 @@ func main() {
 		return
 	}
 
-	c, err := core.New(core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond})
+	c, err := core.New(core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond,
+		DBDir: *dbdir, DBFsync: *dbfsync})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cluster-sim:", err)
 		os.Exit(1)
 	}
 	defer c.Close()
 	fmt.Printf("frontend up: %s\n", c.BaseURL())
+	if ri := c.Recovery(); ri != nil {
+		fmt.Printf("cluster database recovered from %s: %s\n", *dbdir, ri)
+	}
 	fmt.Print(c.Dist.Report.Summary())
 
 	if *nodes > 0 {

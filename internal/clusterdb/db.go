@@ -34,12 +34,26 @@ func (t *table) colIndex(name string) int {
 
 // Database is the cluster configuration database. All access goes through
 // Exec (statements) and Query (SELECT); both are safe for concurrent use.
+// Reads (SELECT, pointLookup) take mu shared; mutations serialize on
+// writeMu so the expensive durability work — WAL append, fsync, snapshot
+// writes — happens *outside* the RWMutex, and readers only contend for the
+// brief in-memory apply. That split is what keeps the kickstart CGI's
+// point-lookup mix flat while insert-ethers storms the writer.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*table
+	mu      sync.RWMutex
+	writeMu sync.Mutex
+	tables  map[string]*table
 	// changeSeq increments on every mutation; report generators use it to
-	// decide whether regenerated configuration files are stale.
-	changeSeq int64
+	// decide whether regenerated configuration files are stale. Atomic so
+	// ChangeSeq never queues behind a writer mid-fsync; it is stored under
+	// both writeMu (ordering) and before the apply under mu, so a reader
+	// holding the read lock sees a seq at least as new as the state it
+	// reads — the stale-marking direction the report coalescer needs.
+	changeSeq atomic.Int64
+
+	// dur is the durability layer (write-ahead log + snapshots); nil for a
+	// pure in-memory database (New). See wal.go.
+	dur *durability
 
 	// The fast path: a parse memo and per-plan counters. Both toggles
 	// default on; benchmarks flip them off to measure the scan baseline.
@@ -159,9 +173,41 @@ func (d *Database) Exec(sql string) (*Result, error) {
 		defer d.mu.RUnlock()
 		return d.execSelect(sel)
 	}
+	return d.execMutation(sql, st)
+}
+
+// execMutation runs one mutating statement: log first (when durable), then
+// apply under the write half of the RWMutex. The change sequence advances
+// even when the apply errors — the historical behavior report staleness
+// guards rely on — and the WAL record is appended before the apply, so a
+// replay reproduces the identical (possibly failing) outcome.
+func (d *Database) execMutation(sql string, st statement) (*Result, error) {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if d.dur != nil {
+		if err := d.dur.append(d.changeSeq.Load()+1, sql); err != nil {
+			return nil, err
+		}
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.changeSeq++
+	d.changeSeq.Add(1)
+	res, err := d.applyLocked(st)
+	d.mu.Unlock()
+	if err != nil {
+		return res, err
+	}
+	if d.dur != nil {
+		if serr := d.maybeSnapshotLocked(); serr != nil {
+			return res, fmt.Errorf("clusterdb: statement applied, but snapshot rotation failed: %w", serr)
+		}
+	}
+	return res, nil
+}
+
+// applyLocked dispatches a parsed mutating statement. Callers hold d.mu;
+// both the live write path and WAL replay come through here, which is what
+// makes replay reproduce exactly what the original Exec did.
+func (d *Database) applyLocked(st statement) (*Result, error) {
 	switch s := st.(type) {
 	case createTableStmt:
 		return d.execCreate(s)
@@ -205,9 +251,7 @@ func (d *Database) MustExec(sql string) *Result {
 
 // ChangeSeq returns a counter that increments on every mutation.
 func (d *Database) ChangeSeq() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.changeSeq
+	return d.changeSeq.Load()
 }
 
 // TableNames lists the tables in sorted order.
@@ -262,6 +306,18 @@ func (d *Database) execDrop(s dropTableStmt) (*Result, error) {
 }
 
 func (d *Database) execInsert(s insertStmt) (*Result, error) {
+	return d.insertRows(s, false)
+}
+
+// execInsertBulk is the snapshot loader's INSERT: rows append without
+// per-row uniqueness checks or index maintenance (the snapshot is a dump of
+// a database that already enforced both), and loadSnapshot rebuilds every
+// index once at the end.
+func (d *Database) execInsertBulk(s insertStmt) (*Result, error) {
+	return d.insertRows(s, true)
+}
+
+func (d *Database) insertRows(s insertStmt, bulk bool) (*Result, error) {
 	t, ok := d.tables[s.table]
 	if !ok {
 		return nil, fmt.Errorf("clusterdb: no such table %q", s.table)
@@ -300,10 +356,12 @@ func (d *Database) execInsert(s insertStmt) (*Result, error) {
 			}
 			row[colIdx[i]] = cv
 		}
-		if err := t.checkInsert(row, -1); err != nil {
-			return nil, err
+		if !bulk {
+			if err := t.checkInsert(row, -1); err != nil {
+				return nil, err
+			}
+			t.indexAdd(row, len(t.rows))
 		}
-		t.indexAdd(row, len(t.rows))
 		t.rows = append(t.rows, row)
 		inserted++
 	}
@@ -411,6 +469,8 @@ type DBStats struct {
 	IndexSelects     uint64      `json:"index_selects"`
 	ScanSelects      uint64      `json:"scan_selects"`
 	Indexes          []IndexInfo `json:"indexes"`
+	// WAL is the durability layer's accounting; nil for in-memory databases.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // Stats snapshots the fast-path counters.
@@ -419,6 +479,9 @@ func (d *Database) Stats() DBStats {
 	s.PlanCacheHits, s.PlanCacheMisses, s.PlanCacheEntries = d.plans.stats()
 	s.IndexSelects = d.indexSelects.Load()
 	s.ScanSelects = d.scanSelects.Load()
+	if d.dur != nil {
+		s.WAL = d.dur.stats()
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	for _, name := range d.tableNamesLocked() {

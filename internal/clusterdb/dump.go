@@ -49,7 +49,12 @@ func (d *Database) tableNamesLocked() []string {
 	return names
 }
 
-// sqlLiteral renders a value as an SQL literal.
+// sqlLiteral renders a value as an SQL literal. The only escape the dialect
+// has is quote doubling: newlines, carriage returns, and every other byte
+// embed raw inside the quotes, and SplitStatements + the lexer reassemble
+// multi-line literals byte-for-byte. Snapshots lean on this round-tripping
+// exactly (the regression tests in dump_test.go feed it hostile text), so
+// any new escaping here must change the reader in lockstep.
 func sqlLiteral(v Value) string {
 	switch {
 	case v.Null:
@@ -62,14 +67,25 @@ func sqlLiteral(v Value) string {
 }
 
 // Restore replays a dump into the database. Statements execute in order;
-// the first error aborts the restore.
+// the first error aborts the restore, identifying the statement — recovery
+// paths surface this to an administrator staring at a damaged backup, so
+// "which statement" matters.
 func Restore(d *Database, dump string) error {
-	for _, stmt := range SplitStatements(dump) {
+	for i, stmt := range SplitStatements(dump) {
 		if _, err := d.Exec(stmt); err != nil {
-			return fmt.Errorf("clusterdb: restore: %w", err)
+			return fmt.Errorf("clusterdb: restore: statement %d (%s): %w", i+1, abbreviateSQL(stmt), err)
 		}
 	}
 	return nil
+}
+
+// abbreviateSQL clips a statement for error messages.
+func abbreviateSQL(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
 }
 
 // SplitStatements splits SQL text on statement-terminating semicolons,

@@ -82,3 +82,64 @@ func TestPropertyDumpRestore(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDumpHostileTextRoundTrip is the escaping regression for snapshots:
+// values holding embedded newlines and single quotes (and every other shape
+// that has bitten line-based SQL splitters) must survive Dump → Restore →
+// Dump byte-identically, because snapshot recovery IS this round trip.
+func TestDumpHostileTextRoundTrip(t *testing.T) {
+	hostiles := []string{
+		"plain",
+		"embedded\nnewline",
+		"it's quoted",
+		"both: it's\nsplit across 'lines'",
+		"ends with newline\n",
+		"\nstarts with newline",
+		"\n",
+		"''", // doubled quotes as data
+		"'",
+		"-- a comment lookalike\nINSERT INTO fake VALUES (1);",
+		"a;b;c",
+		"crlf\r\nline",
+		"lone cr\rhere",
+		"tab\tand spaces  ",
+		`backslash \n is two chars`,
+		`double "quotes" inside`,
+	}
+	db := New()
+	db.MustExec(`CREATE TABLE t (k INT, s TEXT)`)
+	for i, h := range hostiles {
+		db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, '%s')`, i, sqlEscape(h)))
+	}
+	first := db.Dump()
+	restored := New()
+	if err := Restore(restored, first); err != nil {
+		t.Fatalf("restore of hostile dump: %v", err)
+	}
+	second := restored.Dump()
+	if first != second {
+		t.Fatalf("hostile dump did not round-trip byte-identically:\n--- first\n%q\n--- second\n%q", first, second)
+	}
+	res, err := restored.Query(`SELECT s FROM t ORDER BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hostiles {
+		if got := res.Rows[i][0].Str; got != h {
+			t.Errorf("row %d: got %q, want %q", i, got, h)
+		}
+	}
+}
+
+// TestRestoreErrorNamesStatement pins the restore diagnostics: an
+// administrator replaying a damaged backup learns which statement died.
+func TestRestoreErrorNamesStatement(t *testing.T) {
+	db := New()
+	err := Restore(db, "CREATE TABLE t (k INT);\nINSERT INTO missing VALUES (1);\n")
+	if err == nil {
+		t.Fatal("restore accepted an INSERT into a missing table")
+	}
+	if !strings.Contains(err.Error(), "statement 2") || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("restore error lacks statement context: %v", err)
+	}
+}

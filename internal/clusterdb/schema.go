@@ -33,37 +33,63 @@ const (
 
 // InitSchema creates the standard tables and seeds the memberships and
 // appliances rows from Table III, plus the site-configuration defaults a
-// freshly installed frontend writes.
+// freshly installed frontend writes. It is idempotent: tables that already
+// exist are kept and tables that already hold rows are not re-seeded, so a
+// durable database recovered from a crash *during* bootstrap — some tables
+// created, some seeds missing — finishes initializing instead of tripping
+// over its own partial work.
 func InitSchema(db *Database) error {
-	stmts := []string{
-		`CREATE TABLE nodes (
+	creates := map[string]string{
+		"nodes": `CREATE TABLE nodes (
 			id INT, mac TEXT, name TEXT, membership INT,
 			rack INT, rank INT, ip TEXT, comment TEXT,
 			arch TEXT, cpus INT)`,
-		`CREATE TABLE memberships (id INT, name TEXT, appliance INT, compute TEXT)`,
-		`CREATE TABLE appliances (id INT, name TEXT, graph TEXT, node TEXT)`,
-		`CREATE TABLE site (name TEXT, value TEXT)`,
-		`INSERT INTO memberships VALUES
+		"memberships": `CREATE TABLE memberships (id INT, name TEXT, appliance INT, compute TEXT)`,
+		"appliances":  `CREATE TABLE appliances (id INT, name TEXT, graph TEXT, node TEXT)`,
+		"site":        `CREATE TABLE site (name TEXT, value TEXT)`,
+	}
+	seeds := map[string]string{
+		"memberships": `INSERT INTO memberships VALUES
 			(1, 'Frontend', 1, 'no'),
 			(2, 'Compute', 2, 'yes'),
 			(3, 'External', 1, 'no'),
 			(4, 'Ethernet Switches', 4, 'no'),
 			(5, 'Myrinet Switches', 4, 'no'),
 			(6, 'Power Units', 5, 'no')`,
-		`INSERT INTO appliances VALUES
+		"appliances": `INSERT INTO appliances VALUES
 			(1, 'frontend', 'default', 'frontend'),
 			(2, 'compute', 'default', 'compute'),
 			(4, 'switch', 'default', ''),
 			(5, 'power', 'default', '')`,
-		`INSERT INTO site VALUES
+		"site": `INSERT INTO site VALUES
 			('ClusterName', 'Rocks Cluster'),
 			('PublicDomain', 'local'),
 			('PrivateNetwork', '10.0.0.0'),
 			('PrivateNetmask', '255.0.0.0'),
 			('KickstartFrom', '10.1.1.1')`,
 	}
-	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+	have := make(map[string]bool)
+	for _, name := range db.TableNames() {
+		have[name] = true
+	}
+	for _, name := range []string{"nodes", "memberships", "appliances", "site"} {
+		if !have[name] {
+			if _, err := db.Exec(creates[name]); err != nil {
+				return fmt.Errorf("clusterdb: initializing schema: %w", err)
+			}
+		}
+		seed, ok := seeds[name]
+		if !ok {
+			continue
+		}
+		res, err := db.Query("SELECT count(*) FROM " + name)
+		if err != nil {
+			return fmt.Errorf("clusterdb: initializing schema: %w", err)
+		}
+		if n, _ := res.Rows[0][0].AsInt(); n > 0 {
+			continue // already seeded (possibly by a recovered database)
+		}
+		if _, err := db.Exec(seed); err != nil {
 			return fmt.Errorf("clusterdb: initializing schema: %w", err)
 		}
 	}

@@ -1,0 +1,493 @@
+package clusterdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rocks/internal/faults"
+)
+
+// kill simulates a kill -9: the file handle closes and the database refuses
+// further mutations, leaving the directory exactly as the last write left
+// it — no Close, no final snapshot.
+func kill(d *Database) {
+	d.dur.crashed.Store(true)
+	d.dur.f.Close()
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Database, RecoveryInfo) {
+	t.Helper()
+	d, info, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return d, info
+}
+
+func seedNodes(t *testing.T, d *Database, n int) {
+	t.Helper()
+	if err := InitSchema(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := InsertNode(d, Node{
+			MAC:  fmt.Sprintf("aa:bb:cc:00:%02x:%02x", i/256, i%256),
+			Name: fmt.Sprintf("compute-0-%d", i), Membership: MembershipCompute,
+			Rack: 0, Rank: i, IP: fmt.Sprintf("10.255.%d.%d", 255-i/256, 254-i%256),
+		}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+}
+
+func TestWALRecoveryAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	d, info := mustOpen(t, dir, Options{})
+	if !info.Fresh {
+		t.Fatalf("expected a fresh directory, got %+v", info)
+	}
+	seedNodes(t, d, 20)
+	want := d.Dump()
+	seq := d.ChangeSeq()
+	kill(d)
+
+	d2, info2 := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info2.Fresh {
+		t.Fatal("recovery reported a fresh directory after a kill")
+	}
+	if info2.Replayed == 0 {
+		t.Fatalf("expected replayed records, got %+v", info2)
+	}
+	if got := d2.Dump(); got != want {
+		t.Errorf("recovered dump differs from pre-kill dump:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if d2.ChangeSeq() != seq {
+		t.Errorf("recovered ChangeSeq = %d, want %d", d2.ChangeSeq(), seq)
+	}
+	// Recovered databases keep working.
+	if _, err := InsertNode(d2, Node{MAC: "aa:bb:cc:ff:ff:01", Name: "compute-0-99",
+		Membership: MembershipCompute, Rank: 99, IP: "10.254.0.1"}); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+func TestWALCloseSnapshotBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	seedNodes(t, d, 5)
+	want := d.Dump()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2, info := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info.Replayed != 0 {
+		t.Errorf("Close should snapshot: want 0 replayed, got %+v", info)
+	}
+	if info.SnapshotSeq == 0 {
+		t.Errorf("expected a snapshot, got %+v", info)
+	}
+	if got := d2.Dump(); got != want {
+		t.Error("snapshot recovery dump differs from pre-close dump")
+	}
+}
+
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{SnapshotEvery: 10})
+	seedNodes(t, d, 30) // several rotations
+	st := d.Stats().WAL
+	if st.Snapshots == 0 {
+		t.Fatalf("expected automatic snapshots, got %+v", st)
+	}
+	snaps, err := sortedSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Errorf("rotation should keep exactly one snapshot, found %v", snaps)
+	}
+	// The log only holds what postdates the snapshot.
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Dump()
+	kill(d)
+	d2, info := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info.SnapshotSeq == 0 || int64(info.Replayed) > d2.ChangeSeq()-info.SnapshotSeq {
+		t.Errorf("recovery did not use the snapshot: %+v (wal was %d bytes)", info, fi.Size())
+	}
+	if got := d2.Dump(); got != want {
+		t.Error("post-rotation recovery dump differs")
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, cut := range []int64{1, 3, 9, 20} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			d, _ := mustOpen(t, dir, Options{})
+			seedNodes(t, d, 3)
+			d.MustExec("INSERT INTO site VALUES ('before', 'x')")
+			wantBefore := d.Dump()
+			d.MustExec("INSERT INTO site VALUES ('last', 'y')")
+			kill(d)
+			wal := filepath.Join(dir, walName)
+			if err := faults.TruncateTail(wal, cut); err != nil {
+				t.Fatal(err)
+			}
+			d2, info := mustOpen(t, dir, Options{})
+			defer d2.Close()
+			if info.TornDropped != 1 {
+				t.Fatalf("want 1 torn record dropped, got %+v", info)
+			}
+			// Only the unacknowledged final record is lost.
+			if got := d2.Dump(); got != wantBefore {
+				t.Errorf("torn-tail recovery lost more than the final record:\n%s", got)
+			}
+			// The tail was truncated to a clean boundary: appending works and
+			// a further recovery is whole.
+			d2.MustExec("INSERT INTO site VALUES ('after', 'z')")
+			want := d2.Dump()
+			kill(d2)
+			d3, info3 := mustOpen(t, dir, Options{})
+			defer d3.Close()
+			if info3.TornDropped != 0 {
+				t.Errorf("second recovery saw a torn tail: %+v", info3)
+			}
+			if d3.Dump() != want {
+				t.Error("second recovery dump differs")
+			}
+		})
+	}
+}
+
+func TestWALTornTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	seedNodes(t, d, 3)
+	wantBefore := d.Dump()
+	d.MustExec("INSERT INTO site VALUES ('last', 'y')")
+	kill(d)
+	if err := faults.FlipTailBit(filepath.Join(dir, walName), 4); err != nil {
+		t.Fatal(err)
+	}
+	d2, info := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info.TornDropped != 1 {
+		t.Fatalf("want the corrupt final record dropped, got %+v", info)
+	}
+	if d2.Dump() != wantBefore {
+		t.Error("bit-flip recovery lost more than the final record")
+	}
+}
+
+func TestWALCorruptMiddleFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	seedNodes(t, d, 3)
+	kill(d)
+	wal := filepath.Join(dir, walName)
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit far from the tail: acknowledged history is corrupt.
+	if err := faults.FlipTailBit(wal, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a log with corrupt acknowledged history")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want a checksum error, got: %v", err)
+	}
+}
+
+func TestSnapshotCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	seedNodes(t, d, 3)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := sortedSnapshots(dir)
+	if len(snaps) != 1 {
+		t.Fatalf("want one snapshot, got %v", snaps)
+	}
+	path := filepath.Join(dir, snaps[0])
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/3] ^= 0x04
+	os.WriteFile(path, raw, 0o600)
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}
+
+// TestCrashSeams drives every durability seam the injector covers and
+// asserts each leaves a directory that recovers to a consistent state.
+func TestCrashSeams(t *testing.T) {
+	seams := []faults.Op{faults.OpDBPreAppend, faults.OpDBPostAppend,
+		faults.OpDBSnapshotMid, faults.OpDBRotateMid}
+	for _, seam := range seams {
+		t.Run(string(seam), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faults.NewInjector(7)
+			d, _ := mustOpen(t, dir, Options{SnapshotEvery: 8, Faults: inj})
+			seedNodes(t, d, 10)
+			preCrash := d.Dump()
+			inj.AddRule(faults.Rule{Op: seam, Count: 1})
+
+			// Drive mutations until the seam fires.
+			var crashErr error
+			for i := 0; i < 20 && crashErr == nil; i++ {
+				_, crashErr = d.Exec(fmt.Sprintf("INSERT INTO site VALUES ('k%d', 'v')", i))
+			}
+			if crashErr == nil {
+				t.Fatal("seam never fired")
+			}
+			if !strings.Contains(crashErr.Error(), "simulated crash") {
+				t.Fatalf("unexpected error: %v", crashErr)
+			}
+			// Crashed databases refuse further mutations...
+			if _, err := d.Exec("INSERT INTO site VALUES ('post', 'crash')"); err == nil {
+				t.Fatal("mutation accepted after a crash")
+			}
+			// ...and Close must not snapshot the frozen state.
+			d.Close()
+
+			d2, info := mustOpen(t, dir, Options{})
+			defer d2.Close()
+			if info.Fresh {
+				t.Fatalf("recovery found nothing: %+v", info)
+			}
+			// Recovery holds at least everything acknowledged before the
+			// crash loop, and nothing impossible: every recovered site key
+			// is one the test wrote.
+			if !strings.Contains(d2.Dump(), preCrash[strings.Index(preCrash, "CREATE"):][:20]) {
+				t.Error("recovered dump lost pre-crash content")
+			}
+			res, err := d2.Query("SELECT count(*) FROM nodes")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := res.Rows[0][0].AsInt(); n != 10 {
+				t.Errorf("recovered %d nodes, want 10 (info %+v)", n, info)
+			}
+		})
+	}
+}
+
+// TestRecoveredIndexesServeLookups pins the snapshot-restore index rebuild:
+// a recovered database must answer point lookups through its indexes, not
+// by scanning (DBStats.IndexSelects advances).
+func TestRecoveredIndexesServeLookups(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	seedNodes(t, d, 50)
+	if err := d.Close(); err != nil { // snapshot on close → recovery is a pure bulk load
+		t.Fatal(err)
+	}
+	d2, info := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info.SnapshotSeq == 0 || info.Replayed != 0 {
+		t.Fatalf("want pure snapshot recovery, got %+v", info)
+	}
+	n, ok, err := NodeByMAC(d2, "aa:bb:cc:00:00:07")
+	if err != nil || !ok {
+		t.Fatalf("NodeByMAC after recovery: ok=%v err=%v", ok, err)
+	}
+	if n.Name != "compute-0-7" {
+		t.Errorf("recovered lookup returned %q", n.Name)
+	}
+	if _, ok, _ := NodeByIP(d2, n.IP); !ok {
+		t.Error("NodeByIP after recovery found nothing")
+	}
+	st := d2.Stats()
+	if st.IndexSelects == 0 {
+		t.Errorf("recovered lookups bypassed the indexes: %+v", st)
+	}
+	// And uniqueness is still enforced over the bulk-loaded rows.
+	if _, err := InsertNode(d2, Node{MAC: "aa:bb:cc:00:00:07", Name: "dup",
+		Membership: MembershipCompute, IP: "10.200.0.1"}); err == nil {
+		t.Error("duplicate MAC accepted after snapshot recovery")
+	}
+}
+
+// TestConcurrentQueryExecDuringOpen drives Query and Exec against a
+// replay-in-progress Open, pinning the recovery/serving boundary: readers
+// interleave safely under the read lock, and writers queue on writeMu until
+// replay finishes. Run under -race this is the proof the lock split is
+// sound.
+func TestConcurrentQueryExecDuringOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	seedNodes(t, d, 100)
+	kill(d)
+
+	var once sync.Once
+	var wg sync.WaitGroup
+	opts := Options{}
+	opts.onReplay = func(rd *Database) {
+		once.Do(func() {
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						rd.Query("SELECT count(*) FROM nodes")
+						NodeByMAC(rd, "aa:bb:cc:00:00:01")
+					}
+				}(g)
+			}
+			// A writer racing the replay must serialize behind it.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := rd.Exec("INSERT INTO site VALUES ('racer', '1')"); err != nil {
+					t.Errorf("concurrent Exec during Open: %v", err)
+				}
+			}()
+		})
+	}
+	d2, info, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	wg.Wait()
+	if info.Replayed == 0 {
+		t.Fatalf("expected replay, got %+v", info)
+	}
+	res, err := d2.Query("SELECT value FROM site WHERE name = 'racer'")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("racer write lost: %v rows=%d", err, len(res.Rows))
+	}
+	// The racer's record must itself be durable: recover again.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, _ := mustOpen(t, dir, Options{})
+	defer d3.Close()
+	if res, _ := d3.Query("SELECT value FROM site WHERE name = 'racer'"); len(res.Rows) != 1 {
+		t.Error("racer write did not survive a second recovery")
+	}
+}
+
+// TestSnapshotHostileTextRoundTrip feeds the snapshot path values full of
+// newlines, quotes, and comment-lookalikes and requires byte-identical
+// recovery — the dump escaping regression at the recovery level.
+func TestSnapshotHostileTextRoundTrip(t *testing.T) {
+	hostiles := []string{
+		"line one\nline two",
+		"it's got 'quotes'\nand a newline",
+		"-- looks like a comment\n-- twice",
+		"semi;colon', 'and fake literal",
+		"crlf\r\nend",
+		"trailing newline\n",
+		"\nleading newline",
+		`back\slash and "double quotes"`,
+	}
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	if err := InitSchema(d); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hostiles {
+		if err := SetSiteValue(d, fmt.Sprintf("hostile%d", i), h); err != nil {
+			t.Fatalf("hostile %d: %v", i, err)
+		}
+	}
+	want := d.Dump()
+	if err := d.Close(); err != nil { // snapshot path
+		t.Fatal(err)
+	}
+	d2, info := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info.Replayed != 0 {
+		t.Fatalf("want snapshot-only recovery, got %+v", info)
+	}
+	if got := d2.Dump(); got != want {
+		t.Errorf("hostile snapshot did not round-trip byte-identically:\n--- want\n%q\n--- got\n%q", want, got)
+	}
+	for i, h := range hostiles {
+		got, err := SiteValue(d2, fmt.Sprintf("hostile%d", i))
+		if err != nil || got != h {
+			t.Errorf("hostile %d: got %q err %v, want %q", i, got, err, h)
+		}
+	}
+}
+
+func TestWALStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{Fsync: true})
+	seedNodes(t, d, 5)
+	st := d.Stats().WAL
+	if st == nil {
+		t.Fatal("durable database reported no WAL stats")
+	}
+	if st.RecordsAppended == 0 || st.BytesAppended == 0 || st.Fsyncs == 0 {
+		t.Errorf("append counters flat: %+v", st)
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st = d.Stats().WAL
+	if st.Snapshots != 1 || st.LastSnapshotSeq != d.ChangeSeq() {
+		t.Errorf("snapshot counters wrong: %+v (seq %d)", st, d.ChangeSeq())
+	}
+	kill(d)
+	d2, _ := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	st2 := d2.Stats().WAL
+	if st2.Replays != 1 {
+		t.Errorf("want 1 replay pass, got %+v", st2)
+	}
+	// In-memory databases have no WAL stats.
+	if New().Stats().WAL != nil {
+		t.Error("in-memory database reported WAL stats")
+	}
+}
+
+func TestInMemoryCloseNoop(t *testing.T) {
+	if err := New().Close(); err != nil {
+		t.Fatalf("Close on in-memory database: %v", err)
+	}
+}
+
+func TestInitSchemaIdempotentAfterPartialBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := mustOpen(t, dir, Options{})
+	// Bootstrap crashes after two tables exist and one seed landed.
+	d.MustExec("CREATE TABLE nodes (id INT, mac TEXT, name TEXT, membership INT, rack INT, rank INT, ip TEXT, comment TEXT, arch TEXT, cpus INT)")
+	d.MustExec("CREATE TABLE site (name TEXT, value TEXT)")
+	d.MustExec("INSERT INTO site VALUES ('ClusterName', 'Half')")
+	kill(d)
+	d2, info := mustOpen(t, dir, Options{})
+	defer d2.Close()
+	if info.Fresh {
+		t.Fatalf("partial bootstrap should not look fresh: %+v", info)
+	}
+	if err := InitSchema(d2); err != nil {
+		t.Fatalf("InitSchema on a partially bootstrapped database: %v", err)
+	}
+	if got := d2.TableNames(); len(got) != 4 {
+		t.Errorf("tables after re-init: %v", got)
+	}
+	// The existing seed row survived (not duplicated, not clobbered).
+	v, err := SiteValue(d2, "ClusterName")
+	if err != nil || v != "Half" {
+		t.Errorf("ClusterName = %q, %v", v, err)
+	}
+	if res, _ := d2.Query("SELECT count(*) FROM memberships"); len(res.Rows) == 1 {
+		if n, _ := res.Rows[0][0].AsInt(); n != 6 {
+			t.Errorf("memberships seeded %d rows, want 6", n)
+		}
+	}
+}

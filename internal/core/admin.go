@@ -111,19 +111,22 @@ func (c *Cluster) adminEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // adminDBStats exposes the database fast path's instrumentation: plan-cache
-// traffic, index-vs-scan SELECT counts, per-index key counts, the report
-// coalescer's write/skip counters, and the kickstart profile cache.
+// traffic, index-vs-scan SELECT counts, per-index key counts, the WAL and
+// snapshot counters (durable databases), what recovery found at startup,
+// the report coalescer's write/skip counters, and the kickstart profile
+// cache.
 func (c *Cluster) adminDBStats(w http.ResponseWriter, r *http.Request) {
 	ksHits, ksMisses, ksInvalidations := c.KickstartCacheStats()
 	resp := struct {
-		DB        clusterdb.DBStats `json:"db"`
-		Reports   ReportStats       `json:"reports"`
+		DB        clusterdb.DBStats       `json:"db"`
+		Recovery  *clusterdb.RecoveryInfo `json:"recovery,omitempty"`
+		Reports   ReportStats             `json:"reports"`
 		Kickstart struct {
 			Hits          uint64 `json:"hits"`
 			Misses        uint64 `json:"misses"`
 			Invalidations uint64 `json:"invalidations"`
 		} `json:"kickstart_cache"`
-	}{DB: c.DB.Stats(), Reports: c.ReportStats()}
+	}{DB: c.DB.Stats(), Recovery: c.recovery, Reports: c.ReportStats()}
 	resp.Kickstart.Hits = ksHits
 	resp.Kickstart.Misses = ksMisses
 	resp.Kickstart.Invalidations = ksInvalidations

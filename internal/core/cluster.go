@@ -79,6 +79,19 @@ type Config struct {
 	// EventRingSize bounds the lifecycle event bus's ring buffer; zero
 	// means lifecycle.DefaultRingSize.
 	EventRingSize int
+	// DBDir, when set, makes the cluster database durable: mutations append
+	// to a write-ahead log in this directory and Close snapshots it, so a
+	// frontend restarted on the same directory recovers every node binding
+	// a crash would otherwise lose. Empty means in-memory (pure-simulation
+	// tests).
+	DBDir string
+	// DBFsync forces every WAL record to stable storage before its
+	// statement applies (the last-record guarantee, at one fsync per
+	// mutation).
+	DBFsync bool
+	// DBSnapshotEvery overrides how many logged mutations trigger an
+	// automatic snapshot + log rotation; zero means the clusterdb default.
+	DBSnapshotEvery int
 }
 
 // Cluster is a running Rocks cluster.
@@ -132,6 +145,10 @@ type Cluster struct {
 
 	reports reportCoalescer
 
+	// recovery records what Open found when DBDir was set and held a
+	// previous life's database; nil for fresh or in-memory databases.
+	recovery *clusterdb.RecoveryInfo
+
 	wg     sync.WaitGroup
 	closed bool
 }
@@ -170,7 +187,6 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:         cfg,
 		events:      lifecycle.NewBus(cfg.EventRingSize),
-		DB:          clusterdb.New(),
 		Syslog:      syslogd.New(),
 		Bus:         dhcp.NewBus(),
 		NIS:         nis.NewDomain("rocks"),
@@ -183,10 +199,38 @@ func New(cfg Config) (*Cluster, error) {
 		quarantined: make(map[string]bool),
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
+	if cfg.DBDir != "" {
+		// Durable database: recover whatever a previous life left behind —
+		// the node bindings a frontend crash mid-discovery-storm would
+		// otherwise silently lose.
+		db, info, err := clusterdb.Open(cfg.DBDir, clusterdb.Options{
+			Fsync:         cfg.DBFsync,
+			SnapshotEvery: cfg.DBSnapshotEvery,
+			Faults:        cfg.Faults,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: opening cluster database in %s: %w", cfg.DBDir, err)
+		}
+		c.DB = db
+		if !info.Fresh {
+			c.recovery = &info
+			c.events.Publish(lifecycle.Event{
+				Node: "frontend-0", Phase: lifecycle.PhaseRun,
+				Type: lifecycle.EventDBRecovered, Source: "clusterdb",
+				Detail: info.String(),
+			})
+		}
+	} else {
+		c.DB = clusterdb.New()
+	}
+	// InitSchema is idempotent: on a recovered database (even one that
+	// crashed mid-bootstrap) it fills in only what is missing.
 	if err := clusterdb.InitSchema(c.DB); err != nil {
+		c.DB.Close()
 		return nil, err
 	}
 	if err := clusterdb.SetSiteValue(c.DB, "ClusterName", cfg.Name); err != nil {
+		c.DB.Close()
 		return nil, err
 	}
 	c.Dist = dist.Build(cfg.Name, cfg.Framework, cfg.Sources...)
@@ -235,18 +279,45 @@ func New(cfg Config) (*Cluster, error) {
 	})
 
 	if err := c.startHTTP(); err != nil {
+		c.DB.Close()
 		return nil, err
 	}
 
-	// Install the frontend through its own services.
+	// Install the frontend through its own services. A recovered database
+	// already holds the frontend's row; rebind it to this life's MAC (the
+	// allocator restarts from scratch, so it usually matches anyway) instead
+	// of tripping the unique name index.
 	fe := node.New(hardware.Frontend(c.macs))
 	c.Frontend = fe
-	if _, err := clusterdb.InsertNode(c.DB, clusterdb.Node{
+	if existing, ok, err := clusterdb.NodeByName(c.DB, "frontend-0"); err != nil {
+		c.Close()
+		return nil, err
+	} else if ok {
+		if existing.MAC != fe.MAC() {
+			if err := clusterdb.RebindNodeMAC(c.DB, "frontend-0", fe.MAC()); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	} else if _, err := clusterdb.InsertNode(c.DB, clusterdb.Node{
 		MAC: fe.MAC(), Name: "frontend-0", Membership: clusterdb.MembershipFrontend,
 		IP: FrontendIP, Comment: "Gateway machine", Arch: fe.HW.Arch, CPUs: fe.HW.CPUs,
 	}); err != nil {
 		c.Close()
 		return nil, err
+	}
+	if c.recovery != nil {
+		// Recovered rows hold MACs from the previous life's allocator; take
+		// them out of circulation so a *new* simulated machine cannot DHCP
+		// into a recovered node's identity.
+		rows, err := clusterdb.Nodes(c.DB, "")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		for _, n := range rows {
+			c.macs.Reserve(n.MAC)
+		}
 	}
 	if err := c.syncDHCP(); err != nil {
 		c.Close()
@@ -566,4 +637,13 @@ func (c *Cluster) Close() {
 		c.httpLn.Close()
 	}
 	c.wg.Wait()
+	// Last: a final snapshot bounds the next Open's replay. After wg.Wait
+	// no cluster goroutine can still be writing.
+	if err := c.DB.Close(); err != nil {
+		c.Syslog.Log("frontend-0", "clusterdb", "closing database: %v", err)
+	}
 }
+
+// Recovery reports what the durable database recovered at startup: nil when
+// the database was in-memory or the directory was fresh.
+func (c *Cluster) Recovery() *clusterdb.RecoveryInfo { return c.recovery }

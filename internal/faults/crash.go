@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+)
+
+// Durability crash seams. The clusterdb write-ahead log asks the injector,
+// at each point where a kill -9 would leave a distinct on-disk state,
+// whether to die right there. A firing freezes the files exactly as the
+// power failure would — nothing is unwound — and the database refuses all
+// further mutations until the directory is reopened and recovered. Tests
+// seed the injector, crash a discovery storm at each seam in turn, and
+// assert recovery converges to the uncrashed reference.
+const (
+	// OpDBPreAppend kills the frontend before a mutation's WAL record is
+	// written: neither the log nor memory has the statement. The client saw
+	// an error, so nothing is lost.
+	OpDBPreAppend Op = "db.wal.pre-append"
+	// OpDBPostAppend kills the frontend after the WAL record is durable but
+	// before the statement is applied in memory. Recovery replays the
+	// record, so the unacknowledged statement reappears — the client must
+	// treat its error as "unknown outcome", exactly as with a real database.
+	OpDBPostAppend Op = "db.wal.post-append"
+	// OpDBSnapshotMid kills the frontend halfway through writing a snapshot:
+	// a partial .tmp file is left behind and must be ignored on recovery.
+	OpDBSnapshotMid Op = "db.snapshot.mid"
+	// OpDBRotateMid kills the frontend after the new snapshot is renamed
+	// into place but before the WAL is truncated: recovery must not replay
+	// records the snapshot already contains.
+	OpDBRotateMid Op = "db.rotate.mid"
+)
+
+// CrashPoint asks whether a simulated kill -9 fires at a durability seam.
+// A nil injector never crashes, so production paths pay one nil check.
+func CrashPoint(inj *Injector, op Op, identities ...string) bool {
+	if inj == nil {
+		return false
+	}
+	_, fire := inj.ShouldInject(op, identities...)
+	return fire
+}
+
+// TruncateTail cuts the last n bytes off a file — the torn write a power
+// failure leaves when only a prefix of the final record reached the platter.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > fi.Size() {
+		return fmt.Errorf("faults: TruncateTail(%s, %d): file holds %d bytes", path, n, fi.Size())
+	}
+	return os.Truncate(path, fi.Size()-n)
+}
+
+// FlipTailBit flips one bit fromEnd bytes before the end of a file — the
+// in-place corruption of a sector that was being rewritten at power-off.
+func FlipTailBit(path string, fromEnd int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	off := fi.Size() - 1 - fromEnd
+	if off < 0 {
+		return fmt.Errorf("faults: FlipTailBit(%s, %d): file holds %d bytes", path, fromEnd, fi.Size())
+	}
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		return err
+	}
+	b[0] ^= 0x10
+	_, err = f.WriteAt(b, off)
+	return err
+}

@@ -9,6 +9,7 @@ package hardware
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -154,6 +155,24 @@ func (a *MACAllocator) Next() string {
 	n := a.next
 	a.next++
 	return fmt.Sprintf("%s:%02x:%02x:%02x", a.oui, byte(n>>16), byte(n>>8), byte(n))
+}
+
+// Reserve marks a MAC as already in use: if it falls under this
+// allocator's OUI at or beyond the next handout, allocation resumes past
+// it. A frontend recovering a durable database reserves every registered
+// MAC so newly simulated machines cannot collide with — and silently
+// adopt — a recovered node's identity. MACs outside the OUI are ignored.
+func (a *MACAllocator) Reserve(mac string) {
+	var b1, b2, b3 byte
+	if _, err := fmt.Sscanf(strings.ToLower(mac), a.oui+":%02x:%02x:%02x", &b1, &b2, &b3); err != nil {
+		return
+	}
+	n := uint32(b1)<<16 | uint32(b2)<<8 | uint32(b3)
+	a.mu.Lock()
+	if n >= a.next {
+		a.next = n + 1
+	}
+	a.mu.Unlock()
 }
 
 // Catalog returns the heterogeneous node-type mix of the Meteor cluster

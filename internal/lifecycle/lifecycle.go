@@ -65,6 +65,10 @@ const (
 	EventQuarantine       EventType = "quarantine"
 	EventUnquarantine     EventType = "unquarantine"
 	EventRecovered        EventType = "recovered"
+
+	// Frontend durability (clusterdb): the cluster database was recovered
+	// from its on-disk snapshot + write-ahead log at startup.
+	EventDBRecovered EventType = "db-recovered"
 )
 
 // Event is one step in a node's lifecycle. Node is the best identity known

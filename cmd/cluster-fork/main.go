@@ -8,16 +8,14 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
 	"os"
 	"strings"
 
+	"rocks/internal/apiclient"
 	"rocks/internal/ctools"
 )
 
@@ -44,31 +42,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	endpoint := "/admin/fork"
+	endpoint := "fork"
 	params := url.Values{}
 	if *query != "" {
 		params.Set("query", *query)
 	}
 	if *kill != "" {
-		endpoint = "/admin/kill"
+		endpoint = "kill"
 		params.Set("process", *kill)
 	} else {
 		params.Set("cmd", *cmd)
 	}
-	resp, err := http.Get(strings.TrimSuffix(*server, "/") + endpoint + "?" + params.Encode())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cluster-fork:", err)
-		os.Exit(1)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "cluster-fork: %s: %s", resp.Status, body)
-		os.Exit(1)
-	}
 	var fr forkResponse
-	if err := json.Unmarshal(body, &fr); err != nil {
-		fmt.Fprintln(os.Stderr, "cluster-fork: bad response:", err)
+	if err := apiclient.New(*server).Post(endpoint, params, &fr); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-fork:", err)
 		os.Exit(1)
 	}
 	if *group {

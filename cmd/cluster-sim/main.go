@@ -92,7 +92,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("admin API ready; ^C to stop")
+	fmt.Println("control plane ready: /v1/* (versioned API), /metrics (scrape), /v1/audit (mutation log); ^C to stop")
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch

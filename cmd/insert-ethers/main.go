@@ -12,16 +12,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
 	"os"
 	"strconv"
-	"strings"
 
+	"rocks/internal/apiclient"
 	"rocks/internal/lifecycle"
 )
 
@@ -44,20 +41,9 @@ func main() {
 		"mhz":        {strconv.Itoa(*mhz)},
 		"wait":       {strconv.Itoa(*wait)},
 	}
-	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/integrate?" + params.Encode())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "insert-ethers:", err)
-		os.Exit(1)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "insert-ethers: %s: %s", resp.Status, body)
-		os.Exit(1)
-	}
 	var out map[string][]string
-	if err := json.Unmarshal(body, &out); err != nil {
-		fmt.Fprintln(os.Stderr, "insert-ethers: bad response:", err)
+	if err := apiclient.New(*server).Post("integrate", params, &out); err != nil {
+		fmt.Fprintln(os.Stderr, "insert-ethers:", err)
 		os.Exit(1)
 	}
 	for _, name := range out["integrated"] {

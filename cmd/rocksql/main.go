@@ -9,12 +9,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
 	"os"
-	"strings"
 
+	"rocks/internal/apiclient"
 	"rocks/internal/clusterdb"
 )
 
@@ -34,21 +32,24 @@ func main() {
 		return
 	}
 	params := url.Values{"q": {flag.Arg(0)}}
-	if *exec {
-		params.Set("exec", "1")
+	client := apiclient.New(*server)
+	var out struct {
+		Result string `json:"result"`
 	}
-	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/sql?" + params.Encode())
+	var err error
+	if *exec {
+		// Mutations go over POST: the /v1 surface rejects a GET with
+		// exec=1, and the frontend records the statement in its audit log.
+		params.Set("exec", "1")
+		err = client.Post("sql", params, &out)
+	} else {
+		err = client.Get("sql", params, &out)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocksql:", err)
 		os.Exit(1)
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "rocksql: %s: %s", resp.Status, body)
-		os.Exit(1)
-	}
-	fmt.Print(string(body))
+	fmt.Print(out.Result)
 }
 
 // queryDump restores a database dump (see clusterdb.Dump) and runs the

@@ -13,16 +13,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
 	"os"
 	"strings"
 	"time"
 
+	"rocks/internal/apiclient"
 	"rocks/internal/ekv"
 	"rocks/internal/lifecycle"
 )
@@ -45,19 +43,11 @@ func main() {
 	if *watch {
 		params.Set("watch", "1")
 	}
-	resp, err := http.Get(strings.TrimSuffix(*server, "/") + "/admin/shoot?" + params.Encode())
-	if err != nil {
+	var out map[string]string
+	if err := apiclient.New(*server).Post("shoot", params, &out); err != nil {
 		fmt.Fprintln(os.Stderr, "shoot-node:", err)
 		os.Exit(1)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "shoot-node: %s: %s", resp.Status, body)
-		os.Exit(1)
-	}
-	var out map[string]string
-	json.Unmarshal(body, &out)
 	fmt.Printf("%s: %s\n", strings.Join(flag.Args(), ", "), out["status"])
 
 	if *watch {

@@ -1,0 +1,106 @@
+// Package apiclient is the cmd/ tools' client for a frontend's versioned
+// control plane: GET for reads, POST for mutations, the one /v1 envelope
+// ({"data": ...} / {"error": {code, message, status}}) decoded in one
+// place, and the caller's identity sent as X-Rocks-Actor so every mutation
+// lands in the frontend's audit log with a name attached.
+package apiclient
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+// APIError is the structured error the /v1 surface returns.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Client talks to one frontend.
+type Client struct {
+	// Base is the frontend URL, e.g. http://127.0.0.1:8070.
+	Base string
+	// Actor identifies the caller in the audit log; New defaults it to
+	// $USER.
+	Actor string
+	// HTTP is the underlying client; nil means a 60s-timeout default.
+	HTTP *http.Client
+}
+
+// New builds a client for the frontend at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimSuffix(base, "/"), Actor: os.Getenv("USER")}
+}
+
+// Get performs a read: GET /v1/<op>?<params>, decoding the data envelope
+// into out (out may be nil to discard).
+func (c *Client) Get(op string, params url.Values, out interface{}) error {
+	u := c.Base + "/v1/" + op
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// Post performs a mutation: POST /v1/<op> with form-encoded params.
+func (c *Client) Post(op string, params url.Values, out interface{}) error {
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/"+op,
+		strings.NewReader(params.Encode()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out interface{}) error {
+	if c.Actor != "" {
+		req.Header.Set("X-Rocks-Actor", c.Actor)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 60 * time.Second}
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error *APIError       `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("%s: undecodable response (HTTP %d): %.200s",
+			req.URL.Path, resp.StatusCode, body)
+	}
+	if env.Error != nil {
+		return env.Error
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %.200s", req.URL.Path, resp.StatusCode, body)
+	}
+	if out == nil || len(env.Data) == 0 {
+		return nil
+	}
+	return json.Unmarshal(env.Data, out)
+}

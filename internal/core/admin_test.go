@@ -114,8 +114,8 @@ func TestAdminIntegrateAndShoot(t *testing.T) {
 	}
 
 	code, _ = adminGet(t, c, "/admin/shoot", url.Values{"node": {"ghost"}})
-	if code != 400 {
-		t.Errorf("shooting a ghost: %d", code)
+	if code != 404 {
+		t.Errorf("shooting a ghost: %d, want 404 (unknown node)", code)
 	}
 }
 

@@ -55,11 +55,11 @@ func TestChaosStormSelfHeals(t *testing.T) {
 	}
 	// Target the storm by MAC: under concurrent discovery, hostnames are
 	// assigned in arrival order, so MACs are the only stable handles.
-	dhcpVictim := nodes[0]  // two OFFERs vanish; the discover loop absorbs them
-	absorbed := nodes[1]    // two 500s — within the installer's retry budget
-	crasher := nodes[2]     // six 500s — exceeds the budget, crashes, is revived
-	flakyPower := nodes[3]  // wedges once AND its PDU relay ignores one cycle
-	lemon := nodes[4]       // wedges on every install: the quarantine case
+	dhcpVictim := nodes[0] // two OFFERs vanish; the discover loop absorbs them
+	absorbed := nodes[1]   // two 500s — within the installer's retry budget
+	crasher := nodes[2]    // six 500s — exceeds the budget, crashes, is revived
+	flakyPower := nodes[3] // wedges once AND its PDU relay ignores one cycle
+	lemon := nodes[4]      // wedges on every install: the quarantine case
 	inj.AddRule(faults.Rule{Op: faults.OpDHCPOffer, Hosts: dhcpVictim.MAC(), Count: 2})
 	inj.AddRule(faults.Rule{Op: faults.OpHTTPPackage, Hosts: absorbed.MAC(), Count: 2, Mode: faults.ModeError500})
 	// The listing fetch tries the digest manifest, then hdlist, then falls

@@ -23,6 +23,7 @@ import (
 	"rocks/internal/installer"
 	"rocks/internal/kickstart"
 	"rocks/internal/lifecycle"
+	"rocks/internal/metrics"
 	"rocks/internal/nfs"
 	"rocks/internal/nis"
 	"rocks/internal/node"
@@ -92,6 +93,9 @@ type Config struct {
 	// DBSnapshotEvery overrides how many logged mutations trigger an
 	// automatic snapshot + log rotation; zero means the clusterdb default.
 	DBSnapshotEvery int
+	// AuditRingSize bounds the control-plane audit log's ring buffer;
+	// zero means DefaultAuditRingSize.
+	AuditRingSize int
 }
 
 // Cluster is a running Rocks cluster.
@@ -131,9 +135,9 @@ type Cluster struct {
 	// set. Both feed /admin/diststats.
 	distSrv      *dist.Server
 	mirrorReport *dist.MirrorReport
-	ksAttrs   map[string]string       // shared kickstart attributes; never mutated after startHTTP
-	ksCache   *kickstart.ProfileCache // nil when Config.DisableProfileCache
-	nodeCache *nodeResolver           // nil when Config.DisableProfileCache
+	ksAttrs      map[string]string       // shared kickstart attributes; never mutated after startHTTP
+	ksCache      *kickstart.ProfileCache // nil when Config.DisableProfileCache
+	nodeCache    *nodeResolver           // nil when Config.DisableProfileCache
 
 	mu          sync.Mutex
 	nodes       map[string]*node.Node // by MAC
@@ -142,6 +146,18 @@ type Cluster struct {
 	quarantined map[string]bool
 	quarSeq     int64 // bumps on every quarantine-set change (report guard)
 	supervisor  *Supervisor
+
+	// supStats counts remediation actions across supervisor restarts;
+	// installStats does the same for installer outcomes across node churn.
+	supStats     supervisorStats
+	installStats installer.Stats
+
+	// metricsReg is the one scrapeable surface (/metrics) every layer's
+	// counters register on; audit records every mutating control-plane
+	// call; apiReqs counts control-plane traffic per operation.
+	metricsReg *metrics.Registry
+	audit      *auditLog
+	apiReqs    *metrics.CounterVec
 
 	reports reportCoalescer
 
@@ -277,6 +293,12 @@ func New(cfg Config) (*Cluster, error) {
 		c.mu.Unlock()
 		c.events.Publish(e)
 	})
+
+	// One scrapeable surface for every layer's counters, plus the audit
+	// log the control plane records mutations into. Both must exist
+	// before startHTTP registers their endpoints.
+	c.audit = newAuditLog(cfg.AuditRingSize)
+	c.registerMetrics()
 
 	if err := c.startHTTP(); err != nil {
 		c.DB.Close()
@@ -440,6 +462,7 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 		FetchRetries: retries,
 		FetchBackoff: c.cfg.InstallRetryBackoff,
 		Events:       c.events,
+		Stats:        &c.installStats,
 	}
 	if c.cfg.Faults != nil && n != c.Frontend {
 		identities := func() []string { return []string{n.MAC(), n.Name(), n.IP()} }
@@ -578,6 +601,7 @@ func (c *Cluster) Unquarantine(host string) error {
 	c.mu.Unlock()
 	c.PBS.SetOffline(host, false)
 	c.Syslog.Log("frontend-0", "rocks", "unquarantined %s", host)
+	c.supStats.unquarantines.Add(1)
 	c.events.Publish(lifecycle.Event{
 		Node: host, Phase: lifecycle.PhaseRemediate,
 		Type: lifecycle.EventUnquarantine, Source: "cluster",

@@ -60,9 +60,9 @@ func (c *Cluster) NewMonitor(patience, interval time.Duration) *monitor.Monitor 
 	return m
 }
 
-// adminHealth serves a one-shot health report: every node probed now, dark
+// opHealth serves a one-shot health report: every node probed now, dark
 // nodes flagged, with the PDU outlet to cycle.
-func (c *Cluster) adminHealth(w http.ResponseWriter, r *http.Request) {
+func (c *Cluster) opHealth(r *http.Request) (interface{}, *apiError) {
 	type row struct {
 		Host        string `json:"host"`
 		Alive       bool   `json:"alive"`
@@ -86,5 +86,5 @@ func (c *Cluster) adminHealth(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, rr)
 	}
-	writeJSON(w, rows)
+	return rows, nil
 }

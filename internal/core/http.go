@@ -55,6 +55,7 @@ func (c *Cluster) startHTTP() error {
 		io.WriteString(w, c.Dist.Framework.DOT())
 	})
 	mux.HandleFunc("/install/frontend-form", c.frontendForm)
+	mux.Handle("/metrics", c.metricsReg.Handler())
 	c.registerAdmin(mux)
 	c.httpSrv = &http.Server{Handler: mux}
 	c.wg.Add(1)

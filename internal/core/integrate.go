@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -113,11 +114,15 @@ func (c *Cluster) IntegrateNodes(profiles []hardware.Profile, membership, rack i
 // returns immediately; the nodes transition installing → up in the
 // background (§6.3). Unreachable nodes produce errors — the administrator
 // then reaches for PDU.HardCycle.
+// ErrUnknownNode marks operations naming a host the cluster does not
+// track; the control plane maps it to a 404.
+var ErrUnknownNode = errors.New("unknown node")
+
 func (c *Cluster) ShootNode(names ...string) error {
 	for _, name := range names {
 		n, ok := c.NodeByName(name)
 		if !ok {
-			return fmt.Errorf("core: no node named %q", name)
+			return fmt.Errorf("core: no node named %q: %w", name, ErrUnknownNode)
 		}
 		if _, err := n.Exec("/boot/kickstart/cluster-kickstart"); err != nil {
 			return fmt.Errorf("core: shoot-node %s: %w (try the PDU)", name, err)

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"rocks/internal/metrics"
+	"rocks/internal/node"
+)
+
+// registerMetrics builds the cluster's metrics registry — the /metrics
+// surface — and registers every layer's counters on it: the figures that
+// used to live only in the bespoke JSON of /admin/dbstats, /admin/diststats,
+// /admin/supervisor, and /admin/events, plus the node-population and
+// control-plane gauges. Everything is a collector func sampling live state
+// at scrape time; the registry costs the instrumented paths nothing.
+func (c *Cluster) registerMetrics() {
+	r := metrics.NewRegistry()
+	c.metricsReg = r
+
+	// Database fast path + WAL (the /admin/dbstats "db" block).
+	c.DB.RegisterMetrics(r)
+
+	// Kickstart profile cache. The families exist even when the cache is
+	// disabled (the ablation config), reading zero, so scrape-side
+	// presence checks never depend on configuration.
+	if c.ksCache != nil {
+		c.ksCache.RegisterMetrics(r)
+	} else {
+		r.CounterFunc("rocks_kickstart_cache_hits_total",
+			"Kickstart requests answered from the profile memo.",
+			func() float64 { return 0 })
+		r.CounterFunc("rocks_kickstart_cache_misses_total",
+			"Kickstart requests that paid a full graph traversal.",
+			func() float64 { return 0 })
+		r.CounterFunc("rocks_kickstart_cache_invalidations_total",
+			"Whole-cache drops caused by framework generation bumps.",
+			func() float64 { return 0 })
+	}
+
+	// Distribution serving and (when a parent was replicated) the mirror
+	// pass. The mirror figures are a finished pass's report, so gauges.
+	c.distSrv.RegisterMetrics(r)
+	r.GaugeFunc("rocks_dist_mirror_packages_listed",
+		"Packages the parent distribution advertised (last mirror pass).",
+		func() float64 {
+			if c.mirrorReport == nil {
+				return 0
+			}
+			return float64(c.mirrorReport.Listed)
+		})
+	r.GaugeFunc("rocks_dist_mirror_packages_skipped",
+		"Packages reused from the baseline by digest match (no body fetched).",
+		func() float64 {
+			if c.mirrorReport == nil {
+				return 0
+			}
+			return float64(c.mirrorReport.Skipped)
+		})
+	r.GaugeFunc("rocks_dist_mirror_packages_fetched",
+		"Package bodies transferred from the parent.",
+		func() float64 {
+			if c.mirrorReport == nil {
+				return 0
+			}
+			return float64(c.mirrorReport.Fetched)
+		})
+	r.GaugeFunc("rocks_dist_mirror_bytes_fetched",
+		"Bytes of package bodies transferred from the parent.",
+		func() float64 {
+			if c.mirrorReport == nil {
+				return 0
+			}
+			return float64(c.mirrorReport.FetchedBytes)
+		})
+	r.GaugeFunc("rocks_dist_mirror_corrupt_bodies",
+		"Fetched bodies discarded after failing their manifest digest.",
+		func() float64 {
+			if c.mirrorReport == nil {
+				return 0
+			}
+			return float64(c.mirrorReport.CorruptBodies)
+		})
+
+	// Lifecycle bus health.
+	c.events.RegisterMetrics(r)
+
+	// Report coalescer (the /admin/dbstats "reports" block).
+	r.CounterFunc("rocks_reports_writes_total",
+		"Report regenerations actually performed.",
+		func() float64 { return float64(c.ReportStats().Writes) })
+	r.CounterFunc("rocks_reports_skips_total",
+		"WriteReports calls coalesced away (another write already pending).",
+		func() float64 { return float64(c.ReportStats().Skips) })
+	r.CounterFunc("rocks_reports_scheduled_total",
+		"WriteReports calls that scheduled a deferred regeneration.",
+		func() float64 { return float64(c.ReportStats().Scheduled) })
+
+	// Installer outcomes, aggregated across every node's installs.
+	c.installStats.RegisterMetrics(r)
+
+	// Supervisor remediation (the /admin/supervisor figures).
+	r.CounterFunc("rocks_supervisor_power_cycles_total",
+		"Hard power cycles the supervisor commanded.",
+		func() float64 { return float64(c.supStats.powerCycles.Load()) })
+	r.CounterFunc("rocks_supervisor_power_cycle_failures_total",
+		"Cycle commands the PDU refused or botched.",
+		func() float64 { return float64(c.supStats.powerCycleFails.Load()) })
+	r.CounterFunc("rocks_supervisor_quarantines_total",
+		"Nodes pulled from service after exhausting their retry budget.",
+		func() float64 { return float64(c.supStats.quarantines.Load()) })
+	r.CounterFunc("rocks_supervisor_unquarantines_total",
+		"Repaired nodes returned to service.",
+		func() float64 { return float64(c.supStats.unquarantines.Load()) })
+	r.CounterFunc("rocks_supervisor_recoveries_total",
+		"Failing nodes that reached Up and had their budget refunded.",
+		func() float64 { return float64(c.supStats.recoveries.Load()) })
+	r.GaugeFunc("rocks_supervisor_running",
+		"1 while a remediation supervisor is attached.",
+		func() float64 {
+			if c.Supervisor() != nil {
+				return 1
+			}
+			return 0
+		})
+
+	// Node population.
+	r.GaugeFunc("rocks_nodes",
+		"Nodes the cluster tracks, including the frontend.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.nodes))
+		})
+	r.GaugeFunc("rocks_nodes_quarantined",
+		"Hosts currently quarantined.",
+		func() float64 { return float64(len(c.Quarantined())) })
+	r.GaugeVecFunc("rocks_nodes_state",
+		"Nodes per lifecycle state.", []string{"state"},
+		func() []metrics.Sample {
+			counts := make(map[node.State]int)
+			c.mu.Lock()
+			for _, n := range c.nodes {
+				counts[n.State()]++
+			}
+			c.mu.Unlock()
+			out := make([]metrics.Sample, 0, len(counts))
+			for state, n := range counts {
+				out = append(out, metrics.Sample{Labels: []string{string(state)}, Value: float64(n)})
+			}
+			return out
+		})
+
+	// Startup recovery (what Open found; zero for fresh/in-memory lives).
+	r.GaugeFunc("rocks_db_recovery_records_replayed",
+		"Log records applied during this life's startup recovery.",
+		func() float64 {
+			if c.recovery == nil {
+				return 0
+			}
+			return float64(c.recovery.Replayed)
+		})
+	r.GaugeFunc("rocks_db_recovery_replay_errors",
+		"Replayed records that failed during this life's startup recovery.",
+		func() float64 {
+			if c.recovery == nil {
+				return 0
+			}
+			return float64(c.recovery.ReplayErrors)
+		})
+
+	// Control plane: per-op traffic and the mutation audit log.
+	c.apiReqs = r.CounterVec("rocks_api_requests_total",
+		"Control-plane requests by operation, both /v1 and legacy /admin.", "op")
+	r.CounterFunc("rocks_audit_entries_total",
+		"Mutating control-plane calls recorded in the audit log.",
+		func() float64 { seq, _, _ := c.audit.stats(); return float64(seq) })
+	r.CounterFunc("rocks_audit_errors_total",
+		"Audited calls that failed.",
+		func() float64 { _, _, errs := c.audit.stats(); return float64(errs) })
+	r.CounterFunc("rocks_audit_evictions_total",
+		"Audit entries evicted from the bounded ring.",
+		func() float64 { _, ev, _ := c.audit.stats(); return float64(ev) })
+}
+
+// Metrics exposes the cluster's registry (tests and embedders; HTTP
+// clients scrape /metrics).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metricsReg }

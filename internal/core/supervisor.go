@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rocks/internal/clusterdb"
@@ -90,6 +91,32 @@ const (
 	// refunded.
 	EventRecovered = lifecycle.EventRecovered
 )
+
+// supervisorStats counts remediation actions by type. It lives on the
+// Cluster rather than the Supervisor so the counters stay monotonic
+// across supervisor restarts.
+type supervisorStats struct {
+	powerCycles     atomic.Uint64
+	powerCycleFails atomic.Uint64
+	quarantines     atomic.Uint64
+	unquarantines   atomic.Uint64
+	recoveries      atomic.Uint64
+}
+
+func (st *supervisorStats) count(t EventType) {
+	switch t {
+	case EventPowerCycle:
+		st.powerCycles.Add(1)
+	case EventPowerCycleFailed:
+		st.powerCycleFails.Add(1)
+	case EventQuarantine:
+		st.quarantines.Add(1)
+	case lifecycle.EventUnquarantine:
+		st.unquarantines.Add(1)
+	case EventRecovered:
+		st.recoveries.Add(1)
+	}
+}
 
 // SupervisorEvent is one structured log entry, reconstructed from the
 // supervisor's events on the lifecycle bus.
@@ -393,6 +420,7 @@ func (s *Supervisor) record(host, mac string, t EventType, attempt int, detail s
 // without limit. Safe with or without s.mu held (the bus has its own lock
 // and never calls back).
 func (s *Supervisor) recordLocked(host, mac string, t EventType, attempt int, detail string) {
+	s.c.supStats.count(t)
 	e := s.c.events.Publish(lifecycle.Event{
 		Node:    host,
 		MAC:     mac,

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rocks/internal/metrics"
 	"rocks/internal/rpm"
 )
 
@@ -73,6 +74,25 @@ func NewServer(d *Distribution) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RegisterMetrics exposes the serving counters on the cluster's metrics
+// registry — the /admin/diststats "serve" block, scrapeable. A delta
+// re-mirror shows rocks_dist_manifest_requests_total advancing while
+// rocks_dist_package_requests_total stands still.
+func (s *Server) RegisterMetrics(r *metrics.Registry) {
+	counter := func(name, help string, v *atomic.Uint64) {
+		r.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("rocks_dist_listing_requests_total", "RedHat/RPMS/ directory listings served.", &s.listing)
+	counter("rocks_dist_manifest_requests_total", "Digest manifests served.", &s.manifest)
+	counter("rocks_dist_hdlist_requests_total", "hdlist files served.", &s.hdlist)
+	counter("rocks_dist_package_requests_total", "Package bodies served.", &s.packages)
+	counter("rocks_dist_not_found_total", "Requests for packages the tree does not hold.", &s.notFound)
+	r.CounterFunc("rocks_dist_package_bytes_total", "Package body bytes served.",
+		func() float64 { return float64(s.bytes.Load()) })
+	r.GaugeFunc("rocks_dist_packages", "Packages in the served distribution.",
+		func() float64 { return float64(len(s.d.Repo.All())) })
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Server) Stats() ServeStats {

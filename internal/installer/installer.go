@@ -74,6 +74,9 @@ type Config struct {
 	// boundary (lease, kickstart, partition, packages, post) plus a
 	// terminal install-complete / install-failed / install-aborted event.
 	Events *lifecycle.Bus
+	// Stats, when set, accumulates fetch retries, corrupt-package
+	// discards, and terminal outcomes across every Run sharing it.
+	Stats *Stats
 }
 
 // defaultClient bounds every fetch: http.DefaultClient has no timeout, so
@@ -132,6 +135,7 @@ func retryFetch(ctx context.Context, cfg Config, screen io.Writer, what string, 
 		if err == nil || !IsTransient(err) || try >= cfg.FetchRetries || ctx.Err() != nil {
 			return err
 		}
+		cfg.Stats.retry()
 		fmt.Fprintf(screen, "transient failure fetching %s: %v; retry %d/%d in %s\n",
 			what, err, try+1, cfg.FetchRetries, backoff)
 		select {
@@ -317,6 +321,9 @@ func Run(ctx context.Context, n *node.Node, cfg Config) (*Result, error) {
 	fmt.Fprintf(screen, "installation complete; rebooting\n")
 	n.MarkInstalled()
 	n.SetState(node.StateBooting)
+	if cfg.Stats != nil {
+		cfg.Stats.Complete.Add(1)
+	}
 	emit(cfg, n, lifecycle.EventInstallComplete, fmt.Sprintf("%d packages", count))
 	if ekvSrv != nil {
 		res.EKVTranscript = ekvSrv.Screen()
@@ -333,8 +340,14 @@ func fail(cfg Config, n *node.Node, ekvSrv *ekv.Server, err error) (*Result, err
 	// A cancelled install is an abort commanded from above (Cluster.Close,
 	// a supervisor pre-emption), not a node-local failure.
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cfg.Stats != nil {
+			cfg.Stats.Aborted.Add(1)
+		}
 		emit(cfg, n, lifecycle.EventInstallAborted, err.Error())
 	} else {
+		if cfg.Stats != nil {
+			cfg.Stats.Failed.Add(1)
+		}
 		emit(cfg, n, lifecycle.EventInstallFailed, err.Error())
 	}
 	return nil, err
@@ -497,6 +510,15 @@ func applyPartitioning(n *node.Node, p *kickstart.Profile, screen io.Writer) err
 // installPackages resolves the profile's package names against the served
 // repository listing (newest version per name, like anaconda's hdlist) and
 // downloads and unpacks each one.
+// markCorrupt records one discarded package body in all three places that
+// care: the lifecycle timeline, the node's eKV screen, and the shared
+// corruption counter.
+func markCorrupt(cfg Config, n *node.Node, screen io.Writer, file string) {
+	cfg.Stats.corrupt()
+	emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
+	fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+}
+
 func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart.Profile, distURL string, screen io.Writer, ekvSrv *ekv.Server) (int, int64, error) {
 	n.ResetPackageDB()
 	listURL := distURL + "/RedHat/RPMS/"
@@ -534,9 +556,7 @@ func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart
 			pkg, ferr = fetchPackage(ctx, cfg, listURL, best, name)
 			if ferr != nil {
 				if errors.Is(ferr, errCorruptBody) {
-					file := best[name].Filename()
-					emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
-					fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+					markCorrupt(cfg, n, screen, best[name].Filename())
 				}
 				return ferr
 			}
@@ -548,15 +568,13 @@ func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart
 			// fresh copy — garbage never reaches the disk.
 			if want := best[name].NVRA(); pkg.NVRA() != want {
 				file := best[name].Filename()
-				emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
-				fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+				markCorrupt(cfg, n, screen, file)
 				pkg = nil
 				return transient(fmt.Errorf("installer: verifying %s: %w (body identifies as a different package)", file, errCorruptBody))
 			}
 			if want := best[name].Digest; want != "" && pkg.EnsureDigest() != want {
 				file := best[name].Filename()
-				emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
-				fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+				markCorrupt(cfg, n, screen, file)
 				pkg = nil
 				return transient(fmt.Errorf("installer: verifying %s: %w (payload digest does not match the distribution manifest)", file, errCorruptBody))
 			}

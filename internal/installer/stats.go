@@ -1,0 +1,60 @@
+package installer
+
+import (
+	"sync/atomic"
+
+	"rocks/internal/metrics"
+)
+
+// Stats aggregates install outcomes across every Run sharing one struct —
+// the cluster passes the same *Stats to all installer launches, so the
+// counters survive individual installs and node churn. All fields are
+// atomics; a nil *Stats disables counting (every increment goes through
+// the nil-safe helpers below).
+type Stats struct {
+	// FetchRetries counts automatic retry attempts spent across all HTTP
+	// fetches (kickstart, listing, packages).
+	FetchRetries atomic.Uint64
+	// PackagesCorrupt counts fetched package bodies discarded after
+	// failing digest verification.
+	PackagesCorrupt atomic.Uint64
+	// Complete / Failed / Aborted count terminal install outcomes, in the
+	// same taxonomy as the install-complete/-failed/-aborted lifecycle
+	// events.
+	Complete atomic.Uint64
+	Failed   atomic.Uint64
+	Aborted  atomic.Uint64
+}
+
+func (s *Stats) retry() {
+	if s != nil {
+		s.FetchRetries.Add(1)
+	}
+}
+
+func (s *Stats) corrupt() {
+	if s != nil {
+		s.PackagesCorrupt.Add(1)
+	}
+}
+
+// RegisterMetrics exposes the installer counters. The outcome vec emits
+// all three children even at zero, so a scrape can assert their presence
+// before any install has finished.
+func (s *Stats) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("rocks_installer_fetch_retries_total",
+		"Automatic retry attempts spent on transient fetch failures.",
+		func() float64 { return float64(s.FetchRetries.Load()) })
+	r.CounterFunc("rocks_installer_packages_corrupt_total",
+		"Package bodies discarded after failing digest verification.",
+		func() float64 { return float64(s.PackagesCorrupt.Load()) })
+	r.CounterVecFunc("rocks_installer_installs_total",
+		"Terminal install outcomes.", []string{"outcome"},
+		func() []metrics.Sample {
+			return []metrics.Sample{
+				{Labels: []string{"complete"}, Value: float64(s.Complete.Load())},
+				{Labels: []string{"failed"}, Value: float64(s.Failed.Load())},
+				{Labels: []string{"aborted"}, Value: float64(s.Aborted.Load())},
+			}
+		})
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"rocks/internal/metrics"
 )
 
 // ProfileCache memoizes kickstart generation for one framework. The paper's
@@ -153,6 +155,21 @@ func (pc *ProfileCache) Render(req Request) (string, error) {
 // generation-stamp flushes (invalidations).
 func (pc *ProfileCache) Stats() (hits, misses, invalidations uint64) {
 	return pc.hits.Load(), pc.misses.Load(), pc.invalidations.Load()
+}
+
+// RegisterMetrics exposes the cache counters on the registry. Collector
+// funcs sample the atomics at scrape time; the Generate/Render hot paths
+// are untouched.
+func (pc *ProfileCache) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("rocks_kickstart_cache_hits_total",
+		"Kickstart requests answered from the profile memo.",
+		func() float64 { return float64(pc.hits.Load()) })
+	r.CounterFunc("rocks_kickstart_cache_misses_total",
+		"Kickstart requests that paid a full graph traversal.",
+		func() float64 { return float64(pc.misses.Load()) })
+	r.CounterFunc("rocks_kickstart_cache_invalidations_total",
+		"Whole-cache drops caused by framework generation bumps.",
+		func() float64 { return float64(pc.invalidations.Load()) })
 }
 
 // canonicalAttrs encodes an attribute map into one deterministic string.

@@ -1,6 +1,6 @@
 package lifecycle
 
-// The client side of /admin/events: the CLI tools (shoot-node,
+// The client side of /v1/events: the CLI tools (shoot-node,
 // insert-ethers) fetch a node's merged timeline from a running frontend and
 // render it for a terminal, so "what has this machine been through?" is one
 // flag away from any shell.
@@ -14,18 +14,19 @@ import (
 	"strings"
 )
 
-// TimelineResponse is the JSON shape /admin/events returns.
+// TimelineResponse is the event-listing payload /v1/events returns (inside
+// the data envelope) and /admin/events returns bare.
 type TimelineResponse struct {
 	Events  []Event `json:"events"`
 	Seq     uint64  `json:"seq"`
 	Dropped uint64  `json:"dropped"`
 }
 
-// FetchTimeline queries a frontend's /admin/events for one node's timeline
-// (hostname or MAC; the server merges both identities). server is the admin
-// base URL, e.g. http://127.0.0.1:8070.
+// FetchTimeline queries a frontend's /v1/events for one node's timeline
+// (hostname or MAC; the server merges both identities). server is the
+// frontend base URL, e.g. http://127.0.0.1:8070.
 func FetchTimeline(server, node string) (*TimelineResponse, error) {
-	u := strings.TrimSuffix(server, "/") + "/admin/events?" +
+	u := strings.TrimSuffix(server, "/") + "/v1/events?" +
 		url.Values{"node": {node}}.Encode()
 	resp, err := http.Get(u)
 	if err != nil {
@@ -36,14 +37,22 @@ func FetchTimeline(server, node string) (*TimelineResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("lifecycle: %s: %s", resp.Status, body)
+	var env struct {
+		Data  *TimelineResponse `json:"data"`
+		Error *struct {
+			Message string `json:"message"`
+		} `json:"error"`
 	}
-	var tr TimelineResponse
-	if err := json.Unmarshal(body, &tr); err != nil {
-		return nil, fmt.Errorf("lifecycle: bad /admin/events response: %w", err)
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("lifecycle: bad /v1/events response (%s): %w", resp.Status, err)
 	}
-	return &tr, nil
+	if env.Error != nil {
+		return nil, fmt.Errorf("lifecycle: %s: %s", resp.Status, env.Error.Message)
+	}
+	if env.Data == nil {
+		return nil, fmt.Errorf("lifecycle: empty /v1/events response (%s)", resp.Status)
+	}
+	return env.Data, nil
 }
 
 // FormatTimeline renders a timeline one event per line, aligned for a

@@ -1,0 +1,29 @@
+package lifecycle
+
+import (
+	"rocks/internal/metrics"
+)
+
+// RegisterMetrics exposes the bus's health counters on the registry: how
+// much has happened (Seq), how much the bounded ring has forgotten
+// (Evicted), and whether any reactive consumer is falling behind
+// (SubscriberDrops). Collector funcs take the bus lock only at scrape
+// time.
+func (b *Bus) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("rocks_lifecycle_events_total",
+		"Lifecycle events published on the bus since start.",
+		func() float64 { return float64(b.Seq()) })
+	r.CounterFunc("rocks_lifecycle_ring_evictions_total",
+		"Events pushed out of the bounded ring by newer ones.",
+		func() float64 { return float64(b.Evicted()) })
+	r.CounterFunc("rocks_lifecycle_subscriber_drops_total",
+		"Events lost across current subscribers' full buffers.",
+		func() float64 { return float64(b.SubscriberDrops()) })
+	r.GaugeFunc("rocks_lifecycle_subscribers",
+		"Active bus subscriptions.",
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.subs))
+		})
+}

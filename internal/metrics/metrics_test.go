@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(10)
+	g.Add(-3)
+	g.Dec()
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %v", got)
+	}
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "requests", "op")
+	v.With("shoot").Inc()
+	v.With("shoot").Inc()
+	v.With("fork").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total requests",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{op="fork"} 1`,
+		`test_requests_total{op="shoot"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children render sorted: fork before shoot.
+	if strings.Index(out, `op="fork"`) > strings.Index(out, `op="shoot"`) {
+		t.Errorf("children not sorted:\n%s", out)
+	}
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	var hits uint64 = 42
+	r.CounterFunc("test_hits_total", "sampled hits", func() float64 { return float64(hits) })
+	r.GaugeVecFunc("test_keys", "index keys", []string{"table", "index"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"nodes", "mac"}, Value: 7},
+			{Labels: []string{"nodes", "ip"}, Value: 9},
+		}
+	})
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"test_hits_total 42",
+		`test_keys{table="nodes",index="mac"} 7`,
+		`test_keys{table="nodes",index="ip"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	hits = 43
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "test_hits_total 43") {
+		t.Errorf("func collector not re-sampled:\n%s", b.String())
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "a")
+	for name, fn := range map[string]func(){
+		"duplicate":      func() { r.Counter("test_a_total", "again") },
+		"invalid name":   func() { r.Counter("bad name", "x") },
+		"invalid label":  func() { r.CounterVec("test_b_total", "b", "bad label") },
+		"label mismatch": func() { r.CounterVec("test_c_total", "c", "op").With("a", "b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestExpositionRoundTrip is the format contract: everything WriteText
+// renders, ParseText reads back to the same values — including escaped
+// label values, floats, and specials.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_plain_total", "plain").Add(12345)
+	r.Gauge("rt_float", "float").Set(2.5)
+	r.Gauge("rt_inf", "inf").Set(math.Inf(1))
+	v := r.GaugeVec("rt_labeled", "labeled", "path")
+	v.With(`tricky "quoted"\and\n`).Set(3)
+	v.With("plain").Set(4)
+	r.CounterVec("rt_empty_total", "registered but empty", "op")
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, b.String())
+	}
+	if got, ok := s.Value("rt_plain_total"); !ok || got != 12345 {
+		t.Errorf("rt_plain_total = %v, %v", got, ok)
+	}
+	if got, _ := s.Value("rt_float"); got != 2.5 {
+		t.Errorf("rt_float = %v", got)
+	}
+	if got, _ := s.Value("rt_inf"); !math.IsInf(got, 1) {
+		t.Errorf("rt_inf = %v", got)
+	}
+	if got := s.Sum("rt_labeled"); got != 7 {
+		t.Errorf("Sum(rt_labeled) = %v", got)
+	}
+	// A vec family with no children yet is still visibly registered.
+	if !s.Has("rt_empty_total") {
+		t.Error("empty vec family missing from scrape")
+	}
+	if s.Has("rt_absent") {
+		t.Error("Has reported an unregistered family")
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"name{unterminated=\"x} 1\n",
+		"name 1 2 3\n",
+		"0bad_name 1\n",
+		"name{=\"v\"} 1\n",
+		"name notanumber\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	s, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Value("h_total"); !ok || got != 1 {
+		t.Errorf("h_total = %v, %v", got, ok)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge, and one vec from
+// many goroutines under -race; the final counts must be exact (CAS adds
+// lose nothing).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "c")
+	g := r.Gauge("cg", "g")
+	v := r.CounterVec("cv_total", "v", "worker")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('a' + w%4))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				v.With(id).Inc()
+				if i%100 == 0 {
+					var b strings.Builder
+					r.WriteText(&b) // scrapes race with updates
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %v, want %v", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %v", got, workers*per)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	s, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sum("cv_total"); got != workers*per {
+		t.Errorf("vec sum = %v, want %v", got, workers*per)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for in, want := range map[float64]string{
+		0:       "0",
+		1000000: "1000000",
+		2.5:     "2.5",
+		-12:     "-12",
+	} {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

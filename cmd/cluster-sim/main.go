@@ -19,6 +19,7 @@
 //	cluster-sim -experiment servers     # replicated web servers
 //	cluster-sim -experiment myrinet     # GM rebuild penalty
 //	cluster-sim -experiment updates     # §6.2.1 update-tracking cadence
+//	cluster-sim -experiment relaycurve  # peer/relay vs frontend-only completion curves
 //	cluster-sim -experiment all
 package main
 
@@ -46,7 +47,8 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:0", "frontend HTTP listen address")
 		nodes      = flag.Int("nodes", 2, "compute nodes to integrate at startup")
 		name       = flag.String("name", "Meteor", "cluster name")
-		experiment = flag.String("experiment", "", "run an experiment instead of live mode: table1|microbench|gige|servers|myrinet|updates|all")
+		experiment = flag.String("experiment", "", "run an experiment instead of live mode: table1|microbench|gige|servers|myrinet|updates|relaycurve|all")
+		relays     = flag.Bool("relays", false, "enable the peer relay distribution tier (completed nodes re-serve packages)")
 		demo       = flag.Bool("demo", false, "run the scripted management demo and exit")
 		dbdir      = flag.String("dbdir", "", "durable cluster database directory (WAL + snapshots); empty keeps the database in memory")
 		dbfsync    = flag.Bool("dbfsync", false, "fsync every WAL record before its statement applies (requires -dbdir)")
@@ -59,7 +61,7 @@ func main() {
 	}
 
 	c, err := core.New(core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond,
-		DBDir: *dbdir, DBFsync: *dbfsync})
+		DBDir: *dbdir, DBFsync: *dbfsync, EnableRelays: *relays})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cluster-sim:", err)
 		os.Exit(1)
@@ -242,6 +244,13 @@ func runExperiments(which string) {
 				}
 			}
 			fmt.Printf("%d stale packages after rebuild (want 0)\n", stale)
+		case "relaycurve":
+			fmt.Println("== peer/relay distribution: install completion curves ==")
+			rows := []experiments.CurveComparison{}
+			for _, n := range []int{32, 1000, 10000} {
+				rows = append(rows, experiments.RunCurveComparison(n))
+			}
+			fmt.Print(experiments.FormatCurves(rows))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -249,7 +258,7 @@ func runExperiments(which string) {
 		fmt.Println()
 	}
 	if which == "all" {
-		for _, n := range []string{"table1", "microbench", "gige", "servers", "myrinet", "updates"} {
+		for _, n := range []string{"table1", "microbench", "gige", "servers", "myrinet", "updates", "relaycurve"} {
 			run(n)
 		}
 		return

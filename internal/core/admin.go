@@ -171,6 +171,7 @@ func (c *Cluster) apiEndpoints() []endpoint {
 			run:    c.opReinstall,
 		},
 		{name: "consistency", run: c.opConsistency},
+		{name: "relays", run: c.opRelays},
 		{name: "health", run: c.opHealth},
 		{name: "supervisor", run: c.opSupervisor},
 		{name: "dbstats", run: c.opDBStats},

@@ -29,6 +29,7 @@ import (
 	"rocks/internal/node"
 	"rocks/internal/pbs"
 	"rocks/internal/power"
+	"rocks/internal/rpm"
 	"rocks/internal/syslogd"
 )
 
@@ -96,6 +97,15 @@ type Config struct {
 	// AuditRingSize bounds the control-plane audit log's ring buffer;
 	// zero means DefaultAuditRingSize.
 	AuditRingSize int
+	// EnableRelays turns on the peer distribution tier: completed nodes
+	// re-serve their verified package trees, the frontend's /v1/relays
+	// registry hands installers prioritized peer sources, and installs
+	// fetch peer-first with the frontend as fallback. Off by default —
+	// installs then touch only the frontend, exactly as before.
+	EnableRelays bool
+	// MaxRelaySources caps how many peers /v1/relays offers one installer;
+	// zero means the default (8).
+	MaxRelaySources int
 }
 
 // Cluster is a running Rocks cluster.
@@ -158,6 +168,9 @@ type Cluster struct {
 	metricsReg *metrics.Registry
 	audit      *auditLog
 	apiReqs    *metrics.CounterVec
+
+	// relays is the peer distribution registry (nil unless EnableRelays).
+	relays *relayRegistry
 
 	reports reportCoalescer
 
@@ -298,6 +311,9 @@ func New(cfg Config) (*Cluster, error) {
 	// log the control plane records mutations into. Both must exist
 	// before startHTTP registers their endpoints.
 	c.audit = newAuditLog(cfg.AuditRingSize)
+	if cfg.EnableRelays {
+		c.relays = newRelayRegistry(c)
+	}
 	c.registerMetrics()
 
 	if err := c.startHTTP(); err != nil {
@@ -463,6 +479,14 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 		FetchBackoff: c.cfg.InstallRetryBackoff,
 		Events:       c.events,
 		Stats:        &c.installStats,
+	}
+	if c.relays != nil && n != c.Frontend {
+		// Each install accumulates its verified packages in a fresh store;
+		// the registry promotes it to a serving relay on install-complete.
+		store := rpm.NewRepository(n.MAC() + "-relay")
+		c.relays.expect(n.MAC(), store)
+		cfg.RelayStore = store
+		cfg.RelayURL = c.baseURL + "/v1/relays"
 	}
 	if c.cfg.Faults != nil && n != c.Frontend {
 		identities := func() []string { return []string{n.MAC(), n.Name(), n.IP()} }
@@ -656,6 +680,9 @@ func (c *Cluster) Close() {
 	c.stopReportTimer()
 	if sup != nil {
 		sup.Stop()
+	}
+	if c.relays != nil {
+		c.relays.closeAll()
 	}
 	if c.httpLn != nil {
 		c.httpLn.Close()

@@ -320,6 +320,11 @@ func (c *Cluster) Decommission(name string) error {
 		return fmt.Errorf("core: no node named %q", name)
 	}
 	c.PBS.UnregisterMom(name)
+	if c.relays != nil {
+		// No lifecycle event marks a decommission; withdraw directly so the
+		// registry never offers a powered-off machine as a source.
+		c.relays.withdraw(name, "decommissioned")
+	}
 	if outlet, wired := c.PDU.OutletFor(n.MAC()); wired {
 		c.PDU.Disconnect(outlet)
 	}

@@ -79,6 +79,54 @@ func (c *Cluster) registerMetrics() {
 			return float64(c.mirrorReport.CorruptBodies)
 		})
 
+	// Relay distribution tier. The families exist even with relays
+	// disabled (reading zero), so scrape-side presence checks never depend
+	// on configuration. Relay serve traffic is the load the frontend NIC
+	// did not carry — compare rocks_dist_relay_package_bytes_total against
+	// rocks_dist_package_bytes_total for the offload ratio.
+	r.GaugeFunc("rocks_dist_relays",
+		"Completed nodes currently re-serving their verified package trees.",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			return float64(c.relays.liveCount())
+		})
+	r.CounterFunc("rocks_dist_relays_started_total",
+		"Relays promoted after install-complete.",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			return float64(c.relays.started.Load())
+		})
+	r.CounterFunc("rocks_dist_relays_withdrawn_total",
+		"Relays withdrawn on reinstall, dark, quarantine, or decommission.",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			return float64(c.relays.withdrawn.Load())
+		})
+	r.CounterFunc("rocks_dist_relay_package_requests_total",
+		"Package bodies served by peer relays, live and retired.",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			reqs, _ := c.relays.serveTotals()
+			return float64(reqs)
+		})
+	r.CounterFunc("rocks_dist_relay_package_bytes_total",
+		"Package body bytes served by peer relays, live and retired.",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			_, bytes := c.relays.serveTotals()
+			return float64(bytes)
+		})
+
 	// Lifecycle bus health.
 	c.events.RegisterMetrics(r)
 

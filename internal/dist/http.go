@@ -46,10 +46,17 @@ type ServeStats struct {
 //	GET {prefix}/profiles/graph.dot       → the framework's graph (diagnostic)
 //
 // Replicating an installation web server is safe precisely because this is
-// strictly read-only (§6.3 footnote).
+// strictly read-only (§6.3 footnote) — and because packages carry manifest
+// digests, *any* verified repository can serve the same endpoints: the relay
+// role (NewRepoServer) is a completed node re-serving its install tree to
+// peers.
 type Server struct {
-	d   *Distribution
-	mux *http.ServeMux
+	// repo resolves the served repository at request time. A server built
+	// from a Distribution reads through it, so rebinding the distribution
+	// in place (the §3.3 upgrade flow) is immediately visible; a relay
+	// server (NewRepoServer) serves one fixed repository.
+	repo func() *rpm.Repository
+	mux  *http.ServeMux
 
 	listing  atomic.Uint64
 	manifest atomic.Uint64
@@ -59,16 +66,31 @@ type Server struct {
 	notFound atomic.Uint64
 }
 
-// NewServer builds the read-only HTTP server for a distribution.
+// NewServer builds the read-only HTTP server for a distribution, including
+// the framework graph diagnostic endpoint.
 func NewServer(d *Distribution) *Server {
-	s := &Server{d: d, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/RedHat/RPMS/", s.serveRPMS)
-	s.mux.HandleFunc("/RedHat/base/hdlist", s.serveHdlist)
-	s.mux.HandleFunc("/RedHat/base/manifest", s.serveManifest)
+	s := newServer(func() *rpm.Repository { return d.Repo })
 	s.mux.HandleFunc("/profiles/graph.dot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
 		io.WriteString(w, d.Framework.DOT())
 	})
+	return s
+}
+
+// NewRepoServer builds the read-only HTTP server for a bare repository: the
+// relay server role. A node that finished installing re-serves its
+// digest-verified package tree at the same RPMS/manifest endpoints the
+// frontend uses, so installers can fetch from it interchangeably (peers are
+// trustless — every body is verified against the frontend's manifest).
+func NewRepoServer(repo *rpm.Repository) *Server {
+	return newServer(func() *rpm.Repository { return repo })
+}
+
+func newServer(repo func() *rpm.Repository) *Server {
+	s := &Server{repo: repo, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/RedHat/RPMS/", s.serveRPMS)
+	s.mux.HandleFunc("/RedHat/base/hdlist", s.serveHdlist)
+	s.mux.HandleFunc("/RedHat/base/manifest", s.serveManifest)
 	return s
 }
 
@@ -91,7 +113,7 @@ func (s *Server) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("rocks_dist_package_bytes_total", "Package body bytes served.",
 		func() float64 { return float64(s.bytes.Load()) })
 	r.GaugeFunc("rocks_dist_packages", "Packages in the served distribution.",
-		func() float64 { return float64(len(s.d.Repo.All())) })
+		func() float64 { return float64(len(s.repo().All())) })
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -111,7 +133,7 @@ func (s *Server) serveRPMS(w http.ResponseWriter, r *http.Request) {
 	if rest == "" {
 		s.listing.Add(1)
 		var names []string
-		for _, p := range s.d.Repo.All() {
+		for _, p := range s.repo().All() {
 			// Escape each name so the listing stays one token per line even
 			// for filenames carrying spaces or reserved URL characters, and
 			// so the client can use entries verbatim as URL path segments.
@@ -127,7 +149,7 @@ func (s *Server) serveRPMS(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	p := s.d.Repo.Get(meta.NVRA())
+	p := s.repo().Get(meta.NVRA())
 	if p == nil {
 		s.notFound.Add(1)
 		http.NotFound(w, r)
@@ -148,7 +170,7 @@ func (s *Server) serveHdlist(w http.ResponseWriter, r *http.Request) {
 	// accounting) without fetching payloads: "filename size" per line.
 	s.hdlist.Add(1)
 	var lines []string
-	for _, p := range s.d.Repo.All() {
+	for _, p := range s.repo().All() {
 		lines = append(lines, fmt.Sprintf("%s %d", p.Filename(), p.Size))
 	}
 	sort.Strings(lines)
@@ -159,7 +181,7 @@ func (s *Server) serveHdlist(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveManifest(w http.ResponseWriter, r *http.Request) {
 	s.manifest.Add(1)
 	w.Header().Set("Content-Type", "text/plain")
-	io.WriteString(w, FormatManifest(Manifest(s.d.Repo)))
+	io.WriteString(w, FormatManifest(Manifest(s.repo())))
 }
 
 // Handler serves a distribution read-only over HTTP. Callers that want the

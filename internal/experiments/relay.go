@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rocks/internal/simnet"
+)
+
+// The peer/relay distribution experiment: what breaks a 1k–10k-node mass
+// reinstall is the frontend NIC. Under frontend-only distribution every
+// installing node fair-shares one 100 Mbit port, so the download phase is
+// linear in N and every node finishes at roughly the same (late) moment —
+// the fair-share collapse. Under relay distribution a node that completes
+// becomes a package source for its peers, so serving capacity grows
+// exponentially wave over wave and the completion curve collapses to a
+// logarithmic number of install waves.
+//
+// The model is admission-controlled: each source (the frontend, then every
+// completed relay) serves a bounded number of concurrent install streams —
+// the registry's prioritized source list in the live plane — and a node
+// waits for a slot rather than joining an unbounded fair-share scrum. Racks
+// are modeled as shared uplinks: fetching from a same-rack peer stays
+// inside the rack switch, fetching cross-rack crosses both uplinks, and
+// fetching from the frontend crosses the frontend NIC plus the node's rack
+// uplink.
+
+// gigabitBps is a Gigabit rack uplink's raw capacity in bytes/second.
+const gigabitBps = 125e6
+
+// FleetParams parameterizes one install-completion-curve experiment.
+type FleetParams struct {
+	// Nodes is the fleet size; RackSize nodes share one uplink.
+	Nodes    int
+	RackSize int
+	// FrontendBps is the frontend NIC's capacity in bytes/second — the
+	// paper's dual-PIII frontend on Fast Ethernet: ~92% utilization of
+	// 100 Mbit ≈ 11.5 MB/s.
+	FrontendBps float64
+	// UplinkBps is one rack's uplink capacity (Gigabit by default).
+	UplinkBps float64
+	// NodeBps is a compute node's NIC capacity (Fast Ethernet).
+	NodeBps float64
+	// TotalBytes is one install's wire traffic and DISecs its solo
+	// download-and-install time; zero means the real compute profile
+	// (~225 MB, 223 s — the §6.3 calibration). The smoothed anaconda
+	// pipeline presents TotalBytes/DISecs ≈ 1 MB/s of demand per node.
+	TotalBytes float64
+	DISecs     float64
+	// PreSecs is power-on → first package byte; PostSecs is
+	// post-configuration, the Myrinet driver rebuild, and the final
+	// reboot. A relay starts serving only after PostSecs (install-complete
+	// is what promotes it).
+	PreSecs  float64
+	PostSecs float64
+	// Relay enables the peer tier. SourceStreams is the admission cap: how
+	// many concurrent install streams one source (frontend or relay)
+	// serves. Frontend-only mode ignores it — every node fair-shares the
+	// frontend NIC, which is exactly the failure being measured.
+	Relay         bool
+	SourceStreams int
+}
+
+// DefaultFleetParams returns the paper-hardware configuration for n nodes.
+func DefaultFleetParams(n int, relay bool) FleetParams {
+	work := ComputePackageWork()
+	var total float64
+	for _, w := range work {
+		total += w.Bytes
+	}
+	return FleetParams{
+		Nodes:         n,
+		RackSize:      32,
+		FrontendBps:   mbps(11.5),
+		UplinkBps:     gigabitBps,
+		NodeBps:       fastEthernetBps,
+		TotalBytes:    total,
+		DISecs:        223,
+		PreSecs:       60,
+		PostSecs:      335, // post configuration + GM rebuild + reboot
+		Relay:         relay,
+		SourceStreams: 8,
+	}
+}
+
+// CompletionCurve is one experiment's outcome: every node's completion
+// time, the curve's two headline quantiles, and the byte split that shows
+// whose NIC carried the install.
+type CompletionCurve struct {
+	Params     FleetParams
+	Times      []float64 // sorted install-complete times, seconds
+	TimeTo90   float64   // when 90% of the fleet had completed
+	TimeToLast float64   // when the last node completed
+	// FrontendBytes crossed the frontend NIC; PeerBytes came from relays.
+	FrontendBytes float64
+	PeerBytes     float64
+	// Waves counts distinct completion instants (rounded to the second) —
+	// the staged-growth signature of relay mode.
+	Waves int
+}
+
+// installSource is one place the scheduler can draw a package stream from.
+type installSource struct {
+	nic  *simnet.Link // nil for the frontend (its NIC is shared state)
+	rack int          // -1 for the frontend
+	free int
+}
+
+// RunInstallCurve simulates one mass reinstall and returns its completion
+// curve. Deterministic: same params, same curve.
+func RunInstallCurve(p FleetParams) CompletionCurve {
+	if p.Nodes <= 0 {
+		panic("experiments: need at least one node")
+	}
+	if p.RackSize <= 0 {
+		p.RackSize = 32
+	}
+	if p.TotalBytes <= 0 || p.DISecs <= 0 {
+		d := DefaultFleetParams(p.Nodes, p.Relay)
+		p.TotalBytes, p.DISecs = d.TotalBytes, d.DISecs
+	}
+	if p.SourceStreams <= 0 {
+		p.SourceStreams = 8
+	}
+	effRate := p.TotalBytes / p.DISecs // the smoothed ~1 MB/s demand model
+
+	sim := simnet.New()
+	feNIC := sim.NewLink("frontend-nic", p.FrontendBps)
+	racks := (p.Nodes + p.RackSize - 1) / p.RackSize
+	uplink := make([]*simnet.Link, racks)
+	for r := range uplink {
+		uplink[r] = sim.NewLink(fmt.Sprintf("rack-%d-uplink", r), p.UplinkBps)
+	}
+	nodeNIC := make([]*simnet.Link, p.Nodes)
+	rackOf := make([]int, p.Nodes)
+	for i := range nodeNIC {
+		nodeNIC[i] = sim.NewLink(fmt.Sprintf("node-%d-nic", i), p.NodeBps)
+		rackOf[i] = i / p.RackSize
+	}
+
+	curve := CompletionCurve{Params: p, Times: make([]float64, 0, p.Nodes)}
+
+	if !p.Relay {
+		// Frontend-only: every node joins the fair-share scrum at once.
+		for i := 0; i < p.Nodes; i++ {
+			i := i
+			path := []*simnet.Link{feNIC, uplink[rackOf[i]], nodeNIC[i]}
+			sim.After(p.PreSecs, func() {
+				curve.FrontendBytes += p.TotalBytes
+				sim.StartFlow(fmt.Sprintf("install-%d", i), p.TotalBytes, path, effRate, func() {
+					sim.After(p.PostSecs, func() {
+						curve.Times = append(curve.Times, sim.Now())
+					})
+				})
+			})
+		}
+		sim.Run()
+		return finishCurve(curve)
+	}
+
+	// Relay mode: an admission-controlled scheduler. sources[0] is the
+	// frontend; completed nodes append in completion order (deterministic).
+	sources := []*installSource{{rack: -1, free: p.SourceStreams}}
+	queue := make([]int, 0, p.Nodes)
+
+	var dispatch func()
+	start := func(src *installSource, n int) {
+		var path []*simnet.Link
+		switch {
+		case src.rack < 0:
+			path = []*simnet.Link{feNIC, uplink[rackOf[n]], nodeNIC[n]}
+			curve.FrontendBytes += p.TotalBytes
+		case src.rack == rackOf[n]:
+			// Same rack: the stream never leaves the rack switch.
+			path = []*simnet.Link{src.nic, nodeNIC[n]}
+			curve.PeerBytes += p.TotalBytes
+		default:
+			path = []*simnet.Link{src.nic, uplink[src.rack], uplink[rackOf[n]], nodeNIC[n]}
+			curve.PeerBytes += p.TotalBytes
+		}
+		sim.StartFlow(fmt.Sprintf("install-%d", n), p.TotalBytes, path, effRate, func() {
+			// The source's slot frees when the transfer ends; the client
+			// only becomes a relay after its post phase (install-complete).
+			src.free++
+			dispatch()
+			sim.After(p.PostSecs, func() {
+				curve.Times = append(curve.Times, sim.Now())
+				sources = append(sources, &installSource{
+					nic: nodeNIC[n], rack: rackOf[n], free: p.SourceStreams,
+				})
+				dispatch()
+			})
+		})
+	}
+	dispatch = func() {
+		for len(queue) > 0 {
+			n := queue[0]
+			// Prefer a same-rack relay (no uplink crossing), then any
+			// source with a free slot — the frontend sits at index 0, so
+			// it seeds the first wave and backstops thereafter.
+			var pick *installSource
+			for _, s := range sources {
+				if s.free > 0 && s.rack == rackOf[n] {
+					pick = s
+					break
+				}
+			}
+			if pick == nil {
+				for _, s := range sources {
+					if s.free > 0 {
+						pick = s
+						break
+					}
+				}
+			}
+			if pick == nil {
+				return
+			}
+			queue = queue[1:]
+			pick.free--
+			start(pick, n)
+		}
+	}
+	sim.After(p.PreSecs, func() {
+		for i := 0; i < p.Nodes; i++ {
+			queue = append(queue, i)
+		}
+		dispatch()
+	})
+	sim.Run()
+	return finishCurve(curve)
+}
+
+// finishCurve sorts the completion times and derives the headline figures.
+func finishCurve(c CompletionCurve) CompletionCurve {
+	sort.Float64s(c.Times)
+	n := len(c.Times)
+	if n == 0 {
+		return c
+	}
+	i90 := int(math.Ceil(0.9*float64(n))) - 1
+	c.TimeTo90 = c.Times[i90]
+	c.TimeToLast = c.Times[n-1]
+	last := math.Inf(-1)
+	for _, t := range c.Times {
+		if sec := math.Floor(t); sec != last {
+			c.Waves++
+			last = sec
+		}
+	}
+	return c
+}
+
+// CurveComparison pairs both modes at one fleet size.
+type CurveComparison struct {
+	Nodes        int
+	FrontendOnly CompletionCurve
+	Relay        CompletionCurve
+}
+
+// Speedup reports how much faster relay mode finished the whole fleet.
+func (c CurveComparison) Speedup() float64 {
+	if c.Relay.TimeToLast == 0 {
+		return 0
+	}
+	return c.FrontendOnly.TimeToLast / c.Relay.TimeToLast
+}
+
+// RunCurveComparison runs both modes at one fleet size.
+func RunCurveComparison(n int) CurveComparison {
+	return CurveComparison{
+		Nodes:        n,
+		FrontendOnly: RunInstallCurve(DefaultFleetParams(n, false)),
+		Relay:        RunInstallCurve(DefaultFleetParams(n, true)),
+	}
+}
+
+// FormatCurves renders the comparison the way cluster-sim prints it.
+func FormatCurves(rows []CurveComparison) string {
+	s := fmt.Sprintf("%-7s %-26s %-26s %-9s\n", "Nodes",
+		"Frontend-only 90%/last (s)", "Relay 90%/last (s)", "Speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-7d %-26s %-26s %-9.1f\n", r.Nodes,
+			fmt.Sprintf("%.0f / %.0f", r.FrontendOnly.TimeTo90, r.FrontendOnly.TimeToLast),
+			fmt.Sprintf("%.0f / %.0f", r.Relay.TimeTo90, r.Relay.TimeToLast),
+			r.Speedup())
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkInstallCurve measures the completion-curve experiment itself at
+// the three headline fleet sizes in both modes. The reported custom
+// metrics are the experiment's figures (virtual seconds), so one -bench
+// run yields the whole BENCH table; ns/op is the simulator's own cost of
+// modeling that fleet.
+func BenchmarkInstallCurve(b *testing.B) {
+	for _, n := range []int{32, 1000, 10000} {
+		for _, relay := range []bool{false, true} {
+			mode := "frontend"
+			if relay {
+				mode = "relay"
+			}
+			b.Run(fmt.Sprintf("%s-%d", mode, n), func(b *testing.B) {
+				var c CompletionCurve
+				for i := 0; i < b.N; i++ {
+					c = RunInstallCurve(DefaultFleetParams(n, relay))
+				}
+				b.ReportMetric(c.TimeTo90, "vsec_to_90%")
+				b.ReportMetric(c.TimeToLast, "vsec_to_last")
+				b.ReportMetric(c.PeerBytes/1048576, "peer_MB")
+				b.ReportMetric(c.FrontendBytes/1048576, "frontend_MB")
+			})
+		}
+	}
+}

@@ -36,8 +36,14 @@ const (
 	OpDHCPOffer Op = "dhcp.offer"
 	// OpHTTPKickstart corrupts a kickstart CGI fetch.
 	OpHTTPKickstart Op = "http.kickstart"
-	// OpHTTPPackage corrupts a distribution fetch (listing, hdlist, RPM).
+	// OpHTTPPackage corrupts a distribution fetch (listing, hdlist, RPM) —
+	// from the frontend or from a peer relay; the seam is the fetching
+	// node's client, so package-fault rules hit both.
 	OpHTTPPackage Op = "http.package"
+	// OpHTTPRelays corrupts a /v1/relays registry fetch. Kept distinct
+	// from OpHTTPPackage so package-corruption campaigns don't silently
+	// burn injections on the best-effort registry lookup.
+	OpHTTPRelays Op = "http.relays"
 	// OpPowerCycle makes a PDU hard-cycle command fail silently: the relay
 	// clicks, nothing happens, the node stays dark.
 	OpPowerCycle Op = "power.cycle"

@@ -69,6 +69,9 @@ func classifyPath(path string) Op {
 	if strings.Contains(path, "kickstart.cgi") {
 		return OpHTTPKickstart
 	}
+	if strings.Contains(path, "/v1/relays") {
+		return OpHTTPRelays
+	}
 	return OpHTTPPackage
 }
 

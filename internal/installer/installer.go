@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -77,6 +76,15 @@ type Config struct {
 	// Stats, when set, accumulates fetch retries, corrupt-package
 	// discards, and terminal outcomes across every Run sharing it.
 	Stats *Stats
+	// RelayURL, when set, names the frontend's /v1/relays registry; the
+	// installer asks it once per install for prioritized peer sources and
+	// fetches each package peer-first with the frontend as fallback.
+	// Empty disables the relay tier — no extra requests, frontend-only.
+	RelayURL string
+	// RelayStore, when set, accumulates every digest-verified package this
+	// install fetches, so the node can re-serve its tree to peers once the
+	// registry hears its install-complete event.
+	RelayStore *rpm.Repository
 }
 
 // defaultClient bounds every fetch: http.DefaultClient has no timeout, so
@@ -193,6 +201,7 @@ type Result struct {
 // install-aborted rather than install-failed.
 func Run(ctx context.Context, n *node.Node, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	runStart := time.Now()
 	n.SetState(node.StateInstalling)
 	n.ClearReinstall()
 
@@ -324,6 +333,7 @@ func Run(ctx context.Context, n *node.Node, cfg Config) (*Result, error) {
 	if cfg.Stats != nil {
 		cfg.Stats.Complete.Add(1)
 	}
+	cfg.Stats.observeInstall(time.Since(runStart))
 	emit(cfg, n, lifecycle.EventInstallComplete, fmt.Sprintf("%d packages", count))
 	if ekvSrv != nil {
 		res.EKVTranscript = ekvSrv.Screen()
@@ -512,11 +522,14 @@ func applyPartitioning(n *node.Node, p *kickstart.Profile, screen io.Writer) err
 // downloads and unpacks each one.
 // markCorrupt records one discarded package body in all three places that
 // care: the lifecycle timeline, the node's eKV screen, and the shared
-// corruption counter.
-func markCorrupt(cfg Config, n *node.Node, screen io.Writer, file string) {
+// corruption counter. The event names the source that served the body
+// (peer vs frontend URL), so a relay demotion is auditable in
+// /admin/events rather than an anonymous "some fetch was corrupt".
+func markCorrupt(cfg Config, n *node.Node, screen io.Writer, file string, src Source) {
 	cfg.Stats.corrupt()
-	emit(cfg, n, lifecycle.EventPackageCorrupt, file+" failed digest verification")
-	fmt.Fprintf(screen, "package %s failed digest verification; discarding\n", file)
+	emit(cfg, n, lifecycle.EventPackageCorrupt,
+		fmt.Sprintf("%s failed digest verification (source: %s)", file, src))
+	fmt.Fprintf(screen, "package %s from %s failed digest verification; discarding\n", file, src)
 }
 
 func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart.Profile, distURL string, screen io.Writer, ekvSrv *ekv.Server) (int, int64, error) {
@@ -530,6 +543,16 @@ func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart
 	})
 	if err != nil {
 		return 0, 0, err
+	}
+
+	// Ask the relay registry for peer sources (best-effort): packages are
+	// then fetched peer-first with the frontend as fallback. Every body is
+	// verified against the frontend's manifest digests regardless of which
+	// source served it — a corrupt or lying peer is demoted and the fetch
+	// moves elsewhere, so garbage never reaches the disk.
+	srcs := newSourceSet(fetchRelaySources(ctx, cfg), distURL)
+	if len(srcs.peers) > 0 {
+		fmt.Fprintf(screen, "relay registry offered %d peer source(s)\n", len(srcs.peers))
 	}
 
 	var total int64
@@ -553,32 +576,8 @@ func installPackages(ctx context.Context, n *node.Node, cfg Config, p *kickstart
 		var pkg *rpm.Package
 		err := retryFetch(ctx, cfg, screen, name, func() error {
 			var ferr error
-			pkg, ferr = fetchPackage(ctx, cfg, listURL, best, name)
-			if ferr != nil {
-				if errors.Is(ferr, errCorruptBody) {
-					markCorrupt(cfg, n, screen, best[name].Filename())
-				}
-				return ferr
-			}
-			// End-to-end verification: the body must identify as the package
-			// the listing advertised and hash to the digest the distribution
-			// manifest advertised. A mismatch is a corrupted transfer (or a
-			// poisoned mirror); the body is discarded, the corruption lands
-			// on the lifecycle timeline, and the retry budget fetches a
-			// fresh copy — garbage never reaches the disk.
-			if want := best[name].NVRA(); pkg.NVRA() != want {
-				file := best[name].Filename()
-				markCorrupt(cfg, n, screen, file)
-				pkg = nil
-				return transient(fmt.Errorf("installer: verifying %s: %w (body identifies as a different package)", file, errCorruptBody))
-			}
-			if want := best[name].Digest; want != "" && pkg.EnsureDigest() != want {
-				file := best[name].Filename()
-				markCorrupt(cfg, n, screen, file)
-				pkg = nil
-				return transient(fmt.Errorf("installer: verifying %s: %w (payload digest does not match the distribution manifest)", file, errCorruptBody))
-			}
-			return nil
+			pkg, ferr = fetchVerified(ctx, n, cfg, screen, srcs, best, name)
+			return ferr
 		})
 		if err != nil {
 			// The eKV keyboard gives the administrator a chance to fix
@@ -844,40 +843,6 @@ func fetchIndex(ctx context.Context, cfg Config, url string) ([]string, error) {
 		return nil, ferr
 	}
 	return strings.Fields(string(body)), nil
-}
-
-// fetchPackage downloads and decodes one package by name.
-func fetchPackage(ctx context.Context, cfg Config, listURL string, best map[string]rpm.Metadata, name string) (*rpm.Package, error) {
-	m, ok := best[name]
-	if !ok {
-		return nil, fmt.Errorf("installer: package %q not present in distribution", name)
-	}
-	pkgURL := listURL + url.PathEscape(m.Filename())
-	req, err := http.NewRequestWithContext(ctx, "GET", pkgURL, nil)
-	if err != nil {
-		return nil, fmt.Errorf("installer: %w", err)
-	}
-	pr, err := cfg.HTTP.Do(req)
-	if err != nil {
-		return nil, transient(fmt.Errorf("installer: fetching %s: %w", pkgURL, err))
-	}
-	defer pr.Body.Close()
-	if pr.StatusCode != http.StatusOK {
-		err = fmt.Errorf("installer: fetching %s: HTTP %s", pkgURL, pr.Status)
-		if pr.StatusCode >= 500 {
-			err = transient(err)
-		}
-		return nil, err
-	}
-	pkg, err := rpm.Read(pr.Body)
-	if err != nil {
-		// A decode failure on a served package is a torn or corrupted
-		// transfer, not a bad distribution: the repository only hands out
-		// what it decoded. The embedded digest caught this one; the caller
-		// records the corruption and the retry budget fetches a fresh copy.
-		return nil, transient(fmt.Errorf("installer: decoding %s: %w (%v)", pkgURL, errCorruptBody, err))
-	}
-	return pkg, nil
 }
 
 // awaitRetry blocks for an eKV keyboard decision; it reports true for

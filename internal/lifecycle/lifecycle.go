@@ -69,6 +69,16 @@ const (
 	// Frontend durability (clusterdb): the cluster database was recovered
 	// from its on-disk snapshot + write-ahead log at startup.
 	EventDBRecovered EventType = "db-recovered"
+
+	// Relay distribution tier (PR 8). A completed node that re-serves its
+	// verified package tree announces relay-up; the registry withdraws it
+	// (relay-down) when the node reinstalls, goes dark, or is quarantined.
+	// An installer that catches a relay serving corrupt or failing
+	// responses emits relay-demoted with the source URL, making the
+	// demotion auditable in /admin/events.
+	EventRelayUp      EventType = "relay-up"
+	EventRelayDown    EventType = "relay-down"
+	EventRelayDemoted EventType = "relay-demoted"
 )
 
 // Event is one step in a node's lifecycle. Node is the best identity known

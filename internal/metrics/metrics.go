@@ -130,6 +130,7 @@ type family struct {
 	scalarG  *Gauge
 	children map[string]*child
 	collect  func() []Sample
+	hist     *Histogram
 }
 
 // samples snapshots the family's series, sorted by label key for stable
@@ -324,6 +325,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, f := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, helpEscaper.Replace(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.hist != nil {
+			f.hist.writeTo(&b, f.name)
+			continue
+		}
 		for _, s := range f.samples() {
 			b.WriteString(f.name)
 			if len(s.Labels) > 0 {
@@ -440,6 +445,9 @@ func ParseText(rd io.Reader) (Scrape, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return Scrape{}, fmt.Errorf("metrics: reading exposition: %w", err)
+	}
+	if err := validateHistograms(s); err != nil {
+		return Scrape{}, err
 	}
 	return s, nil
 }

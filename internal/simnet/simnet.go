@@ -10,8 +10,18 @@
 // at flow arrivals, departures, and timer expirations — a 32-node, 10-minute
 // reinstallation replays in microseconds of wall-clock time.
 //
+// Rate reallocation is batched: starts, cancellations, and completions that
+// land on the same virtual instant are absorbed into one water-filling pass,
+// run just before the clock moves (or on demand when rates are observed).
+// Water-filling touches only the links active flows actually cross, so a
+// 10k-flow fan-in costs O(flows + active links) per pass rather than
+// O(flows × registered links). That is what makes whole-fleet experiments
+// (1k–10k nodes reinstalling at once) tractable.
+//
 // Virtual time is a float64 in seconds. All scheduling is deterministic:
-// events at equal times fire in the order they were scheduled.
+// events at equal times fire in the order they were scheduled, and onDone
+// callbacks for simultaneous completions run in (start time, flow name)
+// order.
 package simnet
 
 import (
@@ -31,17 +41,30 @@ type Simulation struct {
 	now    float64
 	seq    int64
 	events eventQueue
-	links  []*Link
-	flows  map[*Flow]struct{}
 
-	// completionTimer is the pending earliest-flow-completion event; it is
-	// invalidated (not removed) whenever rates are reallocated.
+	// flowList holds active flows in start order (start times are
+	// monotonic, so append order is (start, arrival) order). Retired flows
+	// are marked done and compacted out at the next rate flush.
+	flowList []*Flow
+	live     int
+
+	// dirty marks that the flow set changed since rates were last computed.
+	// The reallocation runs once per virtual instant — after every event at
+	// that time has fired — or immediately when rates are observed.
+	dirty bool
+
+	// allocGen stamps per-link scratch state (capLeft, users) so a
+	// water-filling pass can reset only the links it touches.
+	allocGen int64
+
+	// completionGen invalidates the pending earliest-flow-completion event
+	// whenever rates are reallocated.
 	completionGen int64
 }
 
 // New creates an empty simulation at virtual time zero.
 func New() *Simulation {
-	return &Simulation{flows: make(map[*Flow]struct{})}
+	return &Simulation{}
 }
 
 // Now returns the current virtual time in seconds.
@@ -74,21 +97,51 @@ func (s *Simulation) After(delay float64, fn func()) *Timer {
 // Run processes events until none remain, and returns the final virtual
 // time.
 func (s *Simulation) Run() float64 {
-	for len(s.events) > 0 {
+	for {
+		s.maybeFlush()
+		if len(s.events) == 0 {
+			return s.now
+		}
 		s.step()
 	}
-	return s.now
 }
 
 // RunUntil processes events up to and including virtual time t, leaving
 // later events queued. The clock is left at t (or at the last event time if
 // that is later than any remaining event).
 func (s *Simulation) RunUntil(t float64) {
-	for len(s.events) > 0 && s.events[0].at <= t+timeEpsilon {
+	for {
+		s.maybeFlush()
+		if len(s.events) == 0 || s.events[0].at > t+timeEpsilon {
+			break
+		}
 		s.step()
 	}
 	if s.now < t {
 		s.now = t
+	}
+}
+
+// maybeFlush recomputes rates if the flow set changed and every event at the
+// current instant has fired. Holding the flush until the batch is complete
+// collapses thousands of same-time starts or completions into a single
+// water-filling pass without changing any observable timing: no virtual time
+// passes between same-instant events.
+func (s *Simulation) maybeFlush() {
+	if !s.dirty {
+		return
+	}
+	if len(s.events) > 0 && s.events[0].at <= s.now+timeEpsilon {
+		return // more events at this instant: keep batching
+	}
+	s.flush()
+}
+
+// settle forces any pending reallocation so observers (Rate, Remaining,
+// Utilization) see post-batch state.
+func (s *Simulation) settle() {
+	if s.dirty {
+		s.flush()
 	}
 }
 
@@ -139,6 +192,11 @@ func (q *eventQueue) Pop() interface{} {
 type Link struct {
 	Name     string
 	Capacity float64 // bytes/second
+
+	// Water-filling scratch, valid only while gen == Simulation.allocGen.
+	gen     int64
+	capLeft float64
+	users   int
 }
 
 // NewLink registers a link with the simulation.
@@ -146,16 +204,18 @@ func (s *Simulation) NewLink(name string, capacity float64) *Link {
 	if capacity <= 0 {
 		panic("simnet: link capacity must be positive")
 	}
-	l := &Link{Name: name, Capacity: capacity}
-	s.links = append(s.links, l)
-	return l
+	return &Link{Name: name, Capacity: capacity}
 }
 
 // Utilization returns the fraction of the link's capacity currently
 // allocated to active flows.
 func (s *Simulation) Utilization(l *Link) float64 {
+	s.settle()
 	var used float64
-	for f := range s.flows {
+	for _, f := range s.flowList {
+		if f.done {
+			continue
+		}
 		for _, fl := range f.path {
 			if fl == l {
 				used += f.rate
@@ -177,6 +237,7 @@ type Flow struct {
 	updated   float64 // virtual time of last remaining-bytes update
 	onDone    func()
 	done      bool
+	frozen    bool // water-filling scratch
 	start     float64
 }
 
@@ -189,12 +250,17 @@ func (s *Simulation) StartFlow(name string, bytes float64, path []*Link, rateCap
 	if bytes < 0 {
 		panic("simnet: negative flow size")
 	}
-	f := &Flow{Name: name, sim: s, path: path, cap: rateCap, remaining: bytes, updated: s.now, onDone: onDone, start: s.now}
 	if len(path) == 0 && rateCap <= 0 {
 		panic("simnet: flow needs at least one link or a rate cap")
 	}
-	s.flows[f] = struct{}{}
-	s.reallocate()
+	f := &Flow{Name: name, sim: s, path: path, cap: rateCap, remaining: bytes, updated: s.now, onDone: onDone, start: s.now}
+	s.flowList = append(s.flowList, f)
+	s.live++
+	s.dirty = true
+	// A zero-byte flow must complete even if no other event flushes rates.
+	if bytes <= timeEpsilon {
+		s.push(s.now, func() {}) // forces a flush at this instant
+	}
 	return f
 }
 
@@ -203,10 +269,23 @@ func (f *Flow) Cancel() {
 	if f.done {
 		return
 	}
-	f.sim.advance()
+	// Charge the flow's own transfer up to now; peers are charged at the
+	// next flush, before their rates change.
+	f.chargeTo(f.sim.now)
 	f.done = true
-	delete(f.sim.flows, f)
-	f.sim.reallocate()
+	f.sim.live--
+	f.sim.dirty = true
+}
+
+// chargeTo drains the flow at its current rate up to virtual time t.
+func (f *Flow) chargeTo(t float64) {
+	if dt := t - f.updated; dt > 0 {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.updated = t
+	}
 }
 
 // Remaining returns the bytes the flow still has to transfer as of the
@@ -215,6 +294,7 @@ func (f *Flow) Remaining() float64 {
 	if f.done {
 		return 0
 	}
+	f.sim.settle()
 	return f.remaining - f.rate*(f.sim.now-f.updated)
 }
 
@@ -223,6 +303,7 @@ func (f *Flow) Rate() float64 {
 	if f.done {
 		return 0
 	}
+	f.sim.settle()
 	return f.rate
 }
 
@@ -231,68 +312,79 @@ func (f *Flow) Elapsed() float64 { return f.sim.now - f.start }
 
 // advance charges elapsed time against every active flow's remaining bytes.
 func (s *Simulation) advance() {
-	for f := range s.flows {
-		dt := s.now - f.updated
-		if dt > 0 {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-			f.updated = s.now
+	for _, f := range s.flowList {
+		if !f.done {
+			f.chargeTo(s.now)
 		}
 	}
 }
 
-// reallocate recomputes max-min fair rates for all active flows and
-// schedules the next completion event. Callers must have advanced flows to
-// the current time first (StartFlow/advance do this).
-func (s *Simulation) reallocate() {
-	s.advance()
-
-	// Progressive water-filling. All unfrozen flows' rates rise together;
-	// a flow freezes when it hits its cap or when one of its links
-	// saturates.
-	capLeft := make(map[*Link]float64, len(s.links))
-	for _, l := range s.links {
-		capLeft[l] = l.Capacity
+// compact drops retired flows from the flow list, preserving start order.
+func (s *Simulation) compact() {
+	if s.live == len(s.flowList) {
+		return
 	}
-	unfrozen := make(map[*Flow]struct{}, len(s.flows))
-	ordered := make([]*Flow, 0, len(s.flows))
-	for f := range s.flows {
-		f.rate = 0
-		unfrozen[f] = struct{}{}
-		ordered = append(ordered, f)
-	}
-	sort.Slice(ordered, func(i, j int) bool {
-		return ordered[i].start < ordered[j].start || (ordered[i].start == ordered[j].start && ordered[i].Name < ordered[j].Name)
-	})
-
-	linkUsers := func(l *Link) int {
-		n := 0
-		for f := range unfrozen {
-			for _, fl := range f.path {
-				if fl == l {
-					n++
-					break
-				}
-			}
+	kept := s.flowList[:0]
+	for _, f := range s.flowList {
+		if !f.done {
+			kept = append(kept, f)
 		}
-		return n
+	}
+	for i := len(kept); i < len(s.flowList); i++ {
+		s.flowList[i] = nil
+	}
+	s.flowList = kept
+}
+
+// flush advances flows to the current instant at their old rates, recomputes
+// max-min fair rates, and schedules the next completion event.
+func (s *Simulation) flush() {
+	s.dirty = false
+	s.advance()
+	s.compact()
+	s.waterfill()
+	s.scheduleCompletion()
+}
+
+// waterfill runs progressive max-min water-filling over the active flows.
+// All unfrozen flows' rates rise together; a flow freezes when it hits its
+// cap or when one of its links saturates. Only links referenced by active
+// flows are touched; per-link scratch (capLeft, user count) is reset by
+// generation stamp, so the pass allocates nothing and costs
+// O(flows + active links) per round.
+func (s *Simulation) waterfill() {
+	s.allocGen++
+	gen := s.allocGen
+	flows := s.flowList
+	var active []*Link
+	for _, f := range flows {
+		f.rate = 0
+		f.frozen = false
+		for _, l := range f.path {
+			if l.gen != gen {
+				l.gen = gen
+				l.capLeft = l.Capacity
+				l.users = 0
+				active = append(active, l)
+			}
+			l.users++
+		}
 	}
 
-	for len(unfrozen) > 0 {
+	unfrozen := len(flows)
+	for unfrozen > 0 {
 		// The common increment is limited by the tightest link share and
 		// the nearest flow cap.
 		delta := math.Inf(1)
-		for _, l := range s.links {
-			if n := linkUsers(l); n > 0 {
-				if share := capLeft[l] / float64(n); share < delta {
+		for _, l := range active {
+			if l.users > 0 {
+				if share := l.capLeft / float64(l.users); share < delta {
 					delta = share
 				}
 			}
 		}
-		for f := range unfrozen {
-			if f.cap > 0 {
+		for _, f := range flows {
+			if !f.frozen && f.cap > 0 {
 				if room := f.cap - f.rate; room < delta {
 					delta = room
 				}
@@ -307,19 +399,19 @@ func (s *Simulation) reallocate() {
 			delta = 0
 		}
 		// Apply the increment.
-		for f := range unfrozen {
-			f.rate += delta
-		}
-		for _, l := range s.links {
-			if n := linkUsers(l); n > 0 {
-				capLeft[l] -= delta * float64(n)
+		for _, f := range flows {
+			if !f.frozen {
+				f.rate += delta
 			}
 		}
-		// Freeze capped flows and flows on saturated links. Iterate over
-		// the deterministic order to keep float noise reproducible.
+		for _, l := range active {
+			l.capLeft -= delta * float64(l.users)
+		}
+		// Freeze capped flows and flows on saturated links. Flow order is
+		// start order, so float noise is reproducible run to run.
 		progressed := false
-		for _, f := range ordered {
-			if _, ok := unfrozen[f]; !ok {
+		for _, f := range flows {
+			if f.frozen {
 				continue
 			}
 			frozen := false
@@ -329,26 +421,26 @@ func (s *Simulation) reallocate() {
 			}
 			if !frozen {
 				for _, l := range f.path {
-					if capLeft[l] <= timeEpsilon {
+					if l.capLeft <= timeEpsilon {
 						frozen = true
 						break
 					}
 				}
 			}
 			if frozen {
-				delete(unfrozen, f)
+				f.frozen = true
+				unfrozen--
 				progressed = true
+				for _, l := range f.path {
+					l.users--
+				}
 			}
 		}
 		if !progressed && delta <= timeEpsilon {
-			// Numerical stall: freeze everything at current rates.
-			for f := range unfrozen {
-				delete(unfrozen, f)
-			}
+			// Numerical stall: leave everything at current rates.
+			break
 		}
 	}
-
-	s.scheduleCompletion()
 }
 
 // scheduleCompletion finds the flow that will finish first at current rates
@@ -359,7 +451,7 @@ func (s *Simulation) scheduleCompletion() {
 	gen := s.completionGen
 	best := math.Inf(1)
 	found := false
-	for f := range s.flows {
+	for _, f := range s.flowList {
 		if f.rate <= 0 {
 			if f.remaining <= timeEpsilon {
 				// Zero-byte flow: completes now.
@@ -384,14 +476,14 @@ func (s *Simulation) scheduleCompletion() {
 	})
 }
 
-// completeFinished retires every flow whose remaining bytes reached zero,
-// then reallocates. onDone callbacks run in deterministic (start, name)
-// order.
+// completeFinished retires every flow whose remaining bytes reached zero.
+// onDone callbacks run in deterministic (start, name) order; the rate
+// reallocation they trigger is batched with any same-instant starts.
 func (s *Simulation) completeFinished() {
 	s.advance()
 	var finished []*Flow
-	for f := range s.flows {
-		if f.remaining <= 1e-6 { // byte-level epsilon
+	for _, f := range s.flowList {
+		if !f.done && f.remaining <= 1e-6 { // byte-level epsilon
 			finished = append(finished, f)
 		}
 	}
@@ -401,9 +493,9 @@ func (s *Simulation) completeFinished() {
 	})
 	for _, f := range finished {
 		f.done = true
-		delete(s.flows, f)
+		s.live--
 	}
-	s.reallocate()
+	s.dirty = true
 	for _, f := range finished {
 		if f.onDone != nil {
 			f.onDone()
@@ -412,4 +504,4 @@ func (s *Simulation) completeFinished() {
 }
 
 // ActiveFlows reports the number of in-progress flows.
-func (s *Simulation) ActiveFlows() int { return len(s.flows) }
+func (s *Simulation) ActiveFlows() int { return s.live }

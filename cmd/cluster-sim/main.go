@@ -20,7 +20,17 @@
 //	cluster-sim -experiment myrinet     # GM rebuild penalty
 //	cluster-sim -experiment updates     # §6.2.1 update-tracking cadence
 //	cluster-sim -experiment relaycurve  # peer/relay vs frontend-only completion curves
+//	cluster-sim -experiment federation  # sharded frontends vs one frontend
 //	cluster-sim -experiment all
+//
+// Federation mode — a two-level frontend hierarchy on one machine:
+//
+//	cluster-sim -listen 127.0.0.1:8090 -nodes 0                                      # parent
+//	cluster-sim -listen 127.0.0.1:8091 -parent http://127.0.0.1:8090 -shard deptA:0-3
+//	cluster-sim -listen 127.0.0.1:8092 -parent http://127.0.0.1:8090 -shard deptB:4-7
+//
+// Each child is a full frontend for its rack range; the parent's /v1/nodes,
+// /v1/events, and /metrics merge every shard with per-shard provenance.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"rocks/internal/core"
 	"rocks/internal/dist"
 	"rocks/internal/experiments"
+	"rocks/internal/federation"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
 	"rocks/internal/lifecycle"
@@ -47,7 +58,9 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:0", "frontend HTTP listen address")
 		nodes      = flag.Int("nodes", 2, "compute nodes to integrate at startup")
 		name       = flag.String("name", "Meteor", "cluster name")
-		experiment = flag.String("experiment", "", "run an experiment instead of live mode: table1|microbench|gige|servers|myrinet|updates|relaycurve|all")
+		experiment = flag.String("experiment", "", "run an experiment instead of live mode: table1|microbench|gige|servers|myrinet|updates|relaycurve|federation|all")
+		parent     = flag.String("parent", "", "run as a child frontend: parent frontend base URL to register with")
+		shard      = flag.String("shard", "", "shard this child owns, as name or name:rack or name:lo-hi (requires -parent)")
 		relays     = flag.Bool("relays", false, "enable the peer relay distribution tier (completed nodes re-serve packages)")
 		demo       = flag.Bool("demo", false, "run the scripted management demo and exit")
 		dbdir      = flag.String("dbdir", "", "durable cluster database directory (WAL + snapshots); empty keeps the database in memory")
@@ -60,14 +73,40 @@ func main() {
 		return
 	}
 
-	c, err := core.New(core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond,
-		DBDir: *dbdir, DBFsync: *dbfsync, EnableRelays: *relays})
+	cfg := core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond,
+		DBDir: *dbdir, DBFsync: *dbfsync, EnableRelays: *relays}
+	rack := 0
+	if *shard != "" {
+		if *parent == "" {
+			fmt.Fprintln(os.Stderr, "cluster-sim: -shard requires -parent")
+			os.Exit(2)
+		}
+		sh, err := federation.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Shard = sh
+		if *name == "Meteor" { // untouched default: name the child after its shard
+			cfg.Name = sh.Name
+		}
+		rack = sh.RackLo
+	}
+	cfg.Parent = *parent
+
+	c, err := core.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cluster-sim:", err)
 		os.Exit(1)
 	}
 	defer c.Close()
 	fmt.Printf("frontend up: %s\n", c.BaseURL())
+	if *parent != "" {
+		fmt.Printf("role: child frontend, shard %q (racks %d..%d), registered with %s\n",
+			cfg.Shard.Name, cfg.Shard.RackLo, cfg.Shard.RackHi, *parent)
+	} else {
+		fmt.Println("role: standalone frontend (becomes parent when children register at /v1/federation/register)")
+	}
 	if ri := c.Recovery(); ri != nil {
 		fmt.Printf("cluster database recovered from %s: %s\n", *dbdir, ri)
 	}
@@ -79,7 +118,7 @@ func main() {
 		for i := range profiles {
 			profiles[i] = hardware.PIIICompute(c.MACs(), 733)
 		}
-		if _, err := c.IntegrateNodes(profiles, clusterdb.MembershipCompute, 0, 2*time.Minute); err != nil {
+		if _, err := c.IntegrateNodes(profiles, clusterdb.MembershipCompute, rack, 2*time.Minute); err != nil {
 			fmt.Fprintln(os.Stderr, "cluster-sim:", err)
 			os.Exit(1)
 		}
@@ -251,6 +290,15 @@ func runExperiments(which string) {
 				rows = append(rows, experiments.RunCurveComparison(n))
 			}
 			fmt.Print(experiments.FormatCurves(rows))
+		case "federation":
+			fmt.Println("== federated frontends: sharded hierarchy vs one frontend ==")
+			rows := []experiments.FederationComparison{}
+			for _, relay := range []bool{false, true} {
+				rows = append(rows, experiments.RunFederationComparison(10000, 8, relay))
+			}
+			fmt.Print(experiments.FormatFederationCurves(rows))
+			fmt.Println("(full mirror = cold cascade of the whole tree to every child;")
+			fmt.Println(" delta mirror = unchanged tree, the cascade moves zero package bodies)")
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -258,7 +306,7 @@ func runExperiments(which string) {
 		fmt.Println()
 	}
 	if which == "all" {
-		for _, n := range []string{"table1", "microbench", "gige", "servers", "myrinet", "updates", "relaycurve"} {
+		for _, n := range []string{"table1", "microbench", "gige", "servers", "myrinet", "updates", "relaycurve", "federation"} {
 			run(n)
 		}
 		return

@@ -61,6 +61,11 @@ type endpoint struct {
 	detail func(*http.Request) string
 	// run executes the operation and returns the response payload.
 	run func(*http.Request) (interface{}, *apiError)
+	// fanout, when set, post-processes run's payload on a federated
+	// parent: it fans the query out to registered child frontends and
+	// merges their shard results into the local payload. Standalone
+	// frontends have no children and fan-outs pass through untouched.
+	fanout func(*http.Request, interface{}) (interface{}, *apiError)
 	// legacyWrite, when set, overrides JSON for the legacy alias's
 	// success response (sql writes text/plain).
 	legacyWrite func(http.ResponseWriter, interface{})
@@ -176,7 +181,38 @@ func (c *Cluster) apiEndpoints() []endpoint {
 		{name: "supervisor", run: c.opSupervisor},
 		{name: "dbstats", run: c.opDBStats},
 		{name: "diststats", run: c.opDistStats},
-		{name: "events", run: c.opEvents},
+		{name: "events", run: c.opEvents, fanout: c.fanEvents},
+		// The federated management hierarchy: merged queries fan out to
+		// child frontends; registration and event forwarding come up from
+		// them; remirror cascades down the distribution tree.
+		{name: "nodes", run: c.opNodes, fanout: c.fanNodes},
+		{name: "dbreport", run: c.opDBReport, fanout: c.fanDBReport},
+		{name: "federation", run: c.opFederation},
+		{
+			name:  "federation/register",
+			audit: "federation-register",
+			detail: func(r *http.Request) string {
+				return fmt.Sprintf("shard %q url %q", r.FormValue("shard"), r.FormValue("url"))
+			},
+			run: c.opFedRegister,
+		},
+		{
+			name:  "federation/events",
+			audit: "federation-forward",
+			// Forwarded batches are telemetry, not administration: accept
+			// POST, never audit (a 20ms-interval stream would bury the log).
+			mutates: func(*http.Request) bool { return false },
+			run:     c.opFedEvents,
+		},
+		{
+			name:  "federation/remirror",
+			audit: "federation-remirror",
+			detail: func(r *http.Request) string {
+				return "cascade re-mirror"
+			},
+			run:    c.opFedRemirror,
+			fanout: c.fanRemirror,
+		},
 	}
 }
 
@@ -493,11 +529,7 @@ func (c *Cluster) opEvents(r *http.Request) (interface{}, *apiError) {
 	if events == nil {
 		events = []lifecycle.Event{}
 	}
-	return struct {
-		Events  []lifecycle.Event `json:"events"`
-		Seq     uint64            `json:"seq"`
-		Dropped uint64            `json:"dropped"`
-	}{events, c.events.Seq(), c.events.Evicted()}, nil
+	return EventsResponse{Events: events, Seq: c.events.Seq(), Dropped: c.events.Evicted()}, nil
 }
 
 // auditEndpoint serves the mutation audit log, filtered by op, actor,

@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"rocks/internal/dhcp"
 	"rocks/internal/dist"
 	"rocks/internal/faults"
+	"rocks/internal/federation"
 	"rocks/internal/hardware"
 	"rocks/internal/installer"
 	"rocks/internal/kickstart"
@@ -106,6 +108,24 @@ type Config struct {
 	// MaxRelaySources caps how many peers /v1/relays offers one installer;
 	// zero means the default (8).
 	MaxRelaySources int
+	// Parent, when set, is another frontend's base URL: this cluster runs
+	// as a *child frontend* in a federated hierarchy. It mirrors the
+	// parent's distribution (ParentURL defaults to Parent's /install/dist
+	// when unset), registers its shard over /v1/federation/register, and
+	// forwards its lifecycle events upstream. Construction fails if the
+	// parent is unreachable, the same way a failed parent mirror does.
+	Parent string
+	// Shard declares the slice of the population this frontend owns. The
+	// zero value normalizes to "all racks" under the cluster's name.
+	Shard federation.Shard
+	// FederationTimeout bounds every federation HTTP call (registration,
+	// event forwarding, and parent-side fan-outs); zero means 2s. A dark
+	// child costs the parent one bounded wait, never a hung merged query.
+	FederationTimeout time.Duration
+	// MACOUI overrides the simulated-hardware MAC prefix ("xx:xx:xx").
+	// Empty with Parent set derives a per-shard OUI so federated
+	// populations cannot collide; empty otherwise keeps the default.
+	MACOUI string
 }
 
 // Cluster is a running Rocks cluster.
@@ -142,9 +162,13 @@ type Cluster struct {
 	baseURL string
 	// distSrv serves c.Dist under /install/dist/ and counts its traffic;
 	// mirrorReport records the parent replication pass when ParentURL was
-	// set. Both feed /admin/diststats.
+	// set. Both feed /admin/diststats. mirrorRepo keeps the mirrored repo
+	// itself as the delta baseline for Remirror, and localSources the
+	// pre-mirror source list a rebuild layers under the fresh mirror.
 	distSrv      *dist.Server
 	mirrorReport *dist.MirrorReport
+	mirrorRepo   *rpm.Repository
+	localSources []dist.Source
 	ksAttrs      map[string]string       // shared kickstart attributes; never mutated after startHTTP
 	ksCache      *kickstart.ProfileCache // nil when Config.DisableProfileCache
 	nodeCache    *nodeResolver           // nil when Config.DisableProfileCache
@@ -172,6 +196,12 @@ type Cluster struct {
 	// relays is the peer distribution registry (nil unless EnableRelays).
 	relays *relayRegistry
 
+	// fed is the federation half: shard declaration, upstream link when
+	// this frontend is a child, child registry when it is a parent. Always
+	// non-nil. cgiSeconds times kickstart.cgi request latency.
+	fed        *fedState
+	cgiSeconds *metrics.Histogram
+
 	reports reportCoalescer
 
 	// recovery records what Open found when DBDir was set and held a
@@ -194,13 +224,33 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Framework == nil {
 		cfg.Framework = kickstart.DefaultFramework()
 	}
+	// Federation normalization: a child frontend's distribution parent is
+	// its federation parent's served tree unless overridden, and its shard
+	// defaults to "everything, named after the cluster".
+	if cfg.Parent != "" {
+		cfg.Parent = strings.TrimSuffix(cfg.Parent, "/")
+		if cfg.ParentURL == "" {
+			cfg.ParentURL = cfg.Parent + "/install/dist"
+		}
+	}
+	if cfg.Shard == (federation.Shard{}) {
+		cfg.Shard = federation.Shard{Name: cfg.Name, RackLo: 0, RackHi: -1}
+	}
+	if cfg.Shard.Name == "" {
+		cfg.Shard.Name = cfg.Name
+	}
+	if cfg.MACOUI == "" && cfg.Parent != "" {
+		cfg.MACOUI = hardware.ShardOUI(cfg.Shard.Name)
+	}
 	if cfg.Sources == nil && cfg.ParentURL == "" {
 		cfg.Sources = []dist.Source{
 			{Name: "redhat-7.2", Repo: dist.SyntheticRedHat()},
 			{Name: "rocks-local", Repo: dist.LocalRocksPackages()},
 		}
 	}
+	localSources := cfg.Sources
 	var mirrorReport *dist.MirrorReport
+	var mirrorRepo *rpm.Repository
 	if cfg.ParentURL != "" {
 		// Default options: a 60s-timeout client (a wedged parent must not
 		// hang frontend construction forever), 8 parallel fetch workers,
@@ -211,21 +261,27 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("core: replicating parent distribution: %w", err)
 		}
 		mirrorReport = &report
+		mirrorRepo = mirror
 		cfg.Sources = append([]dist.Source{{Name: "parent-mirror", Repo: mirror}}, cfg.Sources...)
 	}
+	macs := hardware.NewMACAllocator()
+	if cfg.MACOUI != "" {
+		macs = hardware.NewMACAllocatorOUI(cfg.MACOUI)
+	}
 	c := &Cluster{
-		cfg:         cfg,
-		events:      lifecycle.NewBus(cfg.EventRingSize),
-		Syslog:      syslogd.New(),
-		Bus:         dhcp.NewBus(),
-		NIS:         nis.NewDomain("rocks"),
-		NFS:         nfs.NewServer(),
-		PBS:         pbs.NewServer(),
-		PDU:         power.NewPDU("pdu-0-0"),
-		macs:        hardware.NewMACAllocator(),
-		nodes:       make(map[string]*node.Node),
-		byName:      make(map[string]*node.Node),
-		quarantined: make(map[string]bool),
+		cfg:          cfg,
+		events:       lifecycle.NewBus(cfg.EventRingSize),
+		Syslog:       syslogd.New(),
+		Bus:          dhcp.NewBus(),
+		NIS:          nis.NewDomain("rocks"),
+		NFS:          nfs.NewServer(),
+		PBS:          pbs.NewServer(),
+		PDU:          power.NewPDU("pdu-0-0"),
+		macs:         macs,
+		nodes:        make(map[string]*node.Node),
+		byName:       make(map[string]*node.Node),
+		quarantined:  make(map[string]bool),
+		localSources: localSources,
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	if cfg.DBDir != "" {
@@ -265,6 +321,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.Dist = dist.Build(cfg.Name, cfg.Framework, cfg.Sources...)
 	c.distSrv = dist.NewServer(c.Dist)
 	c.mirrorReport = mirrorReport
+	c.mirrorRepo = mirrorRepo
 	if !cfg.DisableProfileCache {
 		// The CGI's memo: reinstall storms hit one (appliance, arch) class
 		// hundreds of times; one traversal serves them all (§4, §6.1). The
@@ -314,6 +371,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.EnableRelays {
 		c.relays = newRelayRegistry(c)
 	}
+	c.fed = newFedState(c)
 	c.registerMetrics()
 
 	if err := c.startHTTP(); err != nil {
@@ -369,6 +427,16 @@ func New(cfg Config) (*Cluster, error) {
 	if err := c.WriteReports(); err != nil {
 		c.Close()
 		return nil, err
+	}
+	if cfg.Parent != "" {
+		// Announce this child's shard upstream and start streaming its
+		// lifecycle events; an unreachable parent fails construction the
+		// same way a failed parent mirror does.
+		if err := c.fed.registerWithParent(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: registering with parent frontend: %w", err)
+		}
+		c.fed.startForwarder()
 	}
 	return c, nil
 }
@@ -487,6 +555,7 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 		c.relays.expect(n.MAC(), store)
 		cfg.RelayStore = store
 		cfg.RelayURL = c.baseURL + "/v1/relays"
+		cfg.RelayMAC = n.MAC()
 	}
 	if c.cfg.Faults != nil && n != c.Frontend {
 		identities := func() []string { return []string{n.MAC(), n.Name(), n.IP()} }
@@ -683,6 +752,13 @@ func (c *Cluster) Close() {
 	}
 	if c.relays != nil {
 		c.relays.closeAll()
+	}
+	if c.httpSrv != nil {
+		// Close the server, not just the listener: accepted keep-alive
+		// connections (an installer's pooled conns, a parent's fan-out
+		// client) would otherwise keep answering after shutdown — a closed
+		// frontend must go dark, not half-dark.
+		c.httpSrv.Close()
 	}
 	if c.httpLn != nil {
 		c.httpLn.Close()

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"rocks/internal/clusterdb"
 	"rocks/internal/installer"
@@ -55,7 +56,7 @@ func (c *Cluster) startHTTP() error {
 		io.WriteString(w, c.Dist.Framework.DOT())
 	})
 	mux.HandleFunc("/install/frontend-form", c.frontendForm)
-	mux.Handle("/metrics", c.metricsReg.Handler())
+	mux.HandleFunc("/metrics", c.metricsHandler)
 	c.registerAdmin(mux)
 	c.httpSrv = &http.Server{Handler: mux}
 	c.wg.Add(1)
@@ -84,6 +85,12 @@ func writeReport(w http.ResponseWriter, report string, err error) {
 // the node's membership to an appliance, traverse the graph for the node's
 // architecture, and return the rendered kickstart file.
 func (c *Cluster) kickstartCGI(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		if c.cgiSeconds != nil {
+			c.cgiSeconds.Observe(time.Since(start).Seconds())
+		}
+	}()
 	ip := r.Header.Get(installer.ClientIPHeader)
 	if ip == "" {
 		host, _, err := net.SplitHostPort(r.RemoteAddr)

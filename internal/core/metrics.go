@@ -126,6 +126,22 @@ func (c *Cluster) registerMetrics() {
 			_, bytes := c.relays.serveTotals()
 			return float64(bytes)
 		})
+	r.CounterFunc("rocks_dist_relay_same_rack_total",
+		"Relay sources handed to installers in the installer's own rack.",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			return float64(c.relays.sameRack.Load())
+		})
+	r.CounterFunc("rocks_dist_relay_cross_rack_total",
+		"Relay sources handed out across rack boundaries (no same-rack peer).",
+		func() float64 {
+			if c.relays == nil {
+				return 0
+			}
+			return float64(c.relays.crossRack.Load())
+		})
 
 	// Lifecycle bus health.
 	c.events.RegisterMetrics(r)
@@ -213,6 +229,67 @@ func (c *Cluster) registerMetrics() {
 			}
 			return float64(c.recovery.ReplayErrors)
 		})
+
+	// Kickstart CGI latency — the frontend-side cost a §6.1 reinstall
+	// storm concentrates. Default buckets; the storm benchmark asserts on
+	// the _count series.
+	c.cgiSeconds = r.Histogram("rocks_kickstart_cgi_seconds",
+		"Wall-clock seconds spent serving one kickstart.cgi request.", nil)
+
+	// Federation: the management hierarchy's own health. Families exist
+	// (reading zero) on standalone frontends, like the relay block above.
+	r.GaugeFunc("rocks_federation_children",
+		"Child frontends currently registered with this parent.",
+		func() float64 { return float64(len(c.fed.childSnapshot())) })
+	r.GaugeVecFunc("rocks_federation_child_up",
+		"1 while the labeled child shard answered its last fan-out.", []string{"shard"},
+		func() []metrics.Sample {
+			children := c.fed.childSnapshot()
+			out := make([]metrics.Sample, 0, len(children))
+			for _, ch := range children {
+				up := 1.0
+				ch.mu.Lock()
+				if ch.dark {
+					up = 0
+				}
+				name := ch.shard.Name
+				ch.mu.Unlock()
+				out = append(out, metrics.Sample{Labels: []string{name}, Value: up})
+			}
+			return out
+		})
+	r.CounterFunc("rocks_federation_registrations_total",
+		"Child registration calls accepted, including re-registrations.",
+		func() float64 { return float64(c.fed.registrations.Load()) })
+	r.CounterFunc("rocks_federation_events_received_total",
+		"Lifecycle events ingested from child forwarders.",
+		func() float64 { return float64(c.fed.received.Load()) })
+	r.CounterFunc("rocks_federation_events_forwarded_total",
+		"Lifecycle events this child streamed to its parent.",
+		func() float64 {
+			fw := c.fed.getForwarder()
+			if fw == nil {
+				return 0
+			}
+			n, _, _ := fw.Stats()
+			return float64(n)
+		})
+	r.CounterFunc("rocks_federation_forward_errors_total",
+		"Upstream event batches that failed to post.",
+		func() float64 {
+			fw := c.fed.getForwarder()
+			if fw == nil {
+				return 0
+			}
+			_, errs, _ := fw.Stats()
+			return float64(errs)
+		})
+	r.CounterFunc("rocks_federation_fanout_errors_total",
+		"Child fetches that failed during merged queries and scrapes.",
+		func() float64 { return float64(c.fed.fanoutErrors.Load()) })
+	r.CounterFunc("rocks_federation_merge_deduped_total",
+		"Duplicate rows and events dropped by merged queries.",
+		func() float64 { return float64(c.fed.deduped.Load()) })
 
 	// Control plane: per-op traffic and the mutation audit log.
 	c.apiReqs = r.CounterVec("rocks_api_requests_total",

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rocks/internal/clusterdb"
 	"rocks/internal/dist"
 	"rocks/internal/installer"
 	"rocks/internal/lifecycle"
@@ -36,6 +37,7 @@ type relayEntry struct {
 	mac  string
 	name string
 	url  string
+	rack int // the relay node's rack, -1 when unknown
 	srv  *dist.Server
 	ln   net.Listener
 }
@@ -61,6 +63,8 @@ type relayRegistry struct {
 	withdrawn    atomic.Uint64
 	retiredBytes atomic.Int64  // package bytes served by since-withdrawn relays
 	retiredReqs  atomic.Uint64 // package requests answered by since-withdrawn relays
+	sameRack     atomic.Uint64 // sources handed out inside the asker's rack
+	crossRack    atomic.Uint64 // sources handed out across rack boundaries
 }
 
 // newRelayRegistry builds the registry and starts its bus-watching
@@ -142,6 +146,7 @@ func (r *relayRegistry) promote(mac, name string) {
 		mac:  mac,
 		name: name,
 		url:  "http://" + ln.Addr().String(),
+		rack: r.rackOf(mac),
 		srv:  dist.NewRepoServer(store),
 		ln:   ln,
 	}
@@ -211,10 +216,25 @@ func (r *relayRegistry) retire(e *relayEntry) {
 	r.withdrawn.Add(1)
 }
 
+// rackOf resolves a relay node's rack from the cluster database; -1 when
+// the node is unknown (topology stays the registry's concern — installers
+// never learn rack numbers, they just receive a better-ordered list).
+func (r *relayRegistry) rackOf(mac string) int {
+	n, ok, err := clusterdb.NodeByMAC(r.c.DB, mac)
+	if err != nil || !ok {
+		return -1
+	}
+	return n.Rack
+}
+
 // sources returns the prioritized peer list one installer should try,
 // rotated per call so concurrent installers fan out across the relay
-// population instead of stampeding the first entry.
-func (r *relayRegistry) sources() []installer.Source {
+// population instead of stampeding the first entry. rack, when >= 0, is
+// the asker's rack: same-rack relays are stably moved to the front of the
+// rotated list, keeping mass-reinstall traffic inside rack switches; a
+// rack with no live relay falls back to cross-rack peers, counted on
+// rocks_dist_relay_cross_rack_total.
+func (r *relayRegistry) sources(rack int) []installer.Source {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.live) == 0 {
@@ -228,13 +248,37 @@ func (r *relayRegistry) sources() []installer.Source {
 	n := len(entries)
 	start := r.rotor % n
 	r.rotor++
+	rotated := make([]*relayEntry, 0, n)
+	for i := 0; i < n; i++ {
+		rotated = append(rotated, entries[(start+i)%n])
+	}
+	if rack >= 0 {
+		// Stable partition: same-rack first, rotation order preserved
+		// within each class.
+		near := make([]*relayEntry, 0, n)
+		far := make([]*relayEntry, 0, n)
+		for _, e := range rotated {
+			if e.rack == rack {
+				near = append(near, e)
+			} else {
+				far = append(far, e)
+			}
+		}
+		rotated = append(near, far...)
+	}
 	count := n
 	if count > r.max {
 		count = r.max
 	}
 	out := make([]installer.Source, 0, count)
-	for i := 0; i < count; i++ {
-		e := entries[(start+i)%n]
+	for _, e := range rotated[:count] {
+		if rack >= 0 {
+			if e.rack == rack {
+				r.sameRack.Add(1)
+			} else {
+				r.crossRack.Add(1)
+			}
+		}
 		out = append(out, installer.Source{URL: e.url, Kind: installer.SourcePeer, Node: e.name})
 	}
 	return out
@@ -282,11 +326,24 @@ type RelaysResponse struct {
 
 // opRelays serves the relay registry (read-only). With relays disabled the
 // endpoint exists and returns an empty list, so installers and scrapers
-// never depend on configuration for the surface's presence.
+// never depend on configuration for the surface's presence. The asker's
+// rack comes from its mac parameter (installers send their own MAC) via
+// the nodes table, or an explicit rack parameter; without either the list
+// is rack-blind, exactly as before.
 func (c *Cluster) opRelays(r *http.Request) (interface{}, *apiError) {
 	resp := RelaysResponse{Sources: []installer.Source{}}
 	if c.relays != nil {
-		if srcs := c.relays.sources(); srcs != nil {
+		rack := -1
+		if mac := r.FormValue("mac"); mac != "" {
+			rack = c.relays.rackOf(mac)
+		} else if r.FormValue("rack") != "" {
+			n, aerr := formInt(r, "rack", -1, 0)
+			if aerr != nil {
+				return nil, aerr
+			}
+			rack = n
+		}
+		if srcs := c.relays.sources(rack); srcs != nil {
 			resp.Sources = srcs
 		}
 		resp.Live = c.relays.liveCount()

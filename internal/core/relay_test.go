@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"net/url"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,6 +15,7 @@ import (
 	"rocks/internal/hardware"
 	"rocks/internal/lifecycle"
 	"rocks/internal/node"
+	"rocks/internal/rpm"
 )
 
 // newRelayCluster builds a cluster with the peer distribution tier on.
@@ -193,5 +197,131 @@ func TestRelayCorruptPeerDemoted(t *testing.T) {
 	corrupt := c.Events().Recent(lifecycle.Filter{Type: lifecycle.EventPackageCorrupt})
 	if len(corrupt) == 0 || !strings.Contains(corrupt[0].Detail, "source: peer") {
 		t.Errorf("package-corrupt events lack source attribution: %+v", corrupt)
+	}
+}
+
+// TestRelayRackAwareSources: an installer that identifies itself (its MAC
+// resolves to a rack via the nodes table) is offered same-rack relays
+// first, and the same/cross-rack counters account for every source handed
+// out. A rack-blind request leaves the counters alone.
+func TestRelayRackAwareSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node live integration")
+	}
+	c := newRelayCluster(t, nil)
+	integrate := func(rack, n int) []*node.Node {
+		t.Helper()
+		profiles := make([]hardware.Profile, n)
+		for i := range profiles {
+			profiles[i] = hardware.PIIICompute(c.MACs(), 733)
+		}
+		nodes, err := c.IntegrateNodes(profiles, clusterdb.MembershipCompute, rack, integrationTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nodes
+	}
+	rack0 := integrate(0, 2)
+	rack1 := integrate(1, 2)
+	for _, n := range append(append([]*node.Node{}, rack0...), rack1...) {
+		waitRelayEvent(t, c, lifecycle.EventRelayUp, n.Name(), 0)
+	}
+	inRack0 := map[string]bool{rack0[0].Name(): true, rack0[1].Name(): true}
+
+	sameBefore := c.relays.sameRack.Load()
+	crossBefore := c.relays.crossRack.Load()
+
+	// Rack-blind: no counters move, plain rotation.
+	code, body, _ := v1Call(t, c, http.MethodGet, "/v1/relays", nil)
+	if code != 200 {
+		t.Fatalf("/v1/relays = %d", code)
+	}
+	if c.relays.sameRack.Load() != sameBefore || c.relays.crossRack.Load() != crossBefore {
+		t.Error("rack-blind request moved the rack counters")
+	}
+
+	// Asking as a rack-0 machine puts both rack-0 relays ahead of rack-1.
+	code, body, _ = v1Call(t, c, http.MethodGet, "/v1/relays",
+		url.Values{"mac": {rack0[0].MAC()}})
+	if code != 200 {
+		t.Fatalf("/v1/relays?mac= = %d: %s", code, body)
+	}
+	var rr RelaysResponse
+	dataOf(t, body, &rr)
+	if len(rr.Sources) != 4 {
+		t.Fatalf("sources = %d, want 4", len(rr.Sources))
+	}
+	for i, s := range rr.Sources {
+		if want := i < 2; inRack0[s.Node] != want {
+			t.Errorf("source[%d] = %s; same-rack relays must lead the list", i, s.Node)
+		}
+	}
+	if got := c.relays.sameRack.Load() - sameBefore; got != 2 {
+		t.Errorf("same-rack counter moved %d, want 2", got)
+	}
+	if got := c.relays.crossRack.Load() - crossBefore; got != 2 {
+		t.Errorf("cross-rack counter moved %d, want 2", got)
+	}
+
+	// An explicit rack parameter works without a MAC, and the preference
+	// is visible on /metrics.
+	code, body, _ = v1Call(t, c, http.MethodGet, "/v1/relays", url.Values{"rack": {"1"}})
+	if code != 200 {
+		t.Fatalf("/v1/relays?rack=1 = %d", code)
+	}
+	dataOf(t, body, &rr)
+	if len(rr.Sources) == 0 || inRack0[rr.Sources[0].Node] {
+		t.Errorf("rack=1 request led with %+v, want a rack-1 relay", rr.Sources)
+	}
+	s := scrapeMetrics(t, c)
+	if v, _ := s.Value("rocks_dist_relay_same_rack_total"); v == 0 {
+		t.Error("rocks_dist_relay_same_rack_total never moved")
+	}
+	if v, _ := s.Value("rocks_dist_relay_cross_rack_total"); v == 0 {
+		t.Error("rocks_dist_relay_cross_rack_total never moved")
+	}
+}
+
+// TestRelayRegistryChurn hammers the registry's expect→promote→withdraw
+// cycle from concurrent goroutines (run under -race in CI) and asserts the
+// invariant installers depend on: a withdrawn relay is never handed out.
+func TestRelayRegistryChurn(t *testing.T) {
+	c := newRelayCluster(t, nil)
+	reg := c.relays
+	pkg := c.Dist.Repo.All()[0]
+
+	const workers, cycles = 3, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mac := fmt.Sprintf("02:ee:00:00:00:%02x", w)
+			name := fmt.Sprintf("churn-%d-0", w)
+			for i := 0; i < cycles; i++ {
+				store := rpm.NewRepository("churn")
+				store.Add(pkg)
+				reg.expect(mac, store)
+				reg.promote(mac, name)
+				reg.withdraw(mac, "reinstalling")
+				// The instant withdraw returns, this relay must be out of
+				// rotation — an installer asking now may not receive it.
+				for _, s := range reg.sources(-1) {
+					if s.Node == name {
+						t.Errorf("withdrawn relay %s handed out", name)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.liveCount(); got != 0 {
+		t.Errorf("live relays after full churn = %d, want 0", got)
+	}
+	if srcs := reg.sources(-1); srcs != nil {
+		t.Errorf("empty registry handed out %+v", srcs)
+	}
+	if s, wd := reg.started.Load(), reg.withdrawn.Load(); s != workers*cycles || wd != workers*cycles {
+		t.Errorf("started=%d withdrawn=%d, want %d each", s, wd, workers*cycles)
 	}
 }

@@ -226,4 +226,20 @@ func TestMassReinstallLoad(t *testing.T) {
 		t.Error("graph edit did not invalidate the cache")
 	}
 	t.Logf("cache: %d hits, %d misses, %d invalidations", hits, misses, invalidations)
+
+	// Every storm request was timed on the CGI latency histogram: two
+	// storms of n requests each (plus the frontend's own bootstrap render)
+	// must show up in the _count series, and the exposition stays a valid
+	// histogram under the strict parser.
+	s := scrapeMetrics(t, c)
+	if s.Types["rocks_kickstart_cgi_seconds"] != "histogram" {
+		t.Errorf("rocks_kickstart_cgi_seconds exposed as %q, want histogram",
+			s.Types["rocks_kickstart_cgi_seconds"])
+	}
+	if count, _ := s.Value("rocks_kickstart_cgi_seconds_count"); count < float64(2*n) {
+		t.Errorf("cgi histogram count = %v, want >= %d", count, 2*n)
+	}
+	if sum, _ := s.Value("rocks_kickstart_cgi_seconds_sum"); sum <= 0 {
+		t.Error("cgi histogram sum never moved")
+	}
 }

@@ -60,6 +60,9 @@ func (c *Cluster) v1Handler(ep endpoint) http.HandlerFunc {
 			return
 		}
 		payload, aerr := ep.run(r)
+		if aerr == nil && ep.fanout != nil {
+			payload, aerr = ep.fanout(r, payload)
+		}
 		c.auditOp(ep, r, aerr)
 		if aerr != nil {
 			writeV1Error(w, aerr)
@@ -76,6 +79,9 @@ func (c *Cluster) legacyHandler(ep endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.apiReqs.With(ep.name).Inc()
 		payload, aerr := ep.run(r)
+		if aerr == nil && ep.fanout != nil {
+			payload, aerr = ep.fanout(r, payload)
+		}
 		c.auditOp(ep, r, aerr)
 		if aerr != nil {
 			http.Error(w, aerr.Message, aerr.Status)

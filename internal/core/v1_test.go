@@ -430,6 +430,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		"rocks_supervisor_power_cycles_total", "rocks_supervisor_power_cycle_failures_total",
 		"rocks_supervisor_quarantines_total", "rocks_supervisor_unquarantines_total",
 		"rocks_supervisor_recoveries_total", "rocks_supervisor_running",
+		// relay rack preference
+		"rocks_dist_relay_same_rack_total", "rocks_dist_relay_cross_rack_total",
+		// kickstart CGI latency
+		"rocks_kickstart_cgi_seconds",
+		// federation
+		"rocks_federation_children", "rocks_federation_registrations_total",
+		"rocks_federation_events_received_total", "rocks_federation_events_forwarded_total",
+		"rocks_federation_forward_errors_total", "rocks_federation_fanout_errors_total",
+		"rocks_federation_merge_deduped_total",
 		// population + control plane
 		"rocks_nodes", "rocks_nodes_quarantined", "rocks_nodes_state",
 		"rocks_api_requests_total", "rocks_audit_entries_total",

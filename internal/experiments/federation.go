@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The federation experiment: what the relay tier does for package bytes,
+// the frontend *hierarchy* does for the frontend itself. A single frontend
+// serving a 10k-node fleet is a management and distribution chokepoint
+// even when peers carry most package traffic — every kickstart render,
+// DHCP lease, and first-wave package stream still crosses one NIC. The
+// federated hierarchy shards the fleet across child frontends, each a full
+// frontend for its shard, fed from the top by a cascading mirror. The cost
+// of standing up the hierarchy is the mirror phase: every child pulls the
+// distribution from its parent before its shard can install. A *delta*
+// re-mirror of an unchanged tree moves zero package bodies — the cascade
+// is manifest-only — which is what makes re-running the fleet cheap after
+// the first replication.
+
+// FederationParams parameterizes one federated mass-reinstall experiment.
+type FederationParams struct {
+	// Nodes is the whole fleet; Shards is how many child frontends it is
+	// split across (round-robin remainder).
+	Nodes  int
+	Shards int
+	// Relay enables the peer tier inside each shard.
+	Relay bool
+	// MirrorBytes is what each child frontend must pull from the top
+	// before its shard can start installing. Zero models the delta
+	// re-mirror of an unchanged tree: manifest traffic only, no bodies.
+	MirrorBytes float64
+}
+
+// FederationCurve is a federated run's outcome: the merged completion
+// curve across every shard, plus the per-shard curves it merged.
+type FederationCurve struct {
+	Params FederationParams
+	// MirrorSecs is when the last child finished mirroring — the moment
+	// installs may begin anywhere. All children pull concurrently and
+	// fair-share the top frontend's NIC.
+	MirrorSecs float64
+	PerShard   []CompletionCurve
+	Times      []float64 // merged, sorted install-complete times (seconds)
+	TimeTo90   float64
+	TimeToLast float64
+	// FrontendBytes sums what crossed the child frontends' NICs (plus the
+	// mirror bytes that crossed the top's); PeerBytes came from relays.
+	FrontendBytes float64
+	PeerBytes     float64
+}
+
+// RunFederationCurve simulates a sharded mass reinstall: a mirror phase
+// cascading the distribution down, then every shard installing in parallel
+// against its own child frontend. Deterministic.
+func RunFederationCurve(p FederationParams) FederationCurve {
+	if p.Nodes <= 0 || p.Shards <= 0 {
+		panic("experiments: need at least one node and one shard")
+	}
+	base := DefaultFleetParams(p.Nodes, p.Relay)
+	out := FederationCurve{Params: p, Times: make([]float64, 0, p.Nodes)}
+	if p.MirrorBytes > 0 {
+		// Every child mirrors concurrently, fair-sharing the top NIC: each
+		// sees FrontendBps/Shards, so all finish together.
+		out.MirrorSecs = p.MirrorBytes * float64(p.Shards) / base.FrontendBps
+		out.FrontendBytes += p.MirrorBytes * float64(p.Shards)
+	}
+	for s := 0; s < p.Shards; s++ {
+		size := p.Nodes / p.Shards
+		if s < p.Nodes%p.Shards {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		per := DefaultFleetParams(size, p.Relay)
+		curve := RunInstallCurve(per)
+		out.FrontendBytes += curve.FrontendBytes
+		out.PeerBytes += curve.PeerBytes
+		for i := range curve.Times {
+			curve.Times[i] += out.MirrorSecs
+		}
+		curve.TimeTo90 += out.MirrorSecs
+		curve.TimeToLast += out.MirrorSecs
+		out.PerShard = append(out.PerShard, curve)
+		out.Times = append(out.Times, curve.Times...)
+	}
+	sort.Float64s(out.Times)
+	n := len(out.Times)
+	out.TimeTo90 = out.Times[int(math.Ceil(0.9*float64(n)))-1]
+	out.TimeToLast = out.Times[n-1]
+	return out
+}
+
+// FederationComparison pits one frontend against the sharded hierarchy at
+// a single fleet size, with the hierarchy costed both ways: a cold full
+// mirror and the delta re-mirror of an unchanged tree.
+type FederationComparison struct {
+	Nodes  int
+	Shards int
+	Relay  bool
+	// Single is the whole fleet on one frontend.
+	Single CompletionCurve
+	// FullMirror pays the cold cascade (every child pulls every body);
+	// DeltaMirror pays nothing (unchanged tree, manifest-only cascade).
+	FullMirror  FederationCurve
+	DeltaMirror FederationCurve
+}
+
+// RunFederationComparison runs all three configurations.
+func RunFederationComparison(nodes, shards int, relay bool) FederationComparison {
+	base := DefaultFleetParams(nodes, relay)
+	return FederationComparison{
+		Nodes:  nodes,
+		Shards: shards,
+		Relay:  relay,
+		Single: RunInstallCurve(base),
+		FullMirror: RunFederationCurve(FederationParams{
+			Nodes: nodes, Shards: shards, Relay: relay, MirrorBytes: base.TotalBytes,
+		}),
+		DeltaMirror: RunFederationCurve(FederationParams{
+			Nodes: nodes, Shards: shards, Relay: relay,
+		}),
+	}
+}
+
+// Speedup reports how much faster the warm (delta-mirrored) hierarchy
+// finished the whole fleet than the single frontend.
+func (c FederationComparison) Speedup() float64 {
+	if c.DeltaMirror.TimeToLast == 0 {
+		return 0
+	}
+	return c.Single.TimeToLast / c.DeltaMirror.TimeToLast
+}
+
+// FormatFederationCurves renders comparisons the way cluster-sim prints
+// them.
+func FormatFederationCurves(rows []FederationComparison) string {
+	s := fmt.Sprintf("%-7s %-7s %-9s %-17s %-20s %-20s %-8s\n",
+		"Nodes", "Shards", "Relay", "Single last (s)", "Full-mirror last (s)", "Delta-mirror last (s)", "Speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-7d %-7d %-9v %-17.0f %-20.0f %-20.0f %-8.1f\n",
+			r.Nodes, r.Shards, r.Relay, r.Single.TimeToLast,
+			r.FullMirror.TimeToLast, r.DeltaMirror.TimeToLast, r.Speedup())
+	}
+	return s
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// BenchmarkFederationCurve is the PR-9 headline: a 10k-node fleet split
+// across 8 child frontends versus the same fleet on one frontend, with the
+// hierarchy costed both cold (full cascade mirror) and warm (delta
+// re-mirror of an unchanged tree, zero bodies). The reported vsec_* values
+// are simulated seconds, not wall time.
+func BenchmarkFederationCurve(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		relay bool
+	}{{"frontend", false}, {"relay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cmp FederationComparison
+			for i := 0; i < b.N; i++ {
+				cmp = RunFederationComparison(10000, 8, mode.relay)
+			}
+			b.ReportMetric(cmp.Single.TimeToLast, "vsec_single_last")
+			b.ReportMetric(cmp.FullMirror.TimeToLast, "vsec_full_mirror_last")
+			b.ReportMetric(cmp.DeltaMirror.TimeToLast, "vsec_delta_last")
+			b.ReportMetric(cmp.DeltaMirror.TimeTo90, "vsec_delta_to_90%")
+			b.ReportMetric(cmp.FullMirror.MirrorSecs, "vsec_mirror_cascade")
+			b.ReportMetric(cmp.Speedup(), "x_speedup")
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestFederationCurveMergesShards(t *testing.T) {
+	c := RunFederationCurve(FederationParams{Nodes: 64, Shards: 4})
+	if len(c.PerShard) != 4 {
+		t.Fatalf("PerShard = %d, want 4", len(c.PerShard))
+	}
+	total := 0
+	for i, s := range c.PerShard {
+		if len(s.Times) != 16 {
+			t.Errorf("shard %d has %d nodes, want 16", i, len(s.Times))
+		}
+		total += len(s.Times)
+	}
+	if total != 64 || len(c.Times) != 64 {
+		t.Fatalf("merged %d/%d times, want 64", total, len(c.Times))
+	}
+	if !sort.Float64sAreSorted(c.Times) {
+		t.Error("merged times not sorted")
+	}
+	if c.MirrorSecs != 0 {
+		t.Errorf("delta mirror cost = %v, want 0", c.MirrorSecs)
+	}
+	last := 0.0
+	for _, s := range c.PerShard {
+		if s.TimeToLast > last {
+			last = s.TimeToLast
+		}
+	}
+	if c.TimeToLast != last {
+		t.Errorf("TimeToLast = %v, want slowest shard %v", c.TimeToLast, last)
+	}
+	// Equal shards of an identical workload finish identically: determinism
+	// across shards is what makes the curve reproducible.
+	for i := 1; i < 4; i++ {
+		if c.PerShard[i].TimeToLast != c.PerShard[0].TimeToLast {
+			t.Errorf("shard %d diverged: %v vs %v", i,
+				c.PerShard[i].TimeToLast, c.PerShard[0].TimeToLast)
+		}
+	}
+}
+
+func TestFederationShardRemainder(t *testing.T) {
+	c := RunFederationCurve(FederationParams{Nodes: 10, Shards: 4})
+	var sizes []int
+	total := 0
+	for _, s := range c.PerShard {
+		sizes = append(sizes, len(s.Times))
+		total += len(s.Times)
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("shard sizes = %v, want %v", sizes, want)
+		}
+	}
+	if total != 10 || len(c.Times) != 10 {
+		t.Fatalf("lost nodes in the merge: %d/%d", total, len(c.Times))
+	}
+}
+
+// The full mirror delays every completion by exactly the cascade time; a
+// delta re-mirror of the unchanged tree delays nothing. That difference is
+// the entire cost of keeping the hierarchy warm.
+func TestFederationDeltaVsFullMirror(t *testing.T) {
+	base := DefaultFleetParams(256, false)
+	delta := RunFederationCurve(FederationParams{Nodes: 256, Shards: 8})
+	full := RunFederationCurve(FederationParams{
+		Nodes: 256, Shards: 8, MirrorBytes: base.TotalBytes})
+	wantMirror := base.TotalBytes * 8 / base.FrontendBps
+	if math.Abs(full.MirrorSecs-wantMirror) > 1e-9 {
+		t.Fatalf("MirrorSecs = %v, want %v", full.MirrorSecs, wantMirror)
+	}
+	if math.Abs((full.TimeToLast-delta.TimeToLast)-full.MirrorSecs) > 1e-6 {
+		t.Errorf("full-delta gap = %v, want mirror cost %v",
+			full.TimeToLast-delta.TimeToLast, full.MirrorSecs)
+	}
+	if math.Abs((full.TimeTo90-delta.TimeTo90)-full.MirrorSecs) > 1e-6 {
+		t.Errorf("90th percentile gap = %v, want %v",
+			full.TimeTo90-delta.TimeTo90, full.MirrorSecs)
+	}
+	// The cascade's bytes cross the top frontend's NIC once per child.
+	if got := full.FrontendBytes - delta.FrontendBytes; math.Abs(got-base.TotalBytes*8) > 1 {
+		t.Errorf("mirror moved %v bytes, want %v", got, base.TotalBytes*8)
+	}
+}
+
+// Frontend-only installs are NIC-bound, so splitting the fleet across 8
+// child frontends buys close to 8 NICs' worth of parallelism once the
+// hierarchy is warm.
+func TestFederationSpeedupFrontendOnly(t *testing.T) {
+	cmp := RunFederationComparison(1024, 8, false)
+	if got := cmp.Speedup(); got < 4 {
+		t.Errorf("federated speedup = %.1fx, want >= 4x at 8 shards", got)
+	}
+	if cmp.DeltaMirror.TimeToLast >= cmp.Single.TimeToLast {
+		t.Errorf("federation never helped: %v >= %v",
+			cmp.DeltaMirror.TimeToLast, cmp.Single.TimeToLast)
+	}
+	// Even the cold full mirror must not be slower than serving every node
+	// from one NIC: the cascade moves the tree 8 times, the single frontend
+	// moves it 1024 times.
+	if cmp.FullMirror.TimeToLast >= cmp.Single.TimeToLast {
+		t.Errorf("cold hierarchy slower than single frontend: %v >= %v",
+			cmp.FullMirror.TimeToLast, cmp.Single.TimeToLast)
+	}
+}
+
+// With relays inside each shard, the shard curves need fewer doubling
+// waves than the monolithic fleet, so the warm hierarchy still finishes no
+// later than the single relay-assisted frontend.
+func TestFederationRelayNoWorse(t *testing.T) {
+	cmp := RunFederationComparison(1024, 8, true)
+	if cmp.DeltaMirror.TimeToLast > cmp.Single.TimeToLast {
+		t.Errorf("federated relay fleet slower: %v > %v",
+			cmp.DeltaMirror.TimeToLast, cmp.Single.TimeToLast)
+	}
+	if cmp.DeltaMirror.PeerBytes == 0 {
+		t.Error("relay shards moved no peer bytes")
+	}
+}
+
+func TestFormatFederationCurves(t *testing.T) {
+	out := FormatFederationCurves([]FederationComparison{
+		RunFederationComparison(64, 4, false),
+	})
+	for _, want := range []string{"Nodes", "Shards", "Speedup", "64", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("want header + 1 row:\n%s", out)
+	}
+}

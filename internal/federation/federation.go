@@ -1,0 +1,99 @@
+// Package federation holds the pieces of the multi-frontend management
+// hierarchy that are pure data plumbing: shard declarations (which slice
+// of the node population a child frontend owns), merge logic for the
+// parent's fanned-out query plane (nodes, events), and scrape federation
+// (child /metrics expositions folded into the parent's under per-shard
+// labels). The paper's §6.2 hierarchical distributions give the tree its
+// shape; this package gives the management plane the same shape: a campus
+// frontend fans out to department frontends exactly the way a campus
+// distribution cascades down to department mirrors.
+//
+// The live wiring — registration over /v1/federation/register, the
+// lifecycle forwarder, cascading re-mirrors — lives in internal/core;
+// everything here is deterministic and free of I/O so the merge semantics
+// (dedupe, ordering, dark-shard tolerance) are unit-testable in isolation.
+package federation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard declares the slice of the node population a child frontend owns:
+// an optional membership and an inclusive rack range. A RackHi below
+// RackLo means every rack; membership 0 means every membership. The zero
+// value therefore owns rack 0 only — construct defaults with ParseShard
+// or normalize explicitly.
+type Shard struct {
+	Name       string `json:"name"`
+	Membership int    `json:"membership,omitempty"` // 0 = any membership
+	RackLo     int    `json:"rack_lo"`
+	RackHi     int    `json:"rack_hi"` // inclusive; < RackLo = unbounded
+}
+
+// Contains reports whether a node with the given membership and rack
+// falls inside this shard.
+func (s Shard) Contains(membership, rack int) bool {
+	if s.Membership != 0 && membership != s.Membership {
+		return false
+	}
+	if s.RackHi < s.RackLo {
+		return true
+	}
+	return rack >= s.RackLo && rack <= s.RackHi
+}
+
+// AllRacks reports whether the shard's rack range is unbounded.
+func (s Shard) AllRacks() bool { return s.RackHi < s.RackLo }
+
+func (s Shard) String() string {
+	if s.AllRacks() {
+		return s.Name
+	}
+	if s.RackLo == s.RackHi {
+		return fmt.Sprintf("%s:%d", s.Name, s.RackLo)
+	}
+	return fmt.Sprintf("%s:%d-%d", s.Name, s.RackLo, s.RackHi)
+}
+
+// ParseShard parses the cluster-sim -shard syntax: "name", "name:rack",
+// or "name:lo-hi" (inclusive). A bare name owns every rack.
+func ParseShard(spec string) (Shard, error) {
+	name, racks, ok := strings.Cut(spec, ":")
+	if name == "" {
+		return Shard{}, fmt.Errorf("federation: empty shard name in %q", spec)
+	}
+	s := Shard{Name: name, RackLo: 0, RackHi: -1}
+	if !ok {
+		return s, nil
+	}
+	lo, hi, ranged := strings.Cut(racks, "-")
+	n, err := strconv.Atoi(lo)
+	if err != nil || n < 0 {
+		return Shard{}, fmt.Errorf("federation: bad rack %q in shard %q", lo, spec)
+	}
+	s.RackLo, s.RackHi = n, n
+	if ranged {
+		m, err := strconv.Atoi(hi)
+		if err != nil || m < n {
+			return Shard{}, fmt.Errorf("federation: bad rack range %q in shard %q", racks, spec)
+		}
+		s.RackHi = m
+	}
+	return s, nil
+}
+
+// ShardStatus is the per-shard provenance a merged query carries: one row
+// per child the parent fanned out to, so a caller can tell complete
+// results from partial ones without the response turning into a 500. A
+// dark child is OK=false with the error; Stale marks results served from
+// the parent's forwarded mirror instead of a live child query.
+type ShardStatus struct {
+	Shard string `json:"shard"`
+	URL   string `json:"url,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Stale bool   `json:"stale,omitempty"`
+	Count int    `json:"count"`
+}

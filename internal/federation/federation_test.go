@@ -1,0 +1,139 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"rocks/internal/lifecycle"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Shard
+		str  string
+	}{
+		{"deptA", Shard{Name: "deptA", RackLo: 0, RackHi: -1}, "deptA"},
+		{"deptA:3", Shard{Name: "deptA", RackLo: 3, RackHi: 3}, "deptA:3"},
+		{"deptA:0-3", Shard{Name: "deptA", RackLo: 0, RackHi: 3}, "deptA:0-3"},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.spec)
+		if err != nil {
+			t.Fatalf("ParseShard(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		if got.String() != c.str {
+			t.Errorf("ParseShard(%q).String() = %q, want %q", c.spec, got.String(), c.str)
+		}
+	}
+	for _, bad := range []string{"", ":3", "a:x", "a:-1", "a:5-2"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+func TestShardContains(t *testing.T) {
+	all, _ := ParseShard("any")
+	if !all.Contains(3, 99) || !all.AllRacks() {
+		t.Fatal("bare shard must contain every membership and rack")
+	}
+	ranged, _ := ParseShard("deptA:2-4")
+	if ranged.Contains(0, 1) || !ranged.Contains(0, 2) || !ranged.Contains(0, 4) || ranged.Contains(0, 5) {
+		t.Fatal("rack range is inclusive on both ends")
+	}
+	member := Shard{Name: "io", Membership: 5, RackLo: 0, RackHi: -1}
+	if member.Contains(1, 0) || !member.Contains(5, 7) {
+		t.Fatal("membership filter must apply")
+	}
+}
+
+func at(sec int) time.Time { return time.Unix(1000+int64(sec), 0) }
+
+func TestMergeEventsDedupesAndOrders(t *testing.T) {
+	e1 := lifecycle.Event{Seq: 1, Time: at(1), Node: "c0-0", MAC: "aa", Type: lifecycle.EventDiscovered}
+	e2 := lifecycle.Event{Seq: 2, Time: at(2), Node: "c0-0", MAC: "aa", Type: lifecycle.EventInstallComplete}
+	e3 := lifecycle.Event{Seq: 1, Time: at(3), Node: "c1-0", MAC: "bb", Type: lifecycle.EventDiscovered}
+	merged, deduped := MergeEvents([]EventBatch{
+		{Shard: "deptA", Events: []lifecycle.Event{e1, e2}},
+		// deptB re-registered the same machine: identical (MAC, seq) rows
+		// must collapse, not double the timeline.
+		{Shard: "deptB", Events: []lifecycle.Event{e1, e3}},
+	}, 0)
+	if deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", deduped)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("len(merged) = %d, want 3", len(merged))
+	}
+	for i, want := range []string{"aa", "aa", "bb"} {
+		if merged[i].MAC != want {
+			t.Errorf("merged[%d].MAC = %q, want %q (time order)", i, merged[i].MAC, want)
+		}
+	}
+	if merged[0].Shard != "deptA" || merged[2].Shard != "deptB" {
+		t.Errorf("shard stamps wrong: %q, %q", merged[0].Shard, merged[2].Shard)
+	}
+	// Keep-first: the duplicate kept deptA's stamp.
+	if merged[1].Shard != "deptA" {
+		t.Errorf("duplicate kept shard %q, want deptA", merged[1].Shard)
+	}
+}
+
+func TestMergeEventsPreservesDeepProvenance(t *testing.T) {
+	e := lifecycle.Event{Seq: 9, Time: at(1), MAC: "aa", Shard: "leaf"}
+	merged, _ := MergeEvents([]EventBatch{{Shard: "mid", Events: []lifecycle.Event{e}}}, 0)
+	if merged[0].Shard != "leaf" {
+		t.Fatalf("grandchild provenance overwritten: %q", merged[0].Shard)
+	}
+}
+
+func TestMergeEventsLimit(t *testing.T) {
+	var batch []lifecycle.Event
+	for i := 0; i < 10; i++ {
+		batch = append(batch, lifecycle.Event{Seq: uint64(i + 1), Time: at(i), MAC: "aa"})
+	}
+	merged, _ := MergeEvents([]EventBatch{{Shard: "a", Events: batch}}, 3)
+	if len(merged) != 3 || merged[0].Seq != 8 {
+		t.Fatalf("limit must keep the most recent events, got %d starting at seq %d", len(merged), merged[0].Seq)
+	}
+}
+
+func TestMergeNodesRebindKeepsFreshest(t *testing.T) {
+	stale := NodeRow{Name: "c0-0", MAC: "aa", LastEvent: at(1), LastSeq: 5}
+	fresh := NodeRow{Name: "c0-0", MAC: "aa", LastEvent: at(9), LastSeq: 2}
+	other := NodeRow{Name: "c1-0", MAC: "bb", LastEvent: at(2)}
+	merged, deduped := MergeNodes([]NodeBatch{
+		{Shard: "deptA", Nodes: []NodeRow{stale, other}},
+		// The machine re-registered under deptB after its child frontend
+		// was resharded; the row with the later lifecycle activity wins.
+		{Shard: "deptB", Nodes: []NodeRow{fresh}},
+	})
+	if deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", deduped)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("len(merged) = %d, want 2", len(merged))
+	}
+	if merged[0].Shard != "deptB" || !merged[0].LastEvent.Equal(at(9)) {
+		t.Fatalf("rebind kept the stale row: shard %q at %v", merged[0].Shard, merged[0].LastEvent)
+	}
+	if merged[1].MAC != "bb" || merged[1].Shard != "deptA" {
+		t.Fatalf("unrelated row mangled: %+v", merged[1])
+	}
+}
+
+func TestMergeNodesTieKeepsFirstBatch(t *testing.T) {
+	a := NodeRow{Name: "c0-0", MAC: "aa", LastEvent: at(5), LastSeq: 3}
+	b := NodeRow{Name: "c0-0", MAC: "aa", LastEvent: at(5), LastSeq: 3}
+	merged, deduped := MergeNodes([]NodeBatch{
+		{Shard: "deptA", Nodes: []NodeRow{a}},
+		{Shard: "deptB", Nodes: []NodeRow{b}},
+	})
+	if deduped != 1 || len(merged) != 1 || merged[0].Shard != "deptA" {
+		t.Fatalf("tie must keep the first (deterministic-order) batch, got %+v", merged)
+	}
+}

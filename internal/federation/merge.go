@@ -1,0 +1,154 @@
+package federation
+
+import (
+	"sort"
+	"time"
+
+	"rocks/internal/lifecycle"
+)
+
+// EventBatch is one shard's contribution to a merged event query: the
+// shard's name and the events its frontend returned (live) or the parent
+// mirrored (stale fallback for a dark child).
+type EventBatch struct {
+	Shard  string
+	Events []lifecycle.Event
+}
+
+// eventKey identifies an event across frontends. Sequence numbers are
+// per-bus, so the key pairs the machine's stable identity (MAC, falling
+// back to hostname for events published before discovery bound one) with
+// the originating sequence: the same event reaching the parent twice — a
+// live child response plus the forwarded mirror, or a node whose child
+// re-registered under a new shard mid-query — collapses to one.
+type eventKey struct {
+	id  string
+	seq uint64
+}
+
+func keyOf(e lifecycle.Event) eventKey {
+	id := e.MAC
+	if id == "" {
+		id = e.Node
+	}
+	return eventKey{id: id, seq: e.Seq}
+}
+
+// MergeEvents flattens shard batches into one stream: every event is
+// stamped with its batch's shard (events already carrying deeper
+// provenance keep it), duplicates collapse on (MAC, seq), and the result
+// is ordered by (time, seq, shard) — within a single shard that is
+// exactly the child's own publish order, which is what makes a node's
+// timeline byte-identical at the child and at the top, modulo the shard
+// stamp. limit > 0 keeps only the most recent events. Returns the merged
+// stream and how many duplicates were dropped.
+func MergeEvents(batches []EventBatch, limit int) ([]lifecycle.Event, int) {
+	total := 0
+	for _, b := range batches {
+		total += len(b.Events)
+	}
+	merged := make([]lifecycle.Event, 0, total)
+	seen := make(map[eventKey]bool, total)
+	deduped := 0
+	for _, b := range batches {
+		for _, e := range b.Events {
+			k := keyOf(e)
+			if seen[k] {
+				deduped++
+				continue
+			}
+			seen[k] = true
+			if e.Shard == "" {
+				e.Shard = b.Shard
+			}
+			merged = append(merged, e)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Shard < b.Shard
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[len(merged)-limit:]
+	}
+	return merged, deduped
+}
+
+// NodeRow is one node in the merged /v1/nodes view: the clusterdb row
+// joined with live tracking state and shard provenance. LastSeq/LastEvent
+// carry the node's most recent lifecycle activity on its owning bus;
+// cross-shard recency comparisons use the timestamp (sequence numbers are
+// per-bus and not comparable between shards).
+type NodeRow struct {
+	Name       string    `json:"name"`
+	MAC        string    `json:"mac"`
+	IP         string    `json:"ip"`
+	Membership int       `json:"membership"`
+	Rack       int       `json:"rack"`
+	Rank       int       `json:"rank"`
+	Arch       string    `json:"arch,omitempty"`
+	CPUs       int       `json:"cpus,omitempty"`
+	State      string    `json:"state,omitempty"`
+	Shard      string    `json:"shard,omitempty"`
+	LastSeq    uint64    `json:"last_seq,omitempty"`
+	LastEvent  time.Time `json:"last_event"`
+}
+
+// NodeBatch is one shard's node listing.
+type NodeBatch struct {
+	Shard string
+	Nodes []NodeRow
+}
+
+// MergeNodes merges shard listings into one population. A node that moved
+// shards mid-query (its machine re-registered under another frontend, or
+// one child re-registered under a new shard name) appears in more than
+// one batch; duplicates collapse on MAC — hostname when a row has no
+// MAC — keeping the row whose shard saw the node's lifecycle activity
+// most recently. Rows are stamped with their batch's shard and the result
+// is sorted by (name, mac). Returns the merged rows and the duplicate
+// count.
+func MergeNodes(batches []NodeBatch) ([]NodeRow, int) {
+	type slot struct{ idx int }
+	index := make(map[string]slot)
+	merged := []NodeRow{}
+	deduped := 0
+	for _, b := range batches {
+		for _, row := range b.Nodes {
+			if row.Shard == "" {
+				row.Shard = b.Shard
+			}
+			id := row.MAC
+			if id == "" {
+				id = row.Name
+			}
+			prev, dup := index[id]
+			if !dup {
+				index[id] = slot{idx: len(merged)}
+				merged = append(merged, row)
+				continue
+			}
+			deduped++
+			cur := merged[prev.idx]
+			// Later lifecycle activity wins; ties keep the first batch
+			// (batches arrive in deterministic shard order).
+			if row.LastEvent.After(cur.LastEvent) ||
+				(row.LastEvent.Equal(cur.LastEvent) && row.LastSeq > cur.LastSeq) {
+				merged[prev.idx] = row
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Name != merged[j].Name {
+			return merged[i].Name < merged[j].Name
+		}
+		return merged[i].MAC < merged[j].MAC
+	})
+	return merged, deduped
+}

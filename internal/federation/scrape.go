@@ -1,0 +1,172 @@
+package federation
+
+import (
+	"sort"
+	"strings"
+)
+
+// Scrape federation: the parent frontend aggregates child /metrics
+// expositions into its own, the way delta mirroring cascades distribution
+// trees. Child samples are re-labeled with their shard as the *first*
+// label; the parent's own samples stay verbatim. Putting shard first is
+// deliberate: strict-parse histogram validation recognizes bucket series
+// by the literal prefix `name_bucket{le="`, so per-shard bucket series
+// are carried but skipped by validation while the parent's own bare
+// series keep satisfying it — one merged exposition that still
+// round-trips through metrics.ParseText.
+
+// ShardExposition is one child's scraped /metrics text.
+type ShardExposition struct {
+	Shard string
+	Text  string
+}
+
+// famBlock is one family's slice of an exposition: HELP/TYPE comments and
+// the sample lines that followed them.
+type famBlock struct {
+	name    string
+	help    string
+	typ     string
+	samples []string
+}
+
+// parseExposition splits text-format metrics into family blocks. The
+// input comes from this codebase's own WriteText (HELP then TYPE then
+// samples, family-contiguous), so association by "most recent TYPE whose
+// name prefixes the sample" is exact; anything unrecognized is dropped
+// rather than corrupting the merged output.
+func parseExposition(text string) []*famBlock {
+	var blocks []*famBlock
+	byName := map[string]*famBlock{}
+	get := func(name string) *famBlock {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &famBlock{name: name}
+		byName[name] = f
+		blocks = append(blocks, f)
+		return f
+	}
+	var current *famBlock
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			name, detail, _ := strings.Cut(rest, " ")
+			if name == "" {
+				continue
+			}
+			f := get(name)
+			if strings.HasPrefix(line, "# HELP ") {
+				f.help = detail
+			} else {
+				f.typ = detail
+			}
+			current = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample: histogram/summary series (name_bucket, name_sum,
+		// name_count) belong to the family whose name prefixes theirs.
+		if current != nil && strings.HasPrefix(line, current.name) {
+			current.samples = append(current.samples, line)
+			continue
+		}
+		bare := line
+		if i := strings.IndexAny(bare, "{ "); i >= 0 {
+			bare = bare[:i]
+		}
+		if bare == "" {
+			continue
+		}
+		current = get(bare)
+		current.samples = append(current.samples, line)
+	}
+	return blocks
+}
+
+var shardLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// stampShard injects shard="name" as the first label of a sample line. A
+// sample that already leads with a shard label — a grandchild's series
+// passing through a mid-tier frontend — keeps its original provenance.
+func stampShard(line, shard string) string {
+	label := `shard="` + shardLabelEscaper.Replace(shard) + `"`
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		if strings.HasPrefix(line[i+1:], `shard="`) {
+			return line
+		}
+		return line[:i+1] + label + "," + line[i+1:]
+	}
+	name, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return line
+	}
+	return name + "{" + label + "} " + rest
+}
+
+// MergeExpositions folds child expositions into the parent's own: the
+// family set is the union, HELP/TYPE are emitted once per family (the
+// parent's text wins when both define them), the parent's samples appear
+// verbatim, and each child's samples follow re-labeled with its shard.
+// Families are emitted in sorted name order, matching WriteText, so the
+// merged text still strict-parses.
+func MergeExpositions(own string, children []ShardExposition) string {
+	type mergedFam struct {
+		help, typ string
+		lines     []string
+	}
+	fams := map[string]*mergedFam{}
+	get := func(b *famBlock) *mergedFam {
+		f, ok := fams[b.name]
+		if !ok {
+			f = &mergedFam{}
+			fams[b.name] = f
+		}
+		if f.help == "" {
+			f.help = b.help
+		}
+		if f.typ == "" {
+			f.typ = b.typ
+		}
+		return f
+	}
+	for _, b := range parseExposition(own) {
+		f := get(b)
+		f.lines = append(f.lines, b.samples...)
+	}
+	sorted := append([]ShardExposition(nil), children...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	for _, child := range sorted {
+		for _, b := range parseExposition(child.Text) {
+			f := get(b)
+			for _, line := range b.samples {
+				f.lines = append(f.lines, stampShard(line, child.Shard))
+			}
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		if f.help != "" {
+			b.WriteString("# HELP " + n + " " + f.help + "\n")
+		}
+		if f.typ != "" {
+			b.WriteString("# TYPE " + n + " " + f.typ + "\n")
+		}
+		for _, line := range f.lines {
+			b.WriteString(line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"rocks/internal/metrics"
+)
+
+func childText() string {
+	r := metrics.NewRegistry()
+	r.CounterFunc("rocks_nodes", "Nodes tracked.", func() float64 { return 4 })
+	h := r.Histogram("rocks_kickstart_cgi_seconds", "CGI latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func parentText() string {
+	r := metrics.NewRegistry()
+	r.CounterFunc("rocks_nodes", "Nodes tracked.", func() float64 { return 1 })
+	h := r.Histogram("rocks_kickstart_cgi_seconds", "CGI latency.", []float64{0.1, 1})
+	h.Observe(0.01)
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func TestMergeExpositionsStampsShardFirst(t *testing.T) {
+	merged := MergeExpositions(parentText(), []ShardExposition{
+		{Shard: "deptB", Text: childText()},
+		{Shard: "deptA", Text: childText()},
+	})
+	if !strings.Contains(merged, "rocks_nodes 1") {
+		t.Fatal("parent's bare sample must survive verbatim")
+	}
+	if !strings.Contains(merged, `rocks_nodes{shard="deptA"} 4`) ||
+		!strings.Contains(merged, `rocks_nodes{shard="deptB"} 4`) {
+		t.Fatalf("child samples must be shard-labeled:\n%s", merged)
+	}
+	// Children emit in sorted shard order regardless of argument order.
+	if strings.Index(merged, `shard="deptA"`) > strings.Index(merged, `shard="deptB"`) {
+		t.Fatal("children must merge in sorted shard order")
+	}
+	// Histogram bucket series carry the shard as the FIRST label so the
+	// strict parser's bucket-prefix match skips them while the parent's
+	// own bare buckets still validate.
+	if !strings.Contains(merged, `rocks_kickstart_cgi_seconds_bucket{shard="deptA",le="0.1"}`) {
+		t.Fatalf("child bucket series must lead with shard:\n%s", merged)
+	}
+	if strings.Count(merged, "# TYPE rocks_nodes ") != 1 {
+		t.Fatal("HELP/TYPE must be emitted once per family")
+	}
+	if _, err := metrics.ParseText(strings.NewReader(merged)); err != nil {
+		t.Fatalf("merged exposition must strict-parse: %v", err)
+	}
+}
+
+func TestMergeExpositionsChildOnlyFamily(t *testing.T) {
+	child := "# HELP rocks_only_here Child-only family.\n# TYPE rocks_only_here counter\nrocks_only_here 7\n"
+	merged := MergeExpositions(parentText(), []ShardExposition{{Shard: "x", Text: child}})
+	if !strings.Contains(merged, `rocks_only_here{shard="x"} 7`) {
+		t.Fatalf("family present only on the child must still appear:\n%s", merged)
+	}
+	if _, err := metrics.ParseText(strings.NewReader(merged)); err != nil {
+		t.Fatalf("merged exposition must strict-parse: %v", err)
+	}
+}
+
+func TestStampShardPreservesDeepProvenance(t *testing.T) {
+	line := `rocks_nodes{shard="leaf"} 2`
+	if got := stampShard(line, "mid"); got != line {
+		t.Fatalf("grandchild series relabeled: %q", got)
+	}
+	labeled := `rocks_nodes_state{state="up"} 3`
+	want := `rocks_nodes_state{shard="mid",state="up"} 3`
+	if got := stampShard(labeled, "mid"); got != want {
+		t.Fatalf("stampShard = %q, want %q", got, want)
+	}
+}

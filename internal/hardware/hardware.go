@@ -148,6 +148,34 @@ func NewMACAllocator() *MACAllocator {
 	return &MACAllocator{oui: "00:50:8b"} // Compaq's OUI, as in Table II
 }
 
+// NewMACAllocatorOUI creates an allocator under the given OUI prefix
+// ("xx:xx:xx"). Federated child frontends each simulate their own
+// hardware population; giving every shard a distinct OUI keeps MAC
+// addresses — the machine identity every merged query dedupes on —
+// globally unique across the hierarchy. An empty or malformed prefix
+// falls back to the default allocator.
+func NewMACAllocatorOUI(oui string) *MACAllocator {
+	var b1, b2, b3 byte
+	if _, err := fmt.Sscanf(strings.ToLower(oui), "%02x:%02x:%02x", &b1, &b2, &b3); err != nil {
+		return NewMACAllocator()
+	}
+	return &MACAllocator{oui: fmt.Sprintf("%02x:%02x:%02x", b1, b2, b3)}
+}
+
+// ShardOUI derives a deterministic locally-administered OUI from a shard
+// name (FNV-1a over the name into the low two octets). The leading octet
+// 0x06 has the locally-administered bit set, so derived prefixes can
+// never collide with the default Compaq OUI however many shards a site
+// grows.
+func ShardOUI(shard string) string {
+	h := uint32(2166136261)
+	for i := 0; i < len(shard); i++ {
+		h ^= uint32(shard[i])
+		h *= 16777619
+	}
+	return fmt.Sprintf("06:%02x:%02x", byte(h>>8), byte(h))
+}
+
 // Next returns the next MAC address.
 func (a *MACAllocator) Next() string {
 	a.mu.Lock()

@@ -85,6 +85,10 @@ type Config struct {
 	// install fetches, so the node can re-serve its tree to peers once the
 	// registry hears its install-complete event.
 	RelayStore *rpm.Repository
+	// RelayMAC identifies this installer to the relay registry (its
+	// Ethernet MAC), letting the registry prefer same-rack peers. Empty
+	// asks for a rack-blind list.
+	RelayMAC string
 }
 
 // defaultClient bounds every fetch: http.DefaultClient has no timeout, so

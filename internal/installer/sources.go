@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"rocks/internal/lifecycle"
@@ -84,7 +85,15 @@ func fetchRelaySources(ctx context.Context, cfg Config) []Source {
 	if cfg.RelayURL == "" {
 		return nil
 	}
-	req, err := http.NewRequestWithContext(ctx, "GET", cfg.RelayURL, nil)
+	u := cfg.RelayURL
+	if cfg.RelayMAC != "" {
+		sep := "?"
+		if strings.Contains(u, "?") {
+			sep = "&"
+		}
+		u += sep + "mac=" + url.QueryEscape(cfg.RelayMAC)
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
 	if err != nil {
 		return nil
 	}

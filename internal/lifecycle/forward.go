@@ -1,0 +1,168 @@
+package lifecycle
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Forwarder streams a bus's events upstream to a parent frontend — the
+// federation seam. It subscribes to the local bus, batches what arrives,
+// and hands each batch to a post callback (an HTTP POST to the parent's
+// /v1/federation/events in production). Forwarding is best-effort by
+// design: the parent's merged queries fan out to children *live*, so the
+// forwarded copy is only the parent's fallback view for when a child goes
+// dark. A failed batch is retried once on the next flush tick and then
+// dropped, counted, and left behind — the child's own ring remains the
+// authoritative history.
+type Forwarder struct {
+	bus   *Bus
+	post  func([]Event) error
+	every time.Duration
+	batch int
+
+	mu    sync.Mutex
+	queue []Event
+
+	flushReq chan chan struct{}
+	stopped  chan struct{}
+
+	forwarded atomic.Uint64 // events successfully posted upstream
+	errors    atomic.Uint64 // failed post attempts (batches, not events)
+	dropped   atomic.Uint64 // events abandoned after a failed retry
+}
+
+// ForwarderOptions tunes batching; the zero value means a 50ms flush
+// interval and 256-event batches.
+type ForwarderOptions struct {
+	FlushInterval time.Duration
+	BatchSize     int
+}
+
+// StartForwarder subscribes to the bus and begins forwarding. The
+// goroutine exits when ctx is cancelled, posting whatever is still queued
+// on the way out.
+func StartForwarder(ctx context.Context, bus *Bus, opts ForwarderOptions, post func([]Event) error) *Forwarder {
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 50 * time.Millisecond
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 256
+	}
+	f := &Forwarder{
+		bus:      bus,
+		post:     post,
+		every:    opts.FlushInterval,
+		batch:    opts.BatchSize,
+		flushReq: make(chan chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	events, cancel := bus.Subscribe(opts.BatchSize * 2)
+	drain := func() {
+		for {
+			select {
+			case e := <-events:
+				f.mu.Lock()
+				f.queue = append(f.queue, e)
+				f.mu.Unlock()
+			default:
+				return
+			}
+		}
+	}
+	go func() {
+		defer close(f.stopped)
+		defer cancel()
+		ticker := time.NewTicker(f.every)
+		defer ticker.Stop()
+		for {
+			select {
+			case e := <-events:
+				f.mu.Lock()
+				f.queue = append(f.queue, e)
+				full := len(f.queue) >= f.batch
+				f.mu.Unlock()
+				if full {
+					f.flushOnce(true)
+				}
+			case <-ticker.C:
+				f.flushOnce(false)
+			case done := <-f.flushReq:
+				// Drain whatever the subscription already delivered before
+				// flushing, so Flush callers see everything published
+				// before their call.
+				drain()
+				f.flushOnce(true)
+				close(done)
+			case <-ctx.Done():
+				drain()
+				f.flushOnce(true)
+				return
+			}
+		}
+	}()
+	return f
+}
+
+// Enqueue injects events that did not come from the local bus — a
+// mid-tier frontend relaying a grandchild's already-stamped events
+// further up the hierarchy. The events keep whatever Shard provenance
+// they carry.
+func (f *Forwarder) Enqueue(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.queue = append(f.queue, events...)
+	f.mu.Unlock()
+}
+
+// flushOnce attempts one post of the pending queue. On failure the batch
+// is kept for exactly one more attempt (final=true or the next tick);
+// a batch that fails twice is dropped so a dark parent cannot grow the
+// queue without bound.
+func (f *Forwarder) flushOnce(final bool) {
+	f.mu.Lock()
+	pending := f.queue
+	f.queue = nil
+	f.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	if err := f.post(pending); err != nil {
+		f.errors.Add(1)
+		if final || len(pending) > f.batch {
+			f.dropped.Add(uint64(len(pending)))
+			return
+		}
+		// Retry on the next flush tick.
+		f.mu.Lock()
+		f.queue = append(pending, f.queue...)
+		f.mu.Unlock()
+		return
+	}
+	f.forwarded.Add(uint64(len(pending)))
+}
+
+// Flush synchronously drains the subscription and posts the pending
+// queue — shutdown and test determinism. Safe after the forwarder has
+// stopped (it then flushes whatever Enqueue added directly).
+func (f *Forwarder) Flush() {
+	done := make(chan struct{})
+	select {
+	case f.flushReq <- done:
+		<-done
+	case <-f.stopped:
+		f.flushOnce(true)
+	}
+}
+
+// Done is closed once the forwarding goroutine has exited (after its
+// final drain-and-flush) — the join point for leak-free shutdown.
+func (f *Forwarder) Done() <-chan struct{} { return f.stopped }
+
+// Stats reports the forwarder's cumulative traffic.
+func (f *Forwarder) Stats() (forwarded, errors, dropped uint64) {
+	return f.forwarded.Load(), f.errors.Load(), f.dropped.Load()
+}

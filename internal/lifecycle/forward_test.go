@@ -1,0 +1,133 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectPost returns a post func recording every forwarded event and the
+// accessor to read them back.
+func collectPost() (func([]Event) error, func() []Event) {
+	var mu sync.Mutex
+	var got []Event
+	post := func(events []Event) error {
+		mu.Lock()
+		got = append(got, events...)
+		mu.Unlock()
+		return nil
+	}
+	read := func() []Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Event(nil), got...)
+	}
+	return post, read
+}
+
+func TestForwarderStreamsBusEvents(t *testing.T) {
+	bus := NewBus(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	post, read := collectPost()
+	fw := StartForwarder(ctx, bus, ForwarderOptions{FlushInterval: 5 * time.Millisecond}, post)
+	for i := 0; i < 10; i++ {
+		bus.Publish(Event{Node: "c0-0", Type: EventDiscovered, Phase: PhaseDiscover})
+	}
+	fw.Flush()
+	if got := read(); len(got) != 10 {
+		t.Fatalf("forwarded %d events, want 10", len(got))
+	}
+	forwarded, errs, dropped := fw.Stats()
+	if forwarded != 10 || errs != 0 || dropped != 0 {
+		t.Fatalf("Stats() = %d, %d, %d", forwarded, errs, dropped)
+	}
+}
+
+func TestForwarderFinalFlushDropsFailedBatch(t *testing.T) {
+	bus := NewBus(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fw := StartForwarder(ctx, bus, ForwarderOptions{FlushInterval: time.Hour},
+		func([]Event) error { return errors.New("parent dark") })
+	bus.Publish(Event{Node: "c0-0", Type: EventDiscovered})
+	// Flush is a final flush: a failed batch is dropped, not requeued, so
+	// a dark parent cannot grow the queue without bound.
+	fw.Flush()
+	_, errs, dropped := fw.Stats()
+	if errs != 1 || dropped != 1 {
+		t.Fatalf("Stats errors=%d dropped=%d, want 1 and 1", errs, dropped)
+	}
+}
+
+func TestForwarderTickRetriesFailedBatch(t *testing.T) {
+	bus := NewBus(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	calls := 0
+	var got []Event
+	post := func(events []Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls == 1 {
+			return errors.New("transient")
+		}
+		got = append(got, events...)
+		return nil
+	}
+	fw := StartForwarder(ctx, bus, ForwarderOptions{FlushInterval: 2 * time.Millisecond}, post)
+	bus.Publish(Event{Node: "c0-0", Type: EventDiscovered})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("failed batch was not retried on the next tick")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	forwarded, errs, dropped := fw.Stats()
+	if forwarded != 1 || errs != 1 || dropped != 0 {
+		t.Fatalf("Stats = %d, %d, %d; want 1 forwarded, 1 error, 0 drops", forwarded, errs, dropped)
+	}
+}
+
+func TestForwarderEnqueueInjectsStampedEvents(t *testing.T) {
+	bus := NewBus(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	post, read := collectPost()
+	fw := StartForwarder(ctx, bus, ForwarderOptions{FlushInterval: time.Hour}, post)
+	fw.Enqueue([]Event{{Node: "g0-0", Shard: "leaf", Type: EventUp}})
+	fw.Flush()
+	got := read()
+	if len(got) != 1 || got[0].Shard != "leaf" {
+		t.Fatalf("enqueue lost provenance: %+v", got)
+	}
+}
+
+func TestForwarderDoneAfterCancel(t *testing.T) {
+	bus := NewBus(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	post, read := collectPost()
+	fw := StartForwarder(ctx, bus, ForwarderOptions{FlushInterval: time.Hour}, post)
+	bus.Publish(Event{Node: "c0-0", Type: EventDiscovered})
+	cancel()
+	select {
+	case <-fw.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("forwarder did not exit after cancel")
+	}
+	// The exit path drains and flushes what was still queued.
+	if got := read(); len(got) != 1 {
+		t.Fatalf("final flush forwarded %d events, want 1", len(got))
+	}
+}

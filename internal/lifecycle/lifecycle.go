@@ -40,11 +40,11 @@ const (
 	EventReplaced   EventType = "replaced"   // existing name rebound to a new MAC
 
 	// Installation (installer), in §6.1 order.
-	EventLease           EventType = "lease"     // DHCP lease acquired
-	EventKickstart       EventType = "kickstart" // kickstart file fetched
-	EventPartition       EventType = "partition" // disk partitioned + formatted
-	EventPackages        EventType = "packages"  // package installation finished
-	EventPost            EventType = "post"      // %post scripts ran
+	EventLease     EventType = "lease"     // DHCP lease acquired
+	EventKickstart EventType = "kickstart" // kickstart file fetched
+	EventPartition EventType = "partition" // disk partitioned + formatted
+	EventPackages  EventType = "packages"  // package installation finished
+	EventPost      EventType = "post"      // %post scripts ran
 	// EventPackageCorrupt reports a fetched package body that failed digest
 	// verification against the distribution manifest; the installer
 	// discards the body and retries, so a corrupt package never lands on
@@ -95,6 +95,12 @@ type Event struct {
 	Source  string    `json:"source"`            // producing layer: installer, monitor, supervisor, insert-ethers, pdu, cluster
 	Attempt int       `json:"attempt,omitempty"` // remediation attempt number, when meaningful
 	Detail  string    `json:"detail,omitempty"`
+	// Shard is federation provenance: the child frontend whose bus
+	// originated the event. Empty on a standalone frontend and on a
+	// child's own view of its events — only a parent merging shard
+	// results stamps it, so a timeline read at the child and the same
+	// timeline read at the top differ in nothing but this field.
+	Shard string `json:"shard,omitempty"`
 }
 
 // String formats an event the way the supervisor log used to: terse,

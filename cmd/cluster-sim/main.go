@@ -44,6 +44,7 @@ import (
 	"rocks/internal/core"
 	"rocks/internal/dist"
 	"rocks/internal/experiments"
+	"rocks/internal/faults"
 	"rocks/internal/federation"
 	"rocks/internal/hardware"
 	"rocks/internal/kickstart"
@@ -65,6 +66,7 @@ func main() {
 		demo       = flag.Bool("demo", false, "run the scripted management demo and exit")
 		dbdir      = flag.String("dbdir", "", "durable cluster database directory (WAL + snapshots); empty keeps the database in memory")
 		dbfsync    = flag.Bool("dbfsync", false, "fsync every WAL record before its statement applies (requires -dbdir)")
+		drift      = flag.Int("drift", 0, "inject deterministic hardware-facts drift into the first N first-boot reports (chaos mode: the supervisor reinstalls the drifted nodes until reports come back clean)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,17 @@ func main() {
 
 	cfg := core.Config{Name: *name, ListenAddr: *listen, DHCPRetry: 5 * time.Millisecond,
 		DBDir: *dbdir, DBFsync: *dbfsync, EnableRelays: *relays}
+	if *drift > 0 {
+		// Seeded injector, one count-capped rule: the first N facts reports
+		// are skewed (wrong arch + halved disk, plus a within-tolerance
+		// memory wobble the comparator must classify as benign). Each
+		// skewed report costs the node a supervisor-ordered reinstall;
+		// the rule's budget exhausts and the loop converges to zero
+		// actionable drift.
+		cfg.Faults = faults.NewInjector(1, faults.Rule{
+			Op: faults.OpFactsReport, Mode: faults.ModeFactsSkew, Count: *drift,
+		})
+	}
 	rack := 0
 	if *shard != "" {
 		if *parent == "" {
@@ -124,6 +137,19 @@ func main() {
 		}
 	}
 	fmt.Println(c.StatusTable())
+
+	if *drift > 0 {
+		// Close the loop: the supervisor watches /v1/facts drift verdicts
+		// and reinstalls drifted nodes on a fast cadence so a smoke test
+		// sees convergence in seconds.
+		c.StartSupervisor(core.SupervisorConfig{
+			Patience:    2 * time.Second,
+			Interval:    100 * time.Millisecond,
+			BaseBackoff: 200 * time.Millisecond,
+			MaxRetries:  5,
+		})
+		fmt.Printf("drift chaos: first %d facts reports skewed; supervisor remediation running\n", *drift)
+	}
 
 	if *demo {
 		if err := runDemo(c); err != nil {

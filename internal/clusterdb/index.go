@@ -32,7 +32,7 @@ type indexSpec struct {
 // Uniqueness on nodes is sparse: NULL keys are never indexed and empty-string
 // keys are indexed but not uniqueness-enforced, because appliances without a
 // burned-in identity (switches before discovery, placeholder rows) legally
-// share ''. oneNode surfaces those duplicates at lookup time instead.
+// share ”. oneNode surfaces those duplicates at lookup time instead.
 var autoIndexSpecs = map[string][]indexSpec{
 	"nodes": {
 		{name: "nodes_mac", cols: []string{"mac"}, unique: true},

@@ -47,6 +47,10 @@ func InitSchema(db *Database) error {
 		"memberships": `CREATE TABLE memberships (id INT, name TEXT, appliance INT, compute TEXT)`,
 		"appliances":  `CREATE TABLE appliances (id INT, name TEXT, graph TEXT, node TEXT)`,
 		"site":        `CREATE TABLE site (name TEXT, value TEXT)`,
+		"facts": `CREATE TABLE facts (
+			mac TEXT, name TEXT, arch TEXT, cpus INT,
+			mem_mb INT, disk_type TEXT, disk_mb INT,
+			nics TEXT, reported_at INT)`,
 	}
 	seeds := map[string]string{
 		"memberships": `INSERT INTO memberships VALUES
@@ -72,7 +76,7 @@ func InitSchema(db *Database) error {
 	for _, name := range db.TableNames() {
 		have[name] = true
 	}
-	for _, name := range []string{"nodes", "memberships", "appliances", "site"} {
+	for _, name := range []string{"nodes", "memberships", "appliances", "site", "facts"} {
 		if !have[name] {
 			if _, err := db.Exec(creates[name]); err != nil {
 				return fmt.Errorf("clusterdb: initializing schema: %w", err)

@@ -18,7 +18,7 @@ func initDB(t *testing.T) *Database {
 func TestInitSchemaSeedsDefaults(t *testing.T) {
 	db := initDB(t)
 	names := db.TableNames()
-	want := []string{"appliances", "memberships", "nodes", "site"}
+	want := []string{"appliances", "facts", "memberships", "nodes", "site"}
 	if strings.Join(names, " ") != strings.Join(want, " ") {
 		t.Errorf("TableNames = %v, want %v", names, want)
 	}

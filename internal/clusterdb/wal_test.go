@@ -477,7 +477,7 @@ func TestInitSchemaIdempotentAfterPartialBootstrap(t *testing.T) {
 	if err := InitSchema(d2); err != nil {
 		t.Fatalf("InitSchema on a partially bootstrapped database: %v", err)
 	}
-	if got := d2.TableNames(); len(got) != 4 {
+	if got := d2.TableNames(); len(got) != 5 {
 		t.Errorf("tables after re-init: %v", got)
 	}
 	// The existing seed row survived (not duplicated, not clobbered).

@@ -182,6 +182,15 @@ func (c *Cluster) apiEndpoints() []endpoint {
 		{name: "dbstats", run: c.opDBStats},
 		{name: "diststats", run: c.opDistStats},
 		{name: "events", run: c.opEvents, fanout: c.fanEvents},
+		{
+			name:  "facts",
+			audit: "facts-report",
+			// First-boot agent reports are telemetry, not administration:
+			// accept POST, never audit (a cluster-wide reinstall's report
+			// burst would bury the log).
+			mutates: func(*http.Request) bool { return false },
+			run:     c.opFacts,
+		},
 		// The federated management hierarchy: merged queries fan out to
 		// child frontends; registration and event forwarding come up from
 		// them; remirror cascades down the distribution tree.
@@ -303,13 +312,22 @@ func (c *Cluster) opShoot(r *http.Request) (interface{}, *apiError) {
 			return nil, apiErrorf(http.StatusInternalServerError, "node_untracked",
 				"node %s was shot but is no longer tracked", names[0])
 		}
+		// The watch ends early when the client hangs up or the cluster shuts
+		// down — a poll must never pin the handler to its full deadline.
 		deadline := time.Now().Add(10 * time.Second)
+	watch:
 		for time.Now().Before(deadline) {
 			if addr := n.EKVAddr(); addr != "" {
 				resp["ekv"] = addr
 				break
 			}
-			time.Sleep(2 * time.Millisecond)
+			select {
+			case <-time.After(2 * time.Millisecond):
+			case <-r.Context().Done():
+				break watch
+			case <-c.ctx.Done():
+				break watch
+			}
 		}
 	}
 	return resp, nil
@@ -389,7 +407,11 @@ func (c *Cluster) opReinstall(r *http.Request) (interface{}, *apiError) {
 	if jobErr != nil && !errors.As(jobErr, &timeoutErr) {
 		return nil, apiErrorf(http.StatusInternalServerError, "reinstall_failed", "%v", jobErr)
 	}
+	// The convergence poll ends early when the client hangs up or the
+	// cluster shuts down, reporting whatever state the last pass saw; it
+	// must never hold the handler (and with it Close) to the full deadline.
 	var notUp []string
+poll:
 	for {
 		notUp = notUp[:0]
 		for _, n := range c.Nodes() {
@@ -404,7 +426,13 @@ func (c *Cluster) opReinstall(r *http.Request) (interface{}, *apiError) {
 		if len(notUp) == 0 || !time.Now().Before(deadline) {
 			break
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-r.Context().Done():
+			break poll
+		case <-c.ctx.Done():
+			break poll
+		}
 	}
 	if timeoutErr != nil {
 		notUp = append(notUp, timeoutErr.StuckHosts()...)
@@ -530,6 +558,41 @@ func (c *Cluster) opEvents(r *http.Request) (interface{}, *apiError) {
 		events = []lifecycle.Event{}
 	}
 	return EventsResponse{Events: events, Seq: c.events.Seq(), Dropped: c.events.Evicted()}, nil
+}
+
+// opFacts is the install loop's reporting edge. POST ingests one
+// first-boot agent's JSON report: the frontend persists it (WAL-covered),
+// diffs it against the profile the database expects, and publishes
+// drift-detected events the supervisor acts on; ?shard= marks a report a
+// registered federated child is relaying upstream, stored with provenance
+// and never re-diffed. GET serves the assembled inventory with per-node
+// freshness and each node's current drift verdict.
+func (c *Cluster) opFacts(r *http.Request) (interface{}, *apiError) {
+	if r.Method != http.MethodPost {
+		return c.FactsInventory(), nil
+	}
+	shard := r.URL.Query().Get("shard")
+	if shard != "" {
+		c.fed.mu.Lock()
+		_, known := c.fed.children[shard]
+		c.fed.mu.Unlock()
+		if !known {
+			return nil, apiErrorf(http.StatusNotFound, "unknown_shard",
+				"shard %q is not registered; POST /v1/federation/register first", shard)
+		}
+	}
+	var f hardware.Facts
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(&f); err != nil {
+		return nil, apiErrorf(http.StatusBadRequest, "bad_body", "decoding facts report: %v", err)
+	}
+	if f.MAC == "" {
+		return nil, apiErrorf(http.StatusBadRequest, "missing_parameter", "facts report has no mac")
+	}
+	if err := c.ingestFacts(f, shard); err != nil {
+		return nil, apiErrorf(http.StatusInternalServerError, "facts_failed", "recording facts: %v", err)
+	}
+	return map[string]string{"status": "recorded", "mac": f.MAC}, nil
 }
 
 // auditEndpoint serves the mutation audit log, filtered by op, actor,

@@ -126,6 +126,12 @@ type Config struct {
 	// Empty with Parent set derives a per-shard OUI so federated
 	// populations cannot collide; empty otherwise keeps the default.
 	MACOUI string
+	// FactsMemTolerancePct is how far (percent) a node's reported memory
+	// may sit from the database's expected MemMB before it counts as
+	// drift; zero means hardware.DefaultMemTolerancePct. Kernel
+	// reservations and BIOS rounding wobble the reading — the band keeps
+	// that noise out of the drift timeline.
+	FactsMemTolerancePct int
 }
 
 // Cluster is a running Rocks cluster.
@@ -202,6 +208,12 @@ type Cluster struct {
 	fed        *fedState
 	cgiSeconds *metrics.Histogram
 
+	// facts is the inventory half of the install loop: every node's latest
+	// first-boot report, its drift verdict against the database's expected
+	// profile, and the per-field drift counters /metrics exposes. Always
+	// non-nil; the durable rows live in clusterdb's facts table.
+	facts *factsState
+
 	reports reportCoalescer
 
 	// recovery records what Open found when DBDir was set and held a
@@ -248,6 +260,10 @@ func New(cfg Config) (*Cluster, error) {
 			{Name: "rocks-local", Repo: dist.LocalRocksPackages()},
 		}
 	}
+	// The root context exists before the first network touch (the parent
+	// mirror below), so every mirror pass this cluster ever runs — initial
+	// and Remirror — is cancellable by the same cancel Close calls.
+	ctx, cancel := context.WithCancel(context.Background())
 	localSources := cfg.Sources
 	var mirrorReport *dist.MirrorReport
 	var mirrorRepo *rpm.Repository
@@ -256,8 +272,9 @@ func New(cfg Config) (*Cluster, error) {
 		// hang frontend construction forever), 8 parallel fetch workers,
 		// and bounded per-file retries. Every fetched body is verified
 		// against the parent's digest manifest when it serves one.
-		mirror, report, err := dist.MirrorReportWith(cfg.ParentURL, "parent-mirror", dist.MirrorOptions{})
+		mirror, report, err := dist.MirrorReportWith(cfg.ParentURL, "parent-mirror", dist.MirrorOptions{Context: ctx})
 		if err != nil {
+			cancel()
 			return nil, fmt.Errorf("core: replicating parent distribution: %w", err)
 		}
 		mirrorReport = &report
@@ -283,7 +300,8 @@ func New(cfg Config) (*Cluster, error) {
 		quarantined:  make(map[string]bool),
 		localSources: localSources,
 	}
-	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.ctx, c.cancel = ctx, cancel
+	c.facts = newFactsState()
 	if cfg.DBDir != "" {
 		// Durable database: recover whatever a previous life left behind —
 		// the node bindings a frontend crash mid-discovery-storm would
@@ -413,6 +431,12 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		for _, n := range rows {
 			c.macs.Reserve(n.MAC)
+		}
+		// The inventory the previous life collected survives with the rows:
+		// /v1/facts answers from the recovered table immediately.
+		if err := c.loadFacts(); err != nil {
+			c.Close()
+			return nil, err
 		}
 	}
 	if err := c.syncDHCP(); err != nil {
@@ -557,6 +581,13 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 		cfg.RelayURL = c.baseURL + "/v1/relays"
 		cfg.RelayMAC = n.MAC()
 	}
+	if n != c.Frontend {
+		// The first-boot facts agent: after install-complete the node
+		// probes its hardware and reports to the frontend, which diffs the
+		// report against the database's expected profile. The frontend
+		// itself does not report — it is the diffing side.
+		cfg.FactsURL = c.baseURL + "/v1/facts"
+	}
 	if c.cfg.Faults != nil && n != c.Frontend {
 		identities := func() []string { return []string{n.MAC(), n.Name(), n.IP()} }
 		cfg.HTTP = &http.Client{
@@ -564,6 +595,7 @@ func (c *Cluster) installerConfig(n *node.Node) installer.Config {
 			Transport: faults.NewTransport(c.cfg.Faults, nil, identities),
 		}
 		cfg.FaultHook = faults.InstallHook(c.cfg.Faults, identities)
+		cfg.FactsHook = faults.FactsHook(c.cfg.Faults, identities)
 	}
 	return cfg
 }

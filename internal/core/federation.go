@@ -17,6 +17,7 @@ import (
 	"rocks/internal/clusterdb"
 	"rocks/internal/dist"
 	"rocks/internal/federation"
+	"rocks/internal/hardware"
 	"rocks/internal/lifecycle"
 )
 
@@ -67,6 +68,9 @@ type fedState struct {
 	registrations atomic.Uint64
 	fanoutErrors  atomic.Uint64 // failed child fetches across fan-outs
 	deduped       atomic.Uint64 // duplicates dropped by merged queries
+
+	factsForwarded     atomic.Uint64 // facts reports relayed upstream
+	factsForwardErrors atomic.Uint64 // upstream facts relays that failed
 }
 
 // fedChild is one registered child frontend.
@@ -82,6 +86,11 @@ type fedChild struct {
 	lastSeq   uint64
 	dark      bool
 	mirror    []lifecycle.Event // bounded ring of forwarded events, shard-stamped
+	// Last successful /metrics exposition and when it was scraped: the
+	// stale fallback a merged scrape serves while the child is dark, aged
+	// by rocks_federation_child_last_scrape_seconds.
+	lastExpo   string
+	lastExpoAt time.Time
 }
 
 func newFedState(c *Cluster) *fedState {
@@ -250,6 +259,46 @@ func (f *fedState) startForwarder() {
 	}()
 }
 
+// forwardFacts relays a facts report upstream under this frontend's own
+// shard name, so the parent's merged inventory carries subtree provenance.
+// Best-effort and asynchronous — a dark parent must never stall a node's
+// first boot — but accounted, and the goroutine is tracked on the cluster
+// WaitGroup and carries the cluster context so Close stays leak-free.
+func (f *fedState) forwardFacts(facts hardware.Facts) {
+	if f.parentURL == "" {
+		return
+	}
+	body, err := json.Marshal(facts)
+	if err != nil {
+		f.factsForwardErrors.Add(1)
+		return
+	}
+	f.c.wg.Add(1)
+	go func() {
+		defer f.c.wg.Done()
+		u := f.parentURL + "/v1/facts?shard=" + url.QueryEscape(f.shard.Name)
+		req, err := http.NewRequestWithContext(f.c.ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			f.factsForwardErrors.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Rocks-Actor", "federation/"+f.shard.Name)
+		resp, err := f.client.Do(req)
+		if err != nil {
+			f.factsForwardErrors.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			f.factsForwardErrors.Add(1)
+			return
+		}
+		f.factsForwarded.Add(1)
+	}()
+}
+
 // FederationChildInfo is one child's row in the /v1/federation view.
 type FederationChildInfo struct {
 	Shard      federation.Shard `json:"shard"`
@@ -273,6 +322,9 @@ type FederationResponse struct {
 	Forwarded     uint64 `json:"forwarded,omitempty"`
 	ForwardErrors uint64 `json:"forward_errors,omitempty"`
 	ForwardDrops  uint64 `json:"forward_drops,omitempty"`
+	// Child-side facts relays (upstream inventory provenance).
+	FactsForwarded     uint64 `json:"facts_forwarded,omitempty"`
+	FactsForwardErrors uint64 `json:"facts_forward_errors,omitempty"`
 }
 
 func (c *Cluster) opFederation(r *http.Request) (interface{}, *apiError) {
@@ -295,6 +347,8 @@ func (c *Cluster) opFederation(r *http.Request) (interface{}, *apiError) {
 	if fw := c.fed.getForwarder(); fw != nil {
 		resp.Forwarded, resp.ForwardErrors, resp.ForwardDrops = fw.Stats()
 	}
+	resp.FactsForwarded = c.fed.factsForwarded.Load()
+	resp.FactsForwardErrors = c.fed.factsForwardErrors.Load()
 	return resp, nil
 }
 
@@ -680,7 +734,7 @@ func (c *Cluster) Remirror() (dist.MirrorReport, error) {
 	if c.cfg.ParentURL == "" {
 		return dist.MirrorReport{}, fmt.Errorf("core: no parent distribution to re-mirror")
 	}
-	mirror, report, err := dist.MirrorReportWith(c.cfg.ParentURL, "parent-mirror", dist.MirrorOptions{Baseline: c.mirrorRepo})
+	mirror, report, err := dist.MirrorReportWith(c.cfg.ParentURL, "parent-mirror", dist.MirrorOptions{Baseline: c.mirrorRepo, Context: c.ctx})
 	if err != nil {
 		return dist.MirrorReport{}, fmt.Errorf("core: re-mirroring parent distribution: %w", err)
 	}
@@ -763,9 +817,12 @@ func (c *Cluster) fanRemirror(r *http.Request, payload interface{}) (interface{}
 // --- scrape federation --------------------------------------------------
 
 // metricsHandler serves /metrics. A parent aggregates child expositions
-// into its own with per-shard labels; a dark child's series are simply
-// absent that scrape (rocks_federation_child_up goes to 0 for it). The
-// merged text still satisfies the strict parser, histograms included.
+// into its own with per-shard labels; a dark child's last successful
+// exposition is re-served in place of a live scrape (its series keep their
+// last values rather than vanishing), with rocks_federation_child_up at 0
+// and rocks_federation_child_last_scrape_seconds growing so alerting can
+// see the staleness. The merged text still satisfies the strict parser,
+// histograms included.
 func (c *Cluster) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	var own strings.Builder
 	c.metricsReg.WriteText(&own)
@@ -802,8 +859,18 @@ func (c *Cluster) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		ch.markResult(errs[i] == nil)
 		if errs[i] != nil {
 			c.fed.fanoutErrors.Add(1)
+			ch.mu.Lock()
+			stale := ch.lastExpo
+			ch.mu.Unlock()
+			if stale != "" {
+				shards = append(shards, federation.ShardExposition{Shard: ch.shard.Name, Text: stale})
+			}
 			continue
 		}
+		ch.mu.Lock()
+		ch.lastExpo = texts[i]
+		ch.lastExpoAt = time.Now()
+		ch.mu.Unlock()
 		shards = append(shards, federation.ShardExposition{Shard: ch.shard.Name, Text: texts[i]})
 	}
 	io.WriteString(w, federation.MergeExpositions(own.String(), shards))

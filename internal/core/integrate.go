@@ -332,6 +332,14 @@ func (c *Cluster) Decommission(name string) error {
 	if err := clusterdb.DeleteNode(c.DB, name); err != nil {
 		return err
 	}
+	// The machine is leaving for good: its facts row and drift verdict go
+	// with it, so the inventory never reports a ghost.
+	if err := clusterdb.DeleteFacts(c.DB, n.MAC()); err != nil {
+		return err
+	}
+	c.facts.mu.Lock()
+	delete(c.facts.records, n.MAC())
+	c.facts.mu.Unlock()
 	c.mu.Lock()
 	delete(c.byName, name)
 	delete(c.nodes, n.MAC())

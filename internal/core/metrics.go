@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"rocks/internal/metrics"
 	"rocks/internal/node"
 )
@@ -290,6 +292,48 @@ func (c *Cluster) registerMetrics() {
 	r.CounterFunc("rocks_federation_merge_deduped_total",
 		"Duplicate rows and events dropped by merged queries.",
 		func() float64 { return float64(c.fed.deduped.Load()) })
+	r.GaugeVecFunc("rocks_federation_child_last_scrape_seconds",
+		"Seconds since the labeled child shard last answered a /metrics "+
+			"scrape; its stale exposition is re-served while it is dark. "+
+			"Example alert: rocks_federation_child_last_scrape_seconds > 120.",
+		[]string{"shard"},
+		func() []metrics.Sample {
+			children := c.fed.childSnapshot()
+			out := make([]metrics.Sample, 0, len(children))
+			for _, ch := range children {
+				ch.mu.Lock()
+				at := ch.lastExpoAt
+				name := ch.shard.Name
+				ch.mu.Unlock()
+				if at.IsZero() {
+					continue // never scraped; nothing to age
+				}
+				out = append(out, metrics.Sample{Labels: []string{name}, Value: time.Since(at).Seconds()})
+			}
+			return out
+		})
+
+	// Facts-driven inventory loop: reports ingested (own nodes and
+	// forwarded), drift events by divergent field, and reinstalls the
+	// supervisor ordered to chase actionable drift. The drift family is
+	// pre-seeded with every comparator field, so all series exist at zero
+	// before any report lands.
+	r.CounterFunc("rocks_facts_reports_total",
+		"Facts reports ingested from first-boot agents and child forwarders.",
+		func() float64 { return float64(c.factsReportCount()) })
+	r.CounterVecFunc("rocks_facts_drift_total",
+		"Drift events published, by divergent field.", []string{"field"},
+		func() []metrics.Sample {
+			counts := c.factsDriftCounts()
+			out := make([]metrics.Sample, 0, len(driftFields))
+			for _, f := range driftFields {
+				out = append(out, metrics.Sample{Labels: []string{f}, Value: float64(counts[f])})
+			}
+			return out
+		})
+	r.CounterFunc("rocks_facts_reinstalls_total",
+		"Reinstalls the supervisor ordered to remediate actionable drift.",
+		func() float64 { return float64(c.supStats.driftReinstalls.Load()) })
 
 	// Control plane: per-op traffic and the mutation audit log.
 	c.apiReqs = r.CounterVec("rocks_api_requests_total",

@@ -90,6 +90,9 @@ const (
 	// EventRecovered: a previously failing node reached Up; budget
 	// refunded.
 	EventRecovered = lifecycle.EventRecovered
+	// EventDriftReinstall: an Up node's reported facts show actionable
+	// drift; a cycle-to-reinstall was ordered to chase it.
+	EventDriftReinstall = lifecycle.EventDriftReinstall
 )
 
 // supervisorStats counts remediation actions by type. It lives on the
@@ -101,6 +104,7 @@ type supervisorStats struct {
 	quarantines     atomic.Uint64
 	unquarantines   atomic.Uint64
 	recoveries      atomic.Uint64
+	driftReinstalls atomic.Uint64
 }
 
 func (st *supervisorStats) count(t EventType) {
@@ -115,6 +119,8 @@ func (st *supervisorStats) count(t EventType) {
 		st.unquarantines.Add(1)
 	case EventRecovered:
 		st.recoveries.Add(1)
+	case EventDriftReinstall:
+		st.driftReinstalls.Add(1)
 	}
 }
 
@@ -326,6 +332,18 @@ func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node) {
 	st := n.State()
 	switch st {
 	case node.StateUp:
+		// Drift remediation: an Up node whose latest facts report shows
+		// actionable drift (wrong arch, disk, NIC set) is cycled so its
+		// reinstall re-probes the hardware. The episode shares the dark-node
+		// budget — same backoff, same quarantine when it exhausts — and the
+		// check runs before the recovery refund, so drift that persists
+		// across reinstalls burns down the budget instead of resetting it.
+		// Benign drift (cpus, mem_mb) never reaches here: it is recorded in
+		// the inventory and the timeline only.
+		if fields := s.c.actionableDriftFields(mac); len(fields) > 0 {
+			s.remediateDriftLocked(now, rec, mac, n, fields)
+			return
+		}
 		if rec.failing {
 			rec.failing = false
 			rec.attempts = 0
@@ -385,6 +403,46 @@ func (s *Supervisor) superviseNode(now time.Time, mac string, n *node.Node) {
 	}
 	s.record(host, mac, EventPowerCycle, attempt,
 		fmt.Sprintf("outlet %d cycled; node reinstalling (was %s)", outlet, st))
+}
+
+// remediateDriftLocked orders a bounded cycle-to-reinstall for an Up node
+// with actionable facts drift. Called with s.mu held; releases it.
+func (s *Supervisor) remediateDriftLocked(now time.Time, rec *remedRecord, mac string, n *node.Node, fields []string) {
+	rec.failing = true
+	if now.Before(rec.next) {
+		s.mu.Unlock()
+		return
+	}
+	if rec.attempts >= s.cfg.MaxRetries {
+		rec.quarantined = true
+		attempts := rec.attempts
+		host := s.displayName(mac, n)
+		s.mu.Unlock()
+		if err := s.c.Quarantine(host); err != nil {
+			s.c.Syslog.Log("frontend-0", "supervisor", "quarantining %s: %v", host, err)
+		}
+		s.record(host, mac, EventQuarantine, attempts,
+			fmt.Sprintf("retry budget (%d) exhausted chasing drift in %s; marking offline",
+				s.cfg.MaxRetries, strings.Join(fields, ",")))
+		return
+	}
+	rec.attempts++
+	attempt := rec.attempts
+	rec.next = now.Add(s.backoffLocked(attempt))
+	host := s.displayName(mac, n)
+	s.mu.Unlock()
+
+	outlet, wired := s.c.PDU.OutletFor(mac)
+	if !wired {
+		s.record(host, mac, EventPowerCycleFailed, attempt, "no PDU outlet wired")
+		return
+	}
+	if err := s.c.PDU.HardCycle(outlet); err != nil {
+		s.record(host, mac, EventPowerCycleFailed, attempt, err.Error())
+		return
+	}
+	s.record(host, mac, EventDriftReinstall, attempt,
+		fmt.Sprintf("outlet %d cycled; reinstalling to chase drift in %s", outlet, strings.Join(fields, ",")))
 }
 
 // backoffLocked computes the capped exponential backoff plus jitter for the

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -217,6 +218,11 @@ type MirrorOptions struct {
 	// changed" update pass. Requires the parent to serve a digest manifest;
 	// without one the pass silently falls back to a full fetch.
 	Baseline *rpm.Repository
+	// Context, when set, cancels the pass: in-flight fetches abort and
+	// retry backoffs cut short, so the pass returns within one backoff
+	// step of cancellation instead of grinding through its budget against
+	// a parent that will never answer. Nil means Background.
+	Context context.Context
 }
 
 // MirrorReport accounts for one replication pass: what the parent
@@ -307,6 +313,10 @@ func MirrorReportWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	baseURL = strings.TrimSuffix(baseURL, "/")
 	listURL := baseURL + "/RedHat/RPMS/"
@@ -314,7 +324,7 @@ func MirrorReportWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository
 	// Prefer the digest manifest; fall back to the plain listing for
 	// pre-manifest parents (full fetch, no verification, no delta).
 	var entries []ManifestEntry
-	if body, err := fetchWithRetry(client, baseURL+"/RedHat/base/manifest", attempts, backoff); err == nil {
+	if body, err := fetchWithRetry(ctx, client, baseURL+"/RedHat/base/manifest", attempts, backoff); err == nil {
 		if parsed, perr := ParseManifest(body); perr == nil {
 			entries, report.ManifestUsed = parsed, true
 		}
@@ -340,7 +350,7 @@ func MirrorReportWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository
 			items = append(items, mirrorItem{escaped: url.PathEscape(file), file: file, digest: e.Digest})
 		}
 	} else {
-		listing, err := fetchWithRetry(client, listURL, attempts, backoff)
+		listing, err := fetchWithRetry(ctx, client, listURL, attempts, backoff)
 		if err != nil {
 			return nil, report, fmt.Errorf("dist: mirroring %s: %w", listURL, err)
 		}
@@ -377,7 +387,7 @@ func MirrorReportWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository
 					return
 				}
 				it := items[i]
-				p, err := fetchPackage(client, listURL+it.escaped, it, attempts, backoff, &fetchedBytes, &corrupt)
+				p, err := fetchPackage(ctx, client, listURL+it.escaped, it, attempts, backoff, &fetchedBytes, &corrupt)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -412,15 +422,20 @@ func MirrorReportWith(baseURL, name string, opts MirrorOptions) (*rpm.Repository
 // its payload digest against the manifest when one is known. Errors always
 // name the file, so an administrator knows exactly which package stalled a
 // replication pass — or which one keeps arriving corrupt.
-func fetchPackage(client *http.Client, pkgURL string, it mirrorItem, attempts int, backoff time.Duration, fetchedBytes, corrupt *atomic.Int64) (*rpm.Package, error) {
+func fetchPackage(ctx context.Context, client *http.Client, pkgURL string, it mirrorItem, attempts int, backoff time.Duration, fetchedBytes, corrupt *atomic.Int64) (*rpm.Package, error) {
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			time.Sleep(backoff)
+			if !sleepCtx(ctx, backoff) {
+				break
+			}
 			backoff *= 2
 		}
-		resp, err := client.Get(pkgURL)
+		resp, err := getCtx(ctx, client, pkgURL)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("dist: fetching %s: %w", it.file, ctx.Err())
+			}
 			lastErr = fmt.Errorf("dist: fetching %s: %w", it.file, err)
 			continue
 		}
@@ -470,15 +485,20 @@ func fetchPackage(client *http.Client, pkgURL string, it mirrorItem, attempts in
 
 // fetchWithRetry reads one URL's body with the same retry policy as
 // package fetches (the listing itself can hit a loaded parent).
-func fetchWithRetry(client *http.Client, url string, attempts int, backoff time.Duration) ([]byte, error) {
+func fetchWithRetry(ctx context.Context, client *http.Client, url string, attempts int, backoff time.Duration) ([]byte, error) {
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			time.Sleep(backoff)
+			if !sleepCtx(ctx, backoff) {
+				break
+			}
 			backoff *= 2
 		}
-		resp, err := client.Get(url)
+		resp, err := getCtx(ctx, client, url)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			lastErr = err
 			continue
 		}
@@ -499,4 +519,27 @@ func fetchWithRetry(client *http.Client, url string, attempts int, backoff time.
 		return data, nil
 	}
 	return nil, lastErr
+}
+
+// getCtx is client.Get bound to the pass's context, so cancellation aborts
+// an in-flight request instead of waiting out the client timeout.
+func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// sleepCtx waits out a retry backoff unless the context ends first; it
+// reports whether the retry should proceed. This is what bounds an aborted
+// pass to one backoff step: cancellation cuts the sleep short instead of
+// letting the doubling schedule run to completion.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

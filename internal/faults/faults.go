@@ -44,12 +44,22 @@ const (
 	// from OpHTTPPackage so package-corruption campaigns don't silently
 	// burn injections on the best-effort registry lookup.
 	OpHTTPRelays Op = "http.relays"
+	// OpHTTPFacts corrupts the agent's facts POST in transit (distinct from
+	// OpFactsReport, which skews the content; and from OpHTTPPackage, so
+	// package campaigns don't burn injections on the post-install report).
+	OpHTTPFacts Op = "http.facts"
 	// OpPowerCycle makes a PDU hard-cycle command fail silently: the relay
 	// clicks, nothing happens, the node stays dark.
 	OpPowerCycle Op = "power.cycle"
 	// OpInstallWedge wedges a node mid-install: the installer dies between
 	// partitioning and package installation, leaving the node crashed.
 	OpInstallWedge Op = "install.wedge"
+	// OpFactsReport perturbs the hardware facts a node's first-boot agent
+	// reports — the agent's probe misreads the machine (flaky DMI tables,
+	// a half-seated NIC) while the machine itself is fine. The skew is
+	// deterministic, so a chaos test can reconcile every drift event the
+	// frontend publishes against this injector's ledger.
+	OpFactsReport Op = "facts.report"
 )
 
 // Mode refines how an HTTP fault manifests.
@@ -69,6 +79,10 @@ const (
 	// ModeLatency delays the request by the rule's Latency, then lets it
 	// proceed untouched. The fault still appears in the injection log.
 	ModeLatency Mode = "latency"
+	// ModeFactsSkew (OpFactsReport only) misreports actionable fields — the
+	// architecture and the disk — plus a within-tolerance memory wobble that
+	// drift detection must classify as benign. See FactsHook.
+	ModeFactsSkew Mode = "facts-skew"
 )
 
 // Rule selects events to fail.

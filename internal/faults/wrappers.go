@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rocks/internal/dhcp"
+	"rocks/internal/hardware"
 )
 
 // ErrWedged is the root of every injected mid-install wedge.
@@ -71,6 +72,9 @@ func classifyPath(path string) Op {
 	}
 	if strings.Contains(path, "/v1/relays") {
 		return OpHTTPRelays
+	}
+	if strings.Contains(path, "/v1/facts") || strings.Contains(path, "/admin/facts") {
+		return OpHTTPFacts
 	}
 	return OpHTTPPackage
 }
@@ -237,6 +241,38 @@ func PowerInterceptor(inj *Injector) func(outlet int, label string) error {
 			return fmt.Errorf("%w: outlet %d (%s)", ErrPowerCycle, outlet, label)
 		}
 		return nil
+	}
+}
+
+// SkewFacts returns the deterministic perturbation ModeFactsSkew applies to
+// a reported hardware profile: the architecture gains a "-drift" suffix and
+// the disk size halves (both actionable — a reinstall re-probes them), and
+// MemMB shrinks by 2% (inside the frontend's default drift tolerance, so it
+// must be classified as benign). No PRNG draw: a test that knows the clean
+// profile knows the skewed one exactly.
+func SkewFacts(p hardware.Profile) hardware.Profile {
+	p.Arch += "-drift"
+	p.Disk.SizeMB /= 2
+	p.MemMB -= p.MemMB / 50
+	return p
+}
+
+// FactsHook adapts the injector to the installer's facts-agent seam: when
+// an OpFactsReport rule fires for the node, the profile the agent is about
+// to report is skewed (SkewFacts); otherwise it passes through untouched.
+// Only what is *reported* is perturbed — the machine's real hardware is
+// intact, so the reinstall the supervisor orders converges once the rule's
+// Count budget is exhausted.
+func FactsHook(inj *Injector, identities func() []string) func(p hardware.Profile) hardware.Profile {
+	if identities == nil {
+		identities = func() []string { return nil }
+	}
+	return func(p hardware.Profile) hardware.Profile {
+		ids := append(identities(), "*")
+		if _, fire := inj.ShouldInject(OpFactsReport, ids...); fire {
+			return SkewFacts(p)
+		}
+		return p
 	}
 }
 

@@ -189,18 +189,43 @@ func (a *MACAllocator) Next() string {
 // allocator's OUI at or beyond the next handout, allocation resumes past
 // it. A frontend recovering a durable database reserves every registered
 // MAC so newly simulated machines cannot collide with — and silently
-// adopt — a recovered node's identity. MACs outside the OUI are ignored.
+// adopt — a recovered node's identity. MACs outside the OUI — including
+// over-long addresses or ones with trailing garbage, which a prefix match
+// would silently misread as a different slot — are ignored.
 func (a *MACAllocator) Reserve(mac string) {
-	var b1, b2, b3 byte
-	if _, err := fmt.Sscanf(strings.ToLower(mac), a.oui+":%02x:%02x:%02x", &b1, &b2, &b3); err != nil {
+	s := strings.ToLower(strings.TrimSpace(mac))
+	if !strings.HasPrefix(s, a.oui+":") {
 		return
 	}
-	n := uint32(b1)<<16 | uint32(b2)<<8 | uint32(b3)
+	rest := strings.Split(s[len(a.oui)+1:], ":")
+	if len(rest) != 3 {
+		return // over-long (extra octets) or truncated: not ours
+	}
+	var n uint32
+	for _, oct := range rest {
+		if len(oct) != 2 || !isHexByte(oct) {
+			return // trailing garbage or malformed octet
+		}
+		var b byte
+		fmt.Sscanf(oct, "%02x", &b)
+		n = n<<8 | uint32(b)
+	}
 	a.mu.Lock()
 	if n >= a.next {
 		a.next = n + 1
 	}
 	a.mu.Unlock()
+}
+
+// isHexByte reports whether s is exactly two lower-case hex digits.
+func isHexByte(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) == 2
 }
 
 // Catalog returns the heterogeneous node-type mix of the Meteor cluster

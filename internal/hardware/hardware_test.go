@@ -80,6 +80,34 @@ func TestMACAllocatorUniqueAndStable(t *testing.T) {
 	}
 }
 
+func TestReserveRejectsMalformedMACs(t *testing.T) {
+	// A prefix match used to accept over-long or garbage-tailed MACs and
+	// silently reserve the slot named by their first three trailing octets;
+	// a fresh allocator must still hand out slot 0 after seeing them.
+	bad := []string{
+		"00:50:8b:aa:bb:cc:dd",   // over-long: one octet too many
+		"00:50:8b:aa:bb:cczz",    // trailing garbage fused to the last octet
+		"00:50:8b:aa:bb:cc junk", // trailing garbage after a space
+		"00:50:8b:aa:bb",         // truncated
+		"00:50:8b:aa:bb:c",       // short final octet
+		"00:50:8b:aa:bb:cg",      // non-hex digit
+		"02:00:00:aa:bb:cc",      // different OUI
+	}
+	for _, m := range bad {
+		a := NewMACAllocator()
+		a.Reserve(m)
+		if got := a.Next(); got != "00:50:8b:00:00:00" {
+			t.Errorf("Reserve(%q) shifted allocation to %s; malformed MACs must be ignored", m, got)
+		}
+	}
+	// Well-formed reservations (any case, surrounding space) still advance.
+	a := NewMACAllocator()
+	a.Reserve(" 00:50:8B:00:00:05 ")
+	if got := a.Next(); got != "00:50:8b:00:00:06" {
+		t.Errorf("valid reservation ignored: next = %s, want 00:50:8b:00:00:06", got)
+	}
+}
+
 func TestProfileAccessors(t *testing.T) {
 	macs := NewMACAllocator()
 	p := PIIICompute(macs, 1000)

@@ -9,7 +9,9 @@
 package installer
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -89,6 +91,17 @@ type Config struct {
 	// Ethernet MAC), letting the registry prefer same-rack peers. Empty
 	// asks for a rack-blind list.
 	RelayMAC string
+	// FactsURL, when set, names the frontend's facts endpoint (/v1/facts).
+	// After install-complete the installer runs a first-boot agent phase: it
+	// probes the node's hardware profile and POSTs the facts there, closing
+	// the discover→install→verify loop. A failed report never fails the
+	// install — the node is already built — but is marked with a
+	// facts-failed lifecycle event. Empty disables the agent.
+	FactsURL string
+	// FactsHook, when set, may perturb the profile the agent is about to
+	// report (the machine's real hardware is untouched). The faults package
+	// uses it to inject deterministic drift.
+	FactsHook func(p hardware.Profile) hardware.Profile
 }
 
 // defaultClient bounds every fetch: http.DefaultClient has no timeout, so
@@ -339,10 +352,61 @@ func Run(ctx context.Context, n *node.Node, cfg Config) (*Result, error) {
 	}
 	cfg.Stats.observeInstall(time.Since(runStart))
 	emit(cfg, n, lifecycle.EventInstallComplete, fmt.Sprintf("%d packages", count))
+
+	// First-boot agent phase: report what the hardware probe actually saw
+	// back to the frontend, so the database's idea of this node can be
+	// verified against reality.
+	reportFacts(ctx, n, cfg, screen)
+
 	if ekvSrv != nil {
 		res.EKVTranscript = ekvSrv.Screen()
 	}
 	return res, nil
+}
+
+// reportFacts is the first-boot agent: probe the node's hardware profile,
+// apply any configured perturbation, and POST the facts to the frontend.
+// Delivery failures are published (facts-failed) but never fail the install.
+func reportFacts(ctx context.Context, n *node.Node, cfg Config, screen io.Writer) {
+	if cfg.FactsURL == "" {
+		return
+	}
+	p := n.HW
+	if cfg.FactsHook != nil {
+		p = cfg.FactsHook(p)
+	}
+	facts := hardware.FactsFromProfile(p, n.MAC(), n.Name())
+	body, err := json.Marshal(facts)
+	if err != nil {
+		emit(cfg, n, lifecycle.EventFactsFailed, err.Error())
+		return
+	}
+	fmt.Fprintf(screen, "reporting hardware facts to %s\n", cfg.FactsURL)
+	err = retryFetch(ctx, cfg, screen, "facts report", func() error {
+		req, rerr := http.NewRequestWithContext(ctx, "POST", cfg.FactsURL, bytes.NewReader(body))
+		if rerr != nil {
+			return rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ClientIPHeader, n.IP())
+		resp, rerr := cfg.HTTP.Do(req)
+		if rerr != nil {
+			return transient(fmt.Errorf("installer: posting facts: %w", rerr))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			rerr = fmt.Errorf("installer: facts endpoint: HTTP %s", resp.Status)
+			if resp.StatusCode >= 500 {
+				rerr = transient(rerr)
+			}
+			return rerr
+		}
+		return nil
+	})
+	if err != nil {
+		emit(cfg, n, lifecycle.EventFactsFailed, err.Error())
+	}
 }
 
 func fail(cfg Config, n *node.Node, ekvSrv *ekv.Server, err error) (*Result, error) {

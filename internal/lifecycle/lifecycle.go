@@ -70,6 +70,20 @@ const (
 	// from its on-disk snapshot + write-ahead log at startup.
 	EventDBRecovered EventType = "db-recovered"
 
+	// Facts-driven inventory (the post-install agent loop). A node that
+	// finishes installing probes its own hardware and posts the facts to the
+	// frontend; the frontend records the report, diffs it against the
+	// database's expected profile, and publishes one drift-detected event per
+	// divergent field. Actionable drift is cleared by a supervisor-driven
+	// reinstall (drift-reinstall); a clean report after drift publishes
+	// drift-cleared. facts-failed marks an agent that could not deliver its
+	// report (the install itself still succeeded).
+	EventFactsReported  EventType = "facts-reported"
+	EventFactsFailed    EventType = "facts-failed"
+	EventDriftDetected  EventType = "drift-detected"
+	EventDriftCleared   EventType = "drift-cleared"
+	EventDriftReinstall EventType = "drift-reinstall"
+
 	// Relay distribution tier (PR 8). A completed node that re-serves its
 	// verified package tree announces relay-up; the registry withdraws it
 	// (relay-down) when the node reinstalls, goes dark, or is quarantined.
